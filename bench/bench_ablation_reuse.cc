@@ -1,0 +1,68 @@
+// Ablation bench (ours, motivated by DESIGN.md's call-outs): quantifies
+// the design decisions §4-§6 argue for, on one DBLife and one Wikipedia
+// task:
+//   - cost-based matcher assignment (Algorithm 1) vs uniform assignments;
+//   - IE-unit-level reuse (σ/π folded) vs bare-blackbox-level reuse;
+//   - the exact-content region fast path on vs off.
+
+#include "bench/bench_util.h"
+
+using namespace delex;
+using namespace delex::bench;
+
+namespace {
+
+double RunVariant(const ProgramSpec& spec, const std::vector<Snapshot>& series,
+                  const std::string& tag, DelexSolutionOptions options) {
+  auto solution = MakeDelexSolution(spec, WorkDir("abl-" + tag), options);
+  return MustRun(solution.get(), series).TotalSeconds();
+}
+
+}  // namespace
+
+int main() {
+  for (const std::string& task : {std::string("chair"), std::string("play")}) {
+    ProgramSpec spec = MustProgram(task);
+    std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6);
+    const size_t units = static_cast<size_t>(xlog::CountIENodes(*spec.plan));
+
+    std::printf("=== Ablations on '%s' (%s) ===\n\n", task.c_str(),
+                spec.wiki ? "Wikipedia" : "DBLife");
+    Table table({"variant", "total s", "vs full Delex"});
+
+    double full = RunVariant(spec, series, task + "-full", {});
+    table.AddRow({"Delex (Algorithm 1 plans)", Table::Num(full), "--"});
+    // Note: only this variant pays per-snapshot statistics sampling; the
+    // forced-assignment variants below skip optimization entirely, so on
+    // corpora where residual work is tiny they can come out faster.
+
+    for (MatcherKind kind :
+         {MatcherKind::kDN, MatcherKind::kUD, MatcherKind::kST}) {
+      DelexSolutionOptions options;
+      options.forced_assignment = MatcherAssignment::Uniform(units, kind);
+      double total = RunVariant(
+          spec, series, task + "-" + MatcherKindName(kind), options);
+      table.AddRow({std::string("uniform ") + MatcherKindName(kind),
+                    Table::Num(total),
+                    Table::Num(100.0 * (total / full - 1.0), 0) + "%"});
+    }
+    {
+      DelexSolutionOptions options;
+      options.fold_unit_operators = false;
+      double total = RunVariant(spec, series, task + "-nofold", options);
+      table.AddRow({"reuse at bare-blackbox level (no sigma/pi folding)",
+                    Table::Num(total),
+                    Table::Num(100.0 * (total / full - 1.0), 0) + "%"});
+    }
+    {
+      DelexSolutionOptions options;
+      options.disable_exact_fast_path = true;
+      double total = RunVariant(spec, series, task + "-noexact", options);
+      table.AddRow({"exact-region fast path disabled", Table::Num(total),
+                    Table::Num(100.0 * (total / full - 1.0), 0) + "%"});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

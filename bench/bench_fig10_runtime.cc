@@ -1,0 +1,65 @@
+// Figure 10: runtime of No-reuse, Shortcut, Cyclex, and Delex over
+// consecutive corpus snapshots, for all six rule-based IE tasks.
+//
+// Paper shape to reproduce: No-reuse worst everywhere; Shortcut strong on
+// DBLife (96-98% identical pages) but marginal on Wikipedia (8-20%);
+// Cyclex comparable-or-better than Shortcut; Delex equal to Cyclex on the
+// single-blackbox task (talk) and cutting Cyclex's time substantially on
+// every multi-blackbox task.
+
+#include "bench/bench_util.h"
+
+using namespace delex;
+using namespace delex::bench;
+
+int main() {
+  const std::vector<std::string> tasks = {"talk",        "chair", "advise",
+                                          "blockbuster", "play",  "award"};
+  std::printf(
+      "=== Figure 10: per-snapshot runtime (seconds), snapshots 2..%d ===\n\n",
+      Snapshots());
+
+  Table summary({"task", "dataset", "No-reuse total", "Shortcut total",
+                 "Cyclex total", "Delex total", "Delex/Cyclex cut",
+                 "Delex/No-reuse speedup"});
+
+  for (const std::string& task : tasks) {
+    ProgramSpec spec = MustProgram(task);
+    std::vector<Snapshot> series = SeriesFor(spec);
+    Lineup lineup = MakeLineup(spec, "fig10-" + task);
+
+    std::vector<SeriesRun> runs;
+    for (Solution* solution : lineup.All()) {
+      runs.push_back(MustRun(solution, series));
+    }
+
+    // Per-snapshot curves (the figure's series).
+    std::printf("--- %s (%s) ---\n", task.c_str(),
+                spec.wiki ? "Wikipedia" : "DBLife");
+    Table curve({"snapshot", "No-reuse s", "Shortcut s", "Cyclex s",
+                 "Delex s"});
+    for (size_t i = 0; i < runs[0].seconds.size(); ++i) {
+      curve.AddRow({std::to_string(i + 2), Table::Num(runs[0].seconds[i], 3),
+                    Table::Num(runs[1].seconds[i], 3),
+                    Table::Num(runs[2].seconds[i], 3),
+                    Table::Num(runs[3].seconds[i], 3)});
+    }
+    curve.Print();
+    std::printf("\n");
+
+    double cyclex_total = runs[2].TotalSeconds();
+    double delex_total = runs[3].TotalSeconds();
+    summary.AddRow(
+        {task, spec.wiki ? "Wikipedia" : "DBLife",
+         Table::Num(runs[0].TotalSeconds()), Table::Num(runs[1].TotalSeconds()),
+         Table::Num(cyclex_total), Table::Num(delex_total),
+         Table::Num(100.0 * (1.0 - delex_total / cyclex_total), 0) + "%",
+         Table::Num(runs[0].TotalSeconds() / delex_total, 1) + "x"});
+  }
+
+  std::printf("=== Figure 10 summary ===\n");
+  std::printf("(paper: Delex cuts Cyclex's time by up to 71%% on\n");
+  std::printf(" multi-blackbox tasks, and matches Cyclex on 'talk')\n\n");
+  summary.Print();
+  return 0;
+}

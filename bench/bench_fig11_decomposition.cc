@@ -1,0 +1,81 @@
+// Figure 11: runtime decomposition — Match / Extraction / Copy / Opt /
+// Others — for each solution, averaged over snapshots.
+//
+// Paper shape: matching and extraction dominate; Delex spends relatively
+// more on matching/copying than the baselines but slashes extraction
+// (by 37-85%), and its optimization overhead stays insignificant.
+
+#include "bench/bench_util.h"
+
+using namespace delex;
+using namespace delex::bench;
+
+namespace {
+
+struct Decomposition {
+  double match = 0;
+  double extract = 0;
+  double copy = 0;
+  double opt = 0;
+  double others = 0;
+
+  double Total() const { return match + extract + copy + opt + others; }
+};
+
+Decomposition Average(const SeriesRun& run) {
+  Decomposition d;
+  for (const RunStats& stats : run.stats) {
+    d.match += static_cast<double>(stats.phases.match_us) / 1e6;
+    d.extract += static_cast<double>(stats.phases.extract_us) / 1e6;
+    d.copy += static_cast<double>(stats.phases.copy_us +
+                                  stats.phases.capture_us) /
+              1e6;
+    d.opt += static_cast<double>(stats.phases.opt_us) / 1e6;
+    d.others += static_cast<double>(stats.phases.OthersUs()) / 1e6;
+  }
+  double n = static_cast<double>(run.stats.size());
+  d.match /= n;
+  d.extract /= n;
+  d.copy /= n;
+  d.opt /= n;
+  d.others /= n;
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> tasks = {"talk", "chair", "advise",
+                                          "blockbuster", "play", "award"};
+  std::printf(
+      "=== Figure 11: runtime decomposition (avg seconds/snapshot) ===\n\n");
+
+  for (const std::string& task : tasks) {
+    ProgramSpec spec = MustProgram(task);
+    std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6);
+    Lineup lineup = MakeLineup(spec, "fig11-" + task);
+
+    std::printf("--- %s (%s) ---\n", task.c_str(),
+                spec.wiki ? "Wikipedia" : "DBLife");
+    Table table({"solution", "Match", "Extraction", "Copy", "Opt", "Others",
+                 "Total"});
+    double no_reuse_extract = 0;
+    double delex_extract = 0;
+    for (Solution* solution : lineup.All()) {
+      SeriesRun run = MustRun(solution, series);
+      Decomposition d = Average(run);
+      if (solution == lineup.no_reuse.get()) no_reuse_extract = d.extract;
+      if (solution == lineup.delex.get()) delex_extract = d.extract;
+      table.AddRow({run.solution, Table::Num(d.match, 3),
+                    Table::Num(d.extract, 3), Table::Num(d.copy, 3),
+                    Table::Num(d.opt, 3), Table::Num(d.others, 3),
+                    Table::Num(d.Total(), 3)});
+    }
+    table.Print();
+    if (no_reuse_extract > 0) {
+      std::printf("extraction cut by Delex vs No-reuse: %.0f%%\n\n",
+                  100.0 * (1.0 - delex_extract / no_reuse_extract));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 13: sensitivity of Delex to the optimizer's inputs on "play":
+// (a) statistics sample size, (b) number of history snapshots feeding the
+// averaged statistics.
+//
+// Paper shape: a small sample (30 pages) and a short history (3 snapshots)
+// already reach the best plans; even 10 pages / 2 snapshots beats Cyclex
+// by a wide margin.
+
+#include "bench/bench_util.h"
+
+using namespace delex;
+using namespace delex::bench;
+
+int main() {
+  ProgramSpec spec = MustProgram("play");
+  std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6);
+
+  auto cyclex = MakeCyclexSolution(spec, WorkDir("fig13-cyclex"));
+  double cyclex_total = MustRun(cyclex.get(), series).TotalSeconds();
+
+  std::printf("=== Figure 13a: runtime vs statistics sample size ===\n\n");
+  Table by_sample({"sample pages", "Delex total s", "vs Cyclex"});
+  for (int sample : {4, 8, 16, 30, 50}) {
+    DelexSolutionOptions options;
+    options.sample_pages = sample;
+    auto delex = MakeDelexSolution(
+        spec, WorkDir("fig13-s" + std::to_string(sample)), options);
+    double total = MustRun(delex.get(), series).TotalSeconds();
+    by_sample.AddRow({std::to_string(sample), Table::Num(total),
+                      Table::Num(100.0 * (1.0 - total / cyclex_total), 0) +
+                          "% faster"});
+  }
+  by_sample.Print();
+
+  std::printf("\n=== Figure 13b: runtime vs history snapshots ===\n\n");
+  Table by_history({"history snapshots", "Delex total s", "vs Cyclex"});
+  for (int history : {1, 2, 3, 5}) {
+    DelexSolutionOptions options;
+    options.history_snapshots = history;
+    auto delex = MakeDelexSolution(
+        spec, WorkDir("fig13-h" + std::to_string(history)), options);
+    double total = MustRun(delex.get(), series).TotalSeconds();
+    by_history.AddRow({std::to_string(history), Table::Num(total),
+                       Table::Num(100.0 * (1.0 - total / cyclex_total), 0) +
+                           "% faster"});
+  }
+  by_history.Print();
+  std::printf("\nCyclex reference total: %.2f s\n", cyclex_total);
+  return 0;
+}

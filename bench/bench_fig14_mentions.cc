@@ -1,0 +1,109 @@
+// Figure 14: impact of the number of extracted mentions on each solution.
+// Following the paper, every blackbox of "play" is modified to emit each
+// mention k times (k = 1..5), multiplying the captured IE results without
+// changing extraction cost, and the four solutions are re-timed.
+//
+// Paper shape: Delex keeps its large margin as mentions grow 5x; its
+// capture+reuse overhead grows far sub-linearly (mentions +400% -> reuse
+// overhead +88%) and stays a small share (3-8%) of total runtime.
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "extract/repeat_extractor.h"
+#include "xlog/parser.h"
+#include "xlog/translate.h"
+
+using namespace delex;
+using namespace delex::bench;
+
+namespace {
+
+ProgramSpec PlayWithRepeat(int repeat) {
+  ProgramSpec spec = MustProgram("play");
+  // Wrap every registered blackbox.
+  std::vector<ExtractorPtr> originals;
+  for (const auto& [name, extractor] : spec.registry->extractors()) {
+    originals.push_back(extractor);
+  }
+  for (const ExtractorPtr& extractor : originals) {
+    spec.registry->Register(
+        std::make_shared<RepeatExtractor>(extractor, repeat));
+  }
+  auto ast = xlog::ParseProgram(spec.xlog_source);
+  DELEX_CHECK_MSG(ast.ok(), ast.status().ToString());
+  auto plan = xlog::TranslateProgram(std::move(ast).ValueOrDie(), *spec.registry);
+  DELEX_CHECK_MSG(plan.ok(), plan.status().ToString());
+  spec.plan = std::move(plan).ValueOrDie();
+  return spec;
+}
+
+int64_t TotalMentions(const SeriesRun& run) {
+  int64_t total = 0;
+  for (const RunStats& stats : run.stats) {
+    for (const UnitRunStats& unit : stats.units) {
+      total += unit.copied_tuples + unit.extracted_tuples;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 14: runtime vs number of mentions ('play') ===\n\n");
+  Table table({"mention multiplier", "total blackbox mentions",
+               "No-reuse s", "Shortcut s", "Cyclex s", "Delex s",
+               "Delex capture+copy s", "capture+copy share"});
+
+  double base_overhead = 0;
+  double last_overhead = 0;
+  int64_t base_mentions = 0;
+  int64_t last_mentions = 0;
+  for (int repeat : {1, 2, 3, 4, 5}) {
+    ProgramSpec spec = PlayWithRepeat(repeat);
+    std::vector<Snapshot> series =
+        SeriesFor(spec, /*snapshots=*/5,
+                  static_cast<int>(EnvInt("DELEX_FIG14_PAGES", 120)));
+    Lineup lineup = MakeLineup(spec, "fig14-r" + std::to_string(repeat));
+
+    double totals[4];
+    SeriesRun delex_run;
+    int index = 0;
+    for (Solution* solution : lineup.All()) {
+      SeriesRun run = MustRun(solution, series);
+      totals[index] = run.TotalSeconds();
+      if (solution == lineup.delex.get()) delex_run = std::move(run);
+      ++index;
+    }
+
+    double overhead = 0;
+    for (const RunStats& stats : delex_run.stats) {
+      overhead += static_cast<double>(stats.phases.copy_us +
+                                      stats.phases.capture_us) /
+                  1e6;
+    }
+    int64_t mentions = TotalMentions(delex_run);
+    if (repeat == 1) {
+      base_overhead = overhead;
+      base_mentions = mentions;
+    }
+    last_overhead = overhead;
+    last_mentions = mentions;
+    table.AddRow({std::to_string(repeat) + "x", std::to_string(mentions),
+                  Table::Num(totals[0]), Table::Num(totals[1]),
+                  Table::Num(totals[2]), Table::Num(totals[3]),
+                  Table::Num(overhead, 3),
+                  Table::Num(100.0 * overhead / totals[3], 1) + "%"});
+  }
+  table.Print();
+  std::printf(
+      "\nmention growth +%.0f%%; Delex capture+copy overhead growth +%.0f%%\n"
+      "(paper: +400%% mentions -> +88%% capture/reuse time, share 3-8%%)\n",
+      base_mentions > 0
+          ? 100.0 * (static_cast<double>(last_mentions) /
+                         static_cast<double>(base_mentions) -
+                     1.0)
+          : 0.0,
+      base_overhead > 0 ? 100.0 * (last_overhead / base_overhead - 1.0) : 0.0);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 15: the learning-based IE program — an ME sentence classifier
+// feeding four CRF models to build actor infoboxes (Wu & Weld style) —
+// run on the Wikipedia-profile corpus under all four solutions.
+//
+// Paper shape: Shortcut and Cyclex only marginally beat No-reuse (pages
+// change a lot, and the whole program's α is huge: its head spans come
+// from different sentences anywhere in the page), while Delex cuts
+// Cyclex's runtime by 42-53% despite the deliberately loose α = β =
+// longest-sentence bounds of the CRF blackboxes.
+
+#include "bench/bench_util.h"
+
+using namespace delex;
+using namespace delex::bench;
+
+int main() {
+  ProgramSpec spec = MustProgram("infobox");
+  const int pages = static_cast<int>(EnvInt("DELEX_FIG15_PAGES", 70));
+  std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6, pages);
+  Lineup lineup = MakeLineup(spec, "fig15");
+
+  std::printf(
+      "=== Figure 15: learning-based program (ME + 4 CRFs), %d pages ===\n\n",
+      pages);
+  Table curve({"snapshot", "No-reuse s", "Shortcut s", "Cyclex s", "Delex s"});
+  std::vector<SeriesRun> runs;
+  for (Solution* solution : lineup.All()) {
+    runs.push_back(MustRun(solution, series));
+  }
+  for (size_t i = 0; i < runs[0].seconds.size(); ++i) {
+    curve.AddRow({std::to_string(i + 2), Table::Num(runs[0].seconds[i], 3),
+                  Table::Num(runs[1].seconds[i], 3),
+                  Table::Num(runs[2].seconds[i], 3),
+                  Table::Num(runs[3].seconds[i], 3)});
+  }
+  curve.Print();
+
+  double cyclex_total = runs[2].TotalSeconds();
+  double delex_total = runs[3].TotalSeconds();
+  std::printf(
+      "\ntotals: No-reuse %.2f s, Shortcut %.2f s, Cyclex %.2f s, "
+      "Delex %.2f s\n",
+      runs[0].TotalSeconds(), runs[1].TotalSeconds(), cyclex_total,
+      delex_total);
+  std::printf("Delex cut vs Cyclex: %.0f%%   (paper: 42-53%%)\n",
+              100.0 * (1.0 - delex_total / cyclex_total));
+  return 0;
+}

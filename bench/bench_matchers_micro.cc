@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the matcher substrate: the
+// completeness/runtime trade-off of §5.4 in isolation. DN is free, UD is
+// cheap but order-bound, ST is pricier but finds relocations, RU answers
+// from recorded results at near-zero cost.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "corpus/generator.h"
+#include "matcher/matcher.h"
+#include "text/diff.h"
+#include "text/suffix_matcher.h"
+
+namespace delex {
+namespace {
+
+/// A page and an edited copy (replace a middle paragraph + prepend one).
+struct PagePair {
+  std::string p;
+  std::string q;
+};
+
+PagePair MakePair(int64_t approx_bytes) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.min_paragraphs = static_cast<int>(approx_bytes / 700);
+  profile.max_paragraphs = profile.min_paragraphs + 2;
+  CorpusGenerator generator(profile, 99);
+  Rng rng(7);
+  PagePair pair;
+  pair.q = generator.GeneratePageText(&rng);
+  // Edit: replace a middle chunk and prepend a paragraph.
+  std::string edited = generator.GenerateParagraph(&rng) + "\n\n" + pair.q;
+  size_t middle = edited.size() / 2;
+  edited.replace(middle, 200, generator.GenerateParagraph(&rng));
+  pair.p = std::move(edited);
+  return pair;
+}
+
+void BM_MatcherUD(benchmark::State& state) {
+  PagePair pair = MakePair(state.range(0));
+  TextSpan p_region(0, static_cast<int64_t>(pair.p.size()));
+  TextSpan q_region(0, static_cast<int64_t>(pair.q.size()));
+  int64_t matched = 0;
+  for (auto _ : state) {
+    auto segments = GetMatcher(MatcherKind::kUD)
+                        .Match(pair.p, p_region, pair.q, q_region, nullptr);
+    matched = TotalMatchedLength(segments);
+    benchmark::DoNotOptimize(segments);
+  }
+  state.counters["matched_frac"] =
+      static_cast<double>(matched) / static_cast<double>(pair.p.size());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.p.size() + pair.q.size()));
+}
+BENCHMARK(BM_MatcherUD)->Arg(4 << 10)->Arg(16 << 10)->Arg(64 << 10);
+
+void BM_MatcherST(benchmark::State& state) {
+  PagePair pair = MakePair(state.range(0));
+  TextSpan p_region(0, static_cast<int64_t>(pair.p.size()));
+  TextSpan q_region(0, static_cast<int64_t>(pair.q.size()));
+  int64_t matched = 0;
+  for (auto _ : state) {
+    auto segments = GetMatcher(MatcherKind::kST)
+                        .Match(pair.p, p_region, pair.q, q_region, nullptr);
+    matched = TotalMatchedLength(segments);
+    benchmark::DoNotOptimize(segments);
+  }
+  state.counters["matched_frac"] =
+      static_cast<double>(matched) / static_cast<double>(pair.p.size());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.p.size() + pair.q.size()));
+}
+BENCHMARK(BM_MatcherST)->Arg(4 << 10)->Arg(16 << 10)->Arg(64 << 10);
+
+void BM_MatcherRU(benchmark::State& state) {
+  PagePair pair = MakePair(16 << 10);
+  TextSpan p_region(0, static_cast<int64_t>(pair.p.size()));
+  TextSpan q_region(0, static_cast<int64_t>(pair.q.size()));
+  MatchContext ctx;
+  GetMatcher(MatcherKind::kST).Match(pair.p, p_region, pair.q, q_region, &ctx);
+  // Query a sub-region, as a higher IE unit would.
+  TextSpan p_sub(p_region.end / 4, p_region.end / 2);
+  TextSpan q_sub(q_region.end / 4, q_region.end / 2);
+  for (auto _ : state) {
+    auto segments =
+        GetMatcher(MatcherKind::kRU).Match(pair.p, p_sub, pair.q, q_sub, &ctx);
+    benchmark::DoNotOptimize(segments);
+  }
+}
+BENCHMARK(BM_MatcherRU);
+
+void BM_SuffixAutomatonBuild(benchmark::State& state) {
+  PagePair pair = MakePair(state.range(0));
+  for (auto _ : state) {
+    SuffixAutomaton automaton(pair.q);
+    benchmark::DoNotOptimize(automaton.NumStates());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.q.size()));
+}
+BENCHMARK(BM_SuffixAutomatonBuild)->Arg(4 << 10)->Arg(16 << 10);
+
+void BM_LineDiff(benchmark::State& state) {
+  PagePair pair = MakePair(state.range(0));
+  for (auto _ : state) {
+    auto segments = DiffMatch(pair.p, 0, pair.q, 0);
+    benchmark::DoNotOptimize(segments);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.p.size() + pair.q.size()));
+}
+BENCHMARK(BM_LineDiff)->Arg(4 << 10)->Arg(16 << 10);
+
+}  // namespace
+}  // namespace delex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+#ifndef DELEX_BENCH_BENCH_UTIL_H_
+#define DELEX_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the experiment-reproduction binaries. Each bench
+// regenerates one table/figure of the paper's §8 on the synthetic corpora;
+// scale knobs come from the environment so a laptop smoke run and a
+// beefier full run use the same binaries:
+//
+//   DELEX_PAGES_DBLIFE / DELEX_PAGES_WIKI   pages per snapshot
+//   DELEX_SNAPSHOTS                         snapshots per series
+//   DELEX_SEED                              corpus seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "harness/table.h"
+
+namespace delex {
+namespace bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+inline int PagesFor(const ProgramSpec& spec) {
+  return static_cast<int>(spec.wiki ? EnvInt("DELEX_PAGES_WIKI", 180)
+                                    : EnvInt("DELEX_PAGES_DBLIFE", 250));
+}
+
+inline int Snapshots() {
+  return static_cast<int>(EnvInt("DELEX_SNAPSHOTS", 8));
+}
+
+inline uint64_t Seed() {
+  return static_cast<uint64_t>(EnvInt("DELEX_SEED", 20090629));  // SIGMOD'09
+}
+
+/// Fresh scratch directory for reuse files.
+inline std::string WorkDir(const std::string& tag) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("delex-bench-" + tag)).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Generates the series for a program at bench scale.
+inline std::vector<Snapshot> SeriesFor(const ProgramSpec& spec,
+                                       int snapshots = 0, int pages = 0) {
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = pages > 0 ? pages : PagesFor(spec);
+  return GenerateSeries(profile, snapshots > 0 ? snapshots : Snapshots(),
+                        Seed());
+}
+
+/// Loads a program or dies with a message (benches have no error channel).
+inline ProgramSpec MustProgram(const std::string& name) {
+  auto spec = MakeProgram(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "MakeProgram(%s): %s\n", name.c_str(),
+                 spec.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(spec).ValueOrDie();
+}
+
+/// Runs a solution over a series or dies.
+inline SeriesRun MustRun(Solution* solution,
+                         const std::vector<Snapshot>& series,
+                         bool keep_results = false) {
+  auto run = RunSeries(solution, series, keep_results);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s: %s\n", solution->Name().c_str(),
+                 run.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(run).ValueOrDie();
+}
+
+/// The standard four-solution lineup of §8.
+struct Lineup {
+  std::unique_ptr<Solution> no_reuse;
+  std::unique_ptr<Solution> shortcut;
+  std::unique_ptr<Solution> cyclex;
+  std::unique_ptr<Solution> delex;
+
+  std::vector<Solution*> All() const {
+    return {no_reuse.get(), shortcut.get(), cyclex.get(), delex.get()};
+  }
+};
+
+inline Lineup MakeLineup(const ProgramSpec& spec, const std::string& tag) {
+  Lineup lineup;
+  lineup.no_reuse = MakeNoReuseSolution(spec);
+  lineup.shortcut = MakeShortcutSolution(spec);
+  std::string work = WorkDir(tag);
+  lineup.cyclex = MakeCyclexSolution(spec, work + "/cyclex");
+  lineup.delex = MakeDelexSolution(spec, work + "/delex");
+  return lineup;
+}
+
+}  // namespace bench
+}  // namespace delex
+
+#endif  // DELEX_BENCH_BENCH_UTIL_H_

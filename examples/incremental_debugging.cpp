@@ -1,0 +1,104 @@
+// Interactive IE debugging over snapshots — the third motivating scenario
+// of the paper's introduction: a developer iterates on an IE program and
+// re-runs it against *multiple* corpus snapshots after each tweak. With
+// from-scratch execution every iteration pays the full corpus; with Delex
+// each snapshot after the first is mostly recycled, so the edit-run-inspect
+// loop tightens dramatically.
+//
+//   ./incremental_debugging [pages] [snapshots]
+//
+// The "debugging" here tweaks the proximity window of the play program's
+// final filter — a plan-level change that does NOT touch any blackbox, so
+// all captured blackbox results stay valid and only the cheap relational
+// glue is re-evaluated per iteration.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/stopwatch.h"
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "harness/table.h"
+#include "xlog/parser.h"
+#include "xlog/translate.h"
+
+using namespace delex;
+
+namespace {
+
+/// The developer's current hypothesis: actors and movie titles pair up if
+/// they sit within `window` characters.
+ProgramSpec PlayWithWindow(int64_t window) {
+  ProgramSpec spec = *MakeProgram("play");
+  spec.xlog_source =
+      "play(sent, actor, movie) :- docs(d), extractParagraph(d, para), "
+      "extractSentence(para, sent), extractActor(sent, actor), "
+      "extractMovieTitle(sent, movie), before(actor, movie), "
+      "within(actor, movie, " +
+      std::to_string(window) + ").";
+  auto ast = xlog::ParseProgram(spec.xlog_source);
+  auto plan = xlog::TranslateProgram(std::move(ast).ValueOrDie(), *spec.registry);
+  spec.plan = std::move(plan).ValueOrDie();
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int pages = argc > 1 ? std::atoi(argv[1]) : 80;
+  int snapshots = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  DatasetProfile profile = DatasetProfile::Wikipedia();
+  profile.num_sources = pages;
+  std::vector<Snapshot> series = GenerateSeries(profile, snapshots, 31337);
+
+  std::string work = (std::filesystem::temp_directory_path() /
+                      "delex-debugging").string();
+  std::filesystem::remove_all(work);
+
+  std::printf(
+      "Debugging loop: after each tweak of the pairing window, re-run the\n"
+      "program over all %d snapshots and inspect the result counts.\n\n",
+      snapshots);
+
+  Table table({"iteration", "window", "result rows (last snapshot)",
+               "No-reuse loop s", "Delex loop s"});
+
+  int iteration = 0;
+  for (int64_t window : {50, 100, 150, 250}) {
+    ++iteration;
+    ProgramSpec spec = PlayWithWindow(window);
+
+    Stopwatch scratch_watch;
+    auto no_reuse = MakeNoReuseSolution(spec);
+    auto scratch_run = RunSeries(no_reuse.get(), series, true);
+    double scratch_seconds = scratch_watch.ElapsedSeconds();
+
+    Stopwatch delex_watch;
+    auto delex = MakeDelexSolution(
+        spec, work + "/iter" + std::to_string(iteration));
+    auto delex_run = RunSeries(delex.get(), series, true);
+    double delex_seconds = delex_watch.ElapsedSeconds();
+
+    if (!scratch_run.ok() || !delex_run.ok()) {
+      std::fprintf(stderr, "iteration %d failed\n", iteration);
+      return 1;
+    }
+    bool identical = true;
+    for (size_t i = 0; i < scratch_run->results.size(); ++i) {
+      identical &= SameResults(scratch_run->results[i], delex_run->results[i]);
+    }
+    table.AddRow({std::to_string(iteration), std::to_string(window),
+                  std::to_string(scratch_run->results.back().size()) +
+                      (identical ? "" : " (MISMATCH!)"),
+                  Table::Num(scratch_seconds), Table::Num(delex_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nEach Delex loop re-pays full extraction only on the first snapshot\n"
+      "of the series; snapshots 2..%d are recycled, so the debugging loop\n"
+      "runs several times faster end to end.\n",
+      snapshots);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: run a multi-blackbox IE program over an evolving corpus with
+// all four solutions and watch Delex recycle prior extraction work.
+//
+//   ./quickstart [pages] [snapshots]
+//
+// Walks through the whole public API surface: define an xlog program, bind
+// blackboxes, generate an evolving corpus, and compare No-reuse / Shortcut /
+// Cyclex / Delex on the same snapshot stream.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "harness/table.h"
+
+using namespace delex;
+
+int main(int argc, char** argv) {
+  int pages = argc > 1 ? std::atoi(argv[1]) : 120;
+  int snapshots = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  // 1. Build the "play" program: four IE blackboxes stitched with xlog.
+  auto spec_or = MakeProgram("play");
+  if (!spec_or.ok()) {
+    std::fprintf(stderr, "%s\n", spec_or.status().ToString().c_str());
+    return 1;
+  }
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+  std::printf("Program %s (%d blackboxes):\n%s\n", spec.name.c_str(),
+              spec.num_blackboxes, spec.xlog_source.c_str());
+  std::printf("Execution tree:\n%s\n", xlog::PlanToString(*spec.plan).c_str());
+
+  // 2. Generate an evolving Wikipedia-style corpus.
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = pages;
+  std::vector<Snapshot> series = GenerateSeries(profile, snapshots, /*seed=*/42);
+  std::printf("Corpus: %d snapshots x %zu pages (~%lld KB each)\n\n", snapshots,
+              series[0].NumPages(),
+              static_cast<long long>(series[0].TotalBytes() / 1024));
+
+  // 3. Run the four solutions over the same stream.
+  std::string work = (std::filesystem::temp_directory_path() /
+                      "delex-quickstart").string();
+  std::filesystem::remove_all(work);
+
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto shortcut = MakeShortcutSolution(spec);
+  auto cyclex = MakeCyclexSolution(spec, work + "/cyclex");
+  auto delex = MakeDelexSolution(spec, work + "/delex");
+
+  Table table({"solution", "total s (snapshots 2.." +
+                               std::to_string(snapshots) + ")",
+               "avg s/snapshot", "result tuples", "speedup vs No-reuse"});
+  double baseline_total = 0;
+  for (Solution* solution :
+       {no_reuse.get(), shortcut.get(), cyclex.get(), delex.get()}) {
+    auto run_or = RunSeries(solution, series, /*keep_results=*/true);
+    if (!run_or.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", solution->Name().c_str(),
+                   run_or.status().ToString().c_str());
+      return 1;
+    }
+    SeriesRun run = std::move(run_or).ValueOrDie();
+    double total = run.TotalSeconds();
+    if (solution == no_reuse.get()) baseline_total = total;
+    table.AddRow({run.solution, Table::Num(total),
+                  Table::Num(total / static_cast<double>(run.seconds.size()), 3),
+                  std::to_string(run.results.back().size()),
+                  Table::Num(baseline_total / total, 2) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nAll four solutions produce identical result relations (Theorem 1);\n"
+      "Delex additionally recycles per-unit extraction work between "
+      "snapshots.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "baseline/plan_extractor.h"
+
+#include "common/logging.h"
+
+namespace delex {
+
+PlanExtractor::PlanExtractor(std::string name, xlog::PlanNodePtr plan,
+                             int64_t alpha, int64_t beta)
+    : name_(std::move(name)),
+      plan_(std::move(plan)),
+      alpha_(alpha),
+      beta_(beta) {}
+
+std::vector<Tuple> PlanExtractor::Extract(std::string_view region_text,
+                                          int64_t region_base,
+                                          const Tuple& context) const {
+  (void)context;
+  Page region_page;
+  region_page.did = 0;
+  region_page.content.assign(region_text);
+  Result<std::vector<Tuple>> rows = xlog::ExecutePlan(*plan_, region_page);
+  DELEX_CHECK_MSG(rows.ok(), rows.status().ToString());
+  std::vector<Tuple> out = std::move(rows).ValueOrDie();
+  for (Tuple& row : out) ShiftSpans(&row, region_base);
+  Account(static_cast<int64_t>(region_text.size()),
+          static_cast<int64_t>(out.size()));
+  return out;
+}
+
+xlog::PlanNodePtr WrapWholeProgram(const xlog::PlanNodePtr& plan,
+                                   const std::string& name, int64_t alpha,
+                                   int64_t beta) {
+  auto scan = std::make_shared<xlog::PlanNode>();
+  scan->kind = xlog::PlanKind::kScan;
+  scan->schema = {"d"};
+
+  auto ie = std::make_shared<xlog::PlanNode>();
+  ie->kind = xlog::PlanKind::kIE;
+  ie->extractor = std::make_shared<PlanExtractor>(name, plan, alpha, beta);
+  ie->input_col = 0;
+  ie->children.push_back(scan);
+  ie->schema = {"d"};
+  for (const std::string& col : plan->schema) {
+    ie->schema.push_back(col);
+  }
+
+  auto project = std::make_shared<xlog::PlanNode>();
+  project->kind = xlog::PlanKind::kProject;
+  project->children.push_back(ie);
+  for (size_t i = 0; i < plan->schema.size(); ++i) {
+    project->columns.push_back(static_cast<int>(i + 1));
+    project->schema.push_back(plan->schema[i]);
+  }
+
+  AssignIds(project);
+  return project;
+}
+
+}  // namespace delex

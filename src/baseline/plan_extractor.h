@@ -1,0 +1,54 @@
+#ifndef DELEX_BASELINE_PLAN_EXTRACTOR_H_
+#define DELEX_BASELINE_PLAN_EXTRACTOR_H_
+
+#include <string>
+
+#include "extract/extractor.h"
+#include "xlog/plan.h"
+
+namespace delex {
+
+/// \brief Wraps an entire execution tree as one opaque IE blackbox — the
+/// reuse-at-whole-program-level strategy (Cyclex applied to a
+/// multi-blackbox program, §3).
+///
+/// Extracting from a region executes the full plan from scratch on that
+/// region's text. The caller supplies the *program-level* (α, β); as the
+/// paper stresses, tight values are very hard to obtain for a whole
+/// program, so these are typically large (e.g. bounded by the biggest
+/// structural region any component extracts), which is precisely what
+/// strangles Cyclex's reuse on multi-blackbox programs.
+class PlanExtractor : public Extractor {
+ public:
+  PlanExtractor(std::string name, xlog::PlanNodePtr plan, int64_t alpha,
+                int64_t beta);
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override;
+  int64_t Scope() const override { return alpha_; }
+  int64_t ContextWidth() const override { return beta_; }
+  int64_t OutputArity() const override {
+    return static_cast<int64_t>(plan_->schema.size());
+  }
+  const std::string& Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  xlog::PlanNodePtr plan_;
+  int64_t alpha_;
+  int64_t beta_;
+};
+
+/// \brief Builds the single-blackbox plan `π(wholeProgram(docs))` around
+/// `plan`, giving Cyclex semantics under the unchanged Delex engine.
+///
+/// The returned tree has exactly one IE unit; running DelexEngine over it
+/// IS Cyclex (one blackbox, one matcher choice) — the engine degenerates
+/// to the single-blackbox algorithm of [6].
+xlog::PlanNodePtr WrapWholeProgram(const xlog::PlanNodePtr& plan,
+                                   const std::string& name, int64_t alpha,
+                                   int64_t beta);
+
+}  // namespace delex
+
+#endif  // DELEX_BASELINE_PLAN_EXTRACTOR_H_

@@ -1,0 +1,83 @@
+#include "baseline/runners.h"
+
+#include "common/hash.h"
+#include "common/stopwatch.h"
+
+namespace delex {
+namespace {
+
+void AppendWithDid(int64_t did, std::vector<Tuple> rows,
+                   std::vector<Tuple>* out) {
+  for (Tuple& row : rows) {
+    Tuple with_did;
+    with_did.reserve(row.size() + 1);
+    with_did.push_back(did);
+    for (Value& v : row) with_did.push_back(std::move(v));
+    out->push_back(std::move(with_did));
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> NoReuseRunner::RunSnapshot(const Snapshot& current,
+                                                      RunStats* stats) {
+  RunStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = RunStats();
+  Stopwatch total;
+  std::vector<Tuple> results;
+  for (const Page& page : current.pages()) {
+    ++stats->pages;
+    std::vector<Tuple> rows;
+    {
+      ScopedTimer extract_timer(&stats->phases.extract_us);
+      DELEX_ASSIGN_OR_RETURN(rows, xlog::ExecutePlan(*plan_, page));
+    }
+    AppendWithDid(page.did, std::move(rows), &results);
+  }
+  stats->result_tuples = static_cast<int64_t>(results.size());
+  stats->phases.total_us = total.ElapsedMicros();
+  return results;
+}
+
+Result<std::vector<Tuple>> ShortcutRunner::RunSnapshot(const Snapshot& current,
+                                                       RunStats* stats) {
+  RunStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = RunStats();
+  Stopwatch total;
+  identical_pages_ = 0;
+
+  std::unordered_map<std::string, CacheEntry> next_cache;
+  std::vector<Tuple> results;
+  for (const Page& page : current.pages()) {
+    ++stats->pages;
+    uint64_t hash = Fnv1a64(page.content);
+    std::vector<Tuple> rows;
+    auto it = cache_.find(page.url);
+    bool hit = it != cache_.end() && it->second.content_hash == hash &&
+               it->second.content_size ==
+                   static_cast<int64_t>(page.content.size());
+    if (hit) {
+      ScopedTimer copy_timer(&stats->phases.copy_us);
+      ++identical_pages_;
+      ++stats->pages_with_previous;
+      rows = it->second.rows;
+    } else {
+      ScopedTimer extract_timer(&stats->phases.extract_us);
+      DELEX_ASSIGN_OR_RETURN(rows, xlog::ExecutePlan(*plan_, page));
+    }
+    CacheEntry entry;
+    entry.content_hash = hash;
+    entry.content_size = static_cast<int64_t>(page.content.size());
+    entry.rows = rows;
+    next_cache.emplace(page.url, std::move(entry));
+    AppendWithDid(page.did, std::move(rows), &results);
+  }
+  cache_ = std::move(next_cache);
+  stats->result_tuples = static_cast<int64_t>(results.size());
+  stats->phases.total_us = total.ElapsedMicros();
+  return results;
+}
+
+}  // namespace delex

@@ -1,0 +1,59 @@
+#ifndef DELEX_BASELINE_RUNNERS_H_
+#define DELEX_BASELINE_RUNNERS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "delex/run_stats.h"
+#include "storage/snapshot.h"
+#include "xlog/plan.h"
+
+namespace delex {
+
+/// \brief Baseline 1 (§8): re-executes the IE program from scratch on
+/// every page of every snapshot.
+class NoReuseRunner {
+ public:
+  explicit NoReuseRunner(xlog::PlanNodePtr plan) : plan_(std::move(plan)) {}
+
+  /// Output tuples are did-prefixed, like DelexEngine::RunSnapshot.
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         RunStats* stats);
+
+ private:
+  xlog::PlanNodePtr plan_;
+};
+
+/// \brief Baseline 2 (§8): detects byte-identical pages (same URL, same
+/// content) and reuses the previous snapshot's result tuples on those;
+/// everything else runs from scratch.
+///
+/// Prior results are retained in memory between snapshots keyed by URL —
+/// final result relations are tiny compared to the corpus, so this mirrors
+/// the obvious implementation.
+class ShortcutRunner {
+ public:
+  explicit ShortcutRunner(xlog::PlanNodePtr plan) : plan_(std::move(plan)) {}
+
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         RunStats* stats);
+
+  int64_t identical_pages_last_run() const { return identical_pages_; }
+
+ private:
+  struct CacheEntry {
+    uint64_t content_hash = 0;
+    int64_t content_size = 0;
+    std::vector<Tuple> rows;  // without the did prefix
+  };
+
+  xlog::PlanNodePtr plan_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  int64_t identical_pages_ = 0;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_BASELINE_RUNNERS_H_

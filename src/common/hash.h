@@ -1,0 +1,29 @@
+#ifndef DELEX_COMMON_HASH_H_
+#define DELEX_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace delex {
+
+/// \brief 64-bit FNV-1a hash.
+///
+/// Used for page-content fingerprints (the Shortcut baseline detects
+/// byte-identical pages by hash) and hash-table bucketing of copy regions.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xCBF29CE484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes two 64-bit hashes (boost::hash_combine-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace delex
+
+#endif  // DELEX_COMMON_HASH_H_

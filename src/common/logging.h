@@ -1,0 +1,47 @@
+#ifndef DELEX_COMMON_LOGGING_H_
+#define DELEX_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace delex {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace delex
+
+/// Invariant check that stays on in release builds. Delex uses these on
+/// internal invariants whose violation would mean silent wrong extraction
+/// results (e.g., reuse-file cursor misalignment).
+#define DELEX_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::delex::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+  } while (0)
+
+#define DELEX_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream _delex_oss;                                       \
+      _delex_oss << "— " << msg;                                           \
+      ::delex::internal::CheckFailed(__FILE__, __LINE__, #expr,            \
+                                     _delex_oss.str());                    \
+    }                                                                      \
+  } while (0)
+
+#define DELEX_CHECK_EQ(a, b) DELEX_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define DELEX_CHECK_LE(a, b) DELEX_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define DELEX_CHECK_LT(a, b) DELEX_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define DELEX_CHECK_GE(a, b) DELEX_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
+#endif  // DELEX_COMMON_LOGGING_H_

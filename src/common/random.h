@@ -1,0 +1,60 @@
+#ifndef DELEX_COMMON_RANDOM_H_
+#define DELEX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace delex {
+
+/// \brief Deterministic xorshift64* pseudo-random generator.
+///
+/// Every stochastic component of the reproduction (corpus evolution,
+/// sampling for statistics, workload shuffles) draws from a seeded Rng so
+/// experiments are exactly repeatable across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / static_cast<double>(1ULL << 53);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Uniform(items.size())];
+  }
+
+  /// Forks an independent stream (for per-page determinism regardless of
+  /// processing order).
+  Rng Fork(uint64_t salt) const {
+    return Rng(state_ ^ (salt * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_COMMON_RANDOM_H_

@@ -1,0 +1,69 @@
+#ifndef DELEX_COMMON_SPAN_H_
+#define DELEX_COMMON_SPAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace delex {
+
+/// \brief A half-open character interval [start, end) within a text.
+///
+/// All region and mention arithmetic in Delex (matched regions, copy
+/// regions, extraction regions, scope/context windows) is carried out on
+/// TextSpans. The half-open convention makes complement/union code
+/// boundary-free: length == end - start, empty iff start >= end.
+struct TextSpan {
+  int64_t start = 0;
+  int64_t end = 0;
+
+  TextSpan() = default;
+  TextSpan(int64_t s, int64_t e) : start(s), end(e) {}
+
+  int64_t length() const { return end - start; }
+  bool empty() const { return end <= start; }
+
+  /// True iff `other` lies fully inside this span.
+  bool Contains(const TextSpan& other) const {
+    return start <= other.start && other.end <= end;
+  }
+  bool Contains(int64_t pos) const { return start <= pos && pos < end; }
+
+  /// True iff the two spans share at least one character.
+  bool Overlaps(const TextSpan& other) const {
+    return std::max(start, other.start) < std::min(end, other.end);
+  }
+
+  /// The shared sub-span (possibly empty, with start > end normalized away).
+  TextSpan Intersect(const TextSpan& other) const {
+    TextSpan out(std::max(start, other.start), std::min(end, other.end));
+    if (out.end < out.start) out.end = out.start;
+    return out;
+  }
+
+  /// This span grown by `amount` characters on each side, clipped to `bounds`.
+  TextSpan Expand(int64_t amount, const TextSpan& bounds) const {
+    TextSpan out(start - amount, end + amount);
+    return out.Intersect(bounds);
+  }
+
+  /// This span shifted right by `delta` (negative shifts left).
+  TextSpan Shift(int64_t delta) const { return TextSpan(start + delta, end + delta); }
+
+  bool operator==(const TextSpan& other) const = default;
+  /// Lexicographic (start, end) order — the scan order of region lists.
+  auto operator<=>(const TextSpan& other) const = default;
+
+  std::string ToString() const {
+    return "[" + std::to_string(start) + "," + std::to_string(end) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TextSpan& s) {
+  return os << s.ToString();
+}
+
+}  // namespace delex
+
+#endif  // DELEX_COMMON_SPAN_H_

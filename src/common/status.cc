@@ -1,0 +1,42 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace delex {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void AbortWithStatus(const Status& status) {
+  std::fprintf(stderr, "Fatal: accessed Result value holding error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace delex

@@ -1,0 +1,152 @@
+#ifndef DELEX_COMMON_STATUS_H_
+#define DELEX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace delex {
+
+/// \brief Error categories used throughout the library.
+///
+/// Mirrors the RocksDB/Arrow convention: library functions that can fail
+/// return a Status (or Result<T>) instead of throwing.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation). Use the
+/// factory functions (Status::OK(), Status::IOError(...)) to construct.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Semantics follow arrow::Result: a Result constructed from a value is ok;
+/// a Result constructed from a non-OK Status carries the error. Accessing
+/// ValueOrDie()/operator* on an error aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — allows `return value;` in Result-returning code.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> repr_;
+};
+
+[[noreturn]] void AbortWithStatus(const Status& status);
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) AbortWithStatus(std::get<Status>(repr_));
+}
+
+/// Propagates a non-OK status out of the enclosing function.
+#define DELEX_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::delex::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define DELEX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define DELEX_CONCAT_IMPL(a, b) a##b
+#define DELEX_CONCAT(a, b) DELEX_CONCAT_IMPL(a, b)
+
+#define DELEX_ASSIGN_OR_RETURN(lhs, expr) \
+  DELEX_ASSIGN_OR_RETURN_IMPL(DELEX_CONCAT(_delex_result_, __LINE__), lhs, expr)
+
+}  // namespace delex
+
+#endif  // DELEX_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef DELEX_COMMON_STOPWATCH_H_
+#define DELEX_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace delex {
+
+/// \brief Monotonic wall-clock stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates elapsed time into a counter on destruction.
+///
+/// The experiment harness wraps each phase (Match / Extraction / Copy /
+/// Opt) in a ScopedTimer so Figure 11's runtime decomposition falls out of
+/// the normal execution path.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* accumulator_micros)
+      : accumulator_(accumulator_micros) {}
+  ~ScopedTimer() {
+    if (accumulator_ != nullptr) *accumulator_ += watch_.ElapsedMicros();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* accumulator_;
+  Stopwatch watch_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_COMMON_STOPWATCH_H_

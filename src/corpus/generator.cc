@@ -1,0 +1,239 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "corpus/vocab.h"
+
+namespace delex {
+namespace {
+
+constexpr char kParagraphSep[] = "\n\n";
+
+std::vector<std::string> SplitParagraphs(const std::string& content) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t hit = content.find(kParagraphSep, start);
+    if (hit == std::string::npos) {
+      out.push_back(content.substr(start));
+      break;
+    }
+    out.push_back(content.substr(start, hit - start));
+    start = hit + 2;
+  }
+  return out;
+}
+
+std::string JoinParagraphs(const std::vector<std::string>& paragraphs) {
+  std::string out;
+  for (size_t i = 0; i < paragraphs.size(); ++i) {
+    if (i > 0) out += kParagraphSep;
+    out += paragraphs[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+DatasetProfile DatasetProfile::DBLife() {
+  DatasetProfile p;
+  p.name = "DBLife";
+  p.num_sources = 500;
+  p.identical_fraction = 0.97;
+  p.min_paragraphs = 22;
+  p.max_paragraphs = 40;
+  p.min_edits = 1;
+  p.max_edits = 2;
+  p.page_delete_rate = 0.004;
+  p.page_add_rate = 0.004;
+  p.entity_sentence_rate = 0.08;
+  p.wiki_style = false;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Wikipedia() {
+  DatasetProfile p;
+  p.name = "Wikipedia";
+  p.num_sources = 300;
+  p.identical_fraction = 0.14;
+  p.min_paragraphs = 18;
+  p.max_paragraphs = 32;
+  p.min_edits = 2;
+  p.max_edits = 6;
+  p.page_delete_rate = 0.003;
+  p.page_add_rate = 0.003;
+  p.entity_sentence_rate = 0.12;
+  p.wiki_style = true;
+  return p;
+}
+
+CorpusGenerator::CorpusGenerator(DatasetProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+std::string CorpusGenerator::NextUrl() {
+  return "http://" + profile_.name + ".example.org/page/" +
+         std::to_string(next_url_id_++);
+}
+
+std::string CorpusGenerator::GenerateSentence(Rng* rng) const {
+  if (!rng->Chance(profile_.entity_sentence_rate)) {
+    return vocab::FillerSentence(rng);
+  }
+  if (!profile_.wiki_style) {
+    switch (rng->Uniform(4)) {
+      case 0:
+        return "Talk: " + rng->Pick(vocab::Researchers()) +
+               " will present on " + rng->Pick(vocab::Topics()) + " at " +
+               vocab::RandomTime(rng) + " in " + rng->Pick(vocab::Rooms()) +
+               ".";
+      case 1:
+        return rng->Pick(vocab::Researchers()) + " serves as the " +
+               rng->Pick(vocab::ChairTypes()) + " of " +
+               rng->Pick(vocab::Conferences()) + " " +
+               std::to_string(rng->UniformRange(2005, 2009)) + ".";
+      case 2:
+        return rng->Pick(vocab::Researchers()) + " advises " +
+               rng->Pick(vocab::Students()) + " on " +
+               rng->Pick(vocab::Topics()) + ".";
+      default:
+        return "The " + rng->Pick(vocab::Conferences()) +
+               " deadline was discussed by " +
+               rng->Pick(vocab::Researchers()) + ".";
+    }
+  }
+  switch (rng->Uniform(5)) {
+    case 0:
+      return rng->Pick(vocab::Actors()) + " was born as " +
+             rng->Pick(vocab::FirstNames()) + " " +
+             rng->Pick(vocab::LastNames()) + " on " + vocab::RandomDate(rng) +
+             ".";
+    case 1:
+      return rng->Pick(vocab::Actors()) + " starred in \"" +
+             rng->Pick(vocab::Movies()) + "\" (" +
+             std::to_string(rng->UniformRange(1980, 2008)) + ").";
+    case 2:
+      return "The film \"" + rng->Pick(vocab::Movies()) + "\" grossed " +
+             std::to_string(rng->UniformRange(120, 980)) +
+             " million dollars worldwide.";
+    case 3:
+      return rng->Pick(vocab::Actors()) + " won the " +
+             rng->Pick(vocab::Awards()) + " for \"" +
+             rng->Pick(vocab::Movies()) + "\" in " +
+             std::to_string(rng->UniformRange(1985, 2008)) + ".";
+    default:
+      return rng->Pick(vocab::Actors()) + " played " +
+             rng->Pick(vocab::Characters()) + " in \"" +
+             rng->Pick(vocab::Movies()) + "\".";
+  }
+}
+
+std::string CorpusGenerator::GenerateParagraph(Rng* rng) const {
+  int sentences = static_cast<int>(rng->UniformRange(4, 8));
+  std::string out;
+  for (int i = 0; i < sentences; ++i) {
+    if (i > 0) out += " ";
+    out += GenerateSentence(rng);
+  }
+  return out;
+}
+
+std::string CorpusGenerator::GeneratePageText(Rng* rng) const {
+  int paragraphs = static_cast<int>(
+      rng->UniformRange(profile_.min_paragraphs, profile_.max_paragraphs));
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<size_t>(paragraphs));
+  for (int i = 0; i < paragraphs; ++i) parts.push_back(GenerateParagraph(rng));
+  return JoinParagraphs(parts);
+}
+
+std::string CorpusGenerator::MutatePage(const std::string& content,
+                                        Rng* rng) const {
+  std::vector<std::string> paragraphs = SplitParagraphs(content);
+  if (paragraphs.empty()) paragraphs.push_back(GenerateParagraph(rng));
+
+  int edits = static_cast<int>(
+      rng->UniformRange(profile_.min_edits, profile_.max_edits));
+  for (int e = 0; e < edits; ++e) {
+    if (rng->Chance(profile_.token_edit_fraction)) {
+      // In-place token substitution: swap one word of one paragraph.
+      std::string& para = paragraphs[rng->Uniform(paragraphs.size())];
+      std::vector<std::pair<size_t, size_t>> words;
+      size_t pos = 0;
+      while (pos < para.size()) {
+        while (pos < para.size() && para[pos] == ' ') ++pos;
+        size_t start = pos;
+        while (pos < para.size() && para[pos] != ' ') ++pos;
+        if (pos > start) words.emplace_back(start, pos - start);
+      }
+      if (!words.empty()) {
+        auto [start, len] = words[rng->Uniform(words.size())];
+        para.replace(start, len, rng->Pick(vocab::FillerWords()));
+      }
+      continue;
+    }
+    switch (rng->Uniform(5)) {
+      case 0: {  // replace a paragraph
+        size_t i = rng->Uniform(paragraphs.size());
+        paragraphs[i] = GenerateParagraph(rng);
+        break;
+      }
+      case 1: {  // insert a paragraph
+        size_t i = rng->Uniform(paragraphs.size() + 1);
+        paragraphs.insert(paragraphs.begin() + static_cast<int64_t>(i),
+                          GenerateParagraph(rng));
+        break;
+      }
+      case 2: {  // delete a paragraph
+        if (paragraphs.size() > 1) {
+          size_t i = rng->Uniform(paragraphs.size());
+          paragraphs.erase(paragraphs.begin() + static_cast<int64_t>(i));
+        }
+        break;
+      }
+      case 3: {  // prepend a news item (the dominant DBLife edit)
+        paragraphs.insert(paragraphs.begin(), GenerateParagraph(rng));
+        break;
+      }
+      default: {  // append a sentence to an existing paragraph
+        size_t i = rng->Uniform(paragraphs.size());
+        paragraphs[i] += " " + GenerateSentence(rng);
+        break;
+      }
+    }
+  }
+  return JoinParagraphs(paragraphs);
+}
+
+Snapshot CorpusGenerator::Initial() {
+  Snapshot snapshot;
+  for (int i = 0; i < profile_.num_sources; ++i) {
+    snapshot.AddPage(NextUrl(), GeneratePageText(&rng_));
+  }
+  return snapshot;
+}
+
+Snapshot CorpusGenerator::Evolve(const Snapshot& prev) {
+  Snapshot next;
+  for (const Page& page : prev.pages()) {
+    if (rng_.Chance(profile_.page_delete_rate)) continue;
+    if (rng_.Chance(profile_.identical_fraction)) {
+      next.AddPage(page.url, page.content);
+    } else {
+      next.AddPage(page.url, MutatePage(page.content, &rng_));
+    }
+  }
+  int additions = 0;
+  double expected = profile_.page_add_rate * profile_.num_sources;
+  while (expected >= 1.0) {
+    ++additions;
+    expected -= 1.0;
+  }
+  if (rng_.Chance(expected)) ++additions;
+  for (int i = 0; i < additions; ++i) {
+    next.AddPage(NextUrl(), GeneratePageText(&rng_));
+  }
+  return next;
+}
+
+}  // namespace delex

@@ -1,0 +1,174 @@
+#include "corpus/vocab.h"
+
+#include <cctype>
+
+namespace delex {
+namespace vocab {
+namespace {
+
+std::vector<std::string> CrossNames(const std::vector<std::string>& firsts,
+                                    const std::vector<std::string>& lasts,
+                                    size_t limit) {
+  std::vector<std::string> out;
+  for (const std::string& f : firsts) {
+    for (const std::string& l : lasts) {
+      out.push_back(f + " " + l);
+      if (out.size() >= limit) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Alice",  "Robert", "Carlos", "Diana", "Erik",   "Fatima", "George",
+      "Helen",  "Ivan",   "Julia",  "Kenji", "Laura",  "Miguel", "Nina",
+      "Omar",   "Priya",  "Quentin", "Rosa", "Samuel", "Tanya",  "Umberto",
+      "Vera",   "Walter", "Xia",    "Yusuf", "Zoe"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Anderson", "Brandt",   "Chen",     "Dumont",  "Eriksen", "Fischer",
+      "Gupta",    "Hoffman",  "Iyer",     "Johnson", "Kovacs",  "Lindgren",
+      "Moreau",   "Nakamura", "Okafor",   "Petrov",  "Quinn",   "Rossi",
+      "Schmidt",  "Tanaka",   "Ueda",     "Vargas",  "Weber",   "Xu",
+      "Yamamoto", "Zhang"};
+  return kNames;
+}
+
+const std::vector<std::string>& Researchers() {
+  static const std::vector<std::string> kNames =
+      CrossNames(FirstNames(), LastNames(), 120);
+  return kNames;
+}
+
+const std::vector<std::string>& Students() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> lasts(LastNames().rbegin(), LastNames().rend());
+    return CrossNames(FirstNames(), lasts, 90);
+  }();
+  return kNames;
+}
+
+const std::vector<std::string>& Conferences() {
+  static const std::vector<std::string> kNames = {
+      "SIGMOD", "VLDB",  "ICDE",  "KDD",    "WWW",   "CIDR",
+      "EDBT",   "PODS",  "WSDM",  "SIGIR",  "CIKM",  "ICML"};
+  return kNames;
+}
+
+const std::vector<std::string>& Topics() {
+  static const std::vector<std::string> kNames = {
+      "information extraction", "query optimization", "data integration",
+      "stream processing",      "entity matching",    "view maintenance",
+      "text analytics",         "crowdsourcing",      "provenance",
+      "schema mapping",         "indexing",           "graph mining"};
+  return kNames;
+}
+
+const std::vector<std::string>& Rooms() {
+  static const std::vector<std::string> kNames = {
+      "CS 105", "CS 1240", "EE 203", "MSC 2310", "Biotech 1111",
+      "CS 764", "Hall 21", "Lab 7",  "CS 3310",  "Annex 44"};
+  return kNames;
+}
+
+const std::vector<std::string>& ChairTypes() {
+  static const std::vector<std::string> kNames = {
+      "program chair", "general chair", "demo chair", "industrial chair",
+      "workshop chair"};
+  return kNames;
+}
+
+const std::vector<std::string>& Actors() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> firsts(FirstNames().rbegin(), FirstNames().rend());
+    return CrossNames(firsts, LastNames(), 100);
+  }();
+  return kNames;
+}
+
+const std::vector<std::string>& Movies() {
+  static const std::vector<std::string> kNames = {
+      "Silent Harbor",      "The Last Compiler", "Midnight Query",
+      "Crimson Database",   "Echoes of Autumn",  "The Iron Garden",
+      "Paper Moonlight",    "Glass Mountain",    "The Ninth Snapshot",
+      "Broken Compass",     "Winter Protocol",   "The Velvet Engine",
+      "Shadow Lattice",     "Golden Recursion",  "The Quiet Deadline",
+      "Falling Constants",  "River of Tokens",   "The Marble Index"};
+  return kNames;
+}
+
+const std::vector<std::string>& Awards() {
+  static const std::vector<std::string> kNames = {
+      "Academy Award for Best Actor",   "Golden Globe Award",
+      "Screen Actors Guild Award",      "BAFTA Award",
+      "Critics Choice Award",           "Saturn Award",
+      "Independent Spirit Award"};
+  return kNames;
+}
+
+const std::vector<std::string>& Characters() {
+  static const std::vector<std::string> kNames = {
+      "Captain Reyes", "Professor Moriarty", "Agent Malone", "Doctor Vance",
+      "Detective Cruz", "Commander Silva",   "Sister Agnes", "Mayor Dunn",
+      "Colonel Baxter", "Judge Harmon"};
+  return kNames;
+}
+
+const std::vector<std::string>& FillerWords() {
+  static const std::vector<std::string> kWords = {
+      "the",      "system",   "results",  "provides", "several", "approach",
+      "between",  "analysis", "community", "recent",  "update",  "students",
+      "faculty",  "project",  "release",  "during",   "general", "public",
+      "series",   "notes",    "archive",  "summary",  "report",  "group",
+      "network",  "storage",  "online",   "campus",   "session", "format"};
+  return kWords;
+}
+
+const std::vector<std::string>& Months() {
+  static const std::vector<std::string> kNames = {
+      "January", "February", "March",     "April",   "May",      "June",
+      "July",    "August",   "September", "October", "November", "December"};
+  return kNames;
+}
+
+std::string RandomTime(Rng* rng) {
+  int64_t hour = rng->UniformRange(1, 12);
+  std::string out = std::to_string(hour);
+  if (rng->Chance(0.4)) {
+    int64_t minute = rng->UniformRange(0, 5) * 10 + rng->UniformRange(0, 5);
+    out += ":";
+    if (minute < 10) out += "0";
+    out += std::to_string(minute);
+  }
+  out += rng->Chance(0.5) ? " pm" : " am";
+  return out;
+}
+
+std::string RandomDate(Rng* rng) {
+  std::string out = rng->Pick(Months());
+  out += " " + std::to_string(rng->UniformRange(1, 28));
+  out += ", " + std::to_string(rng->UniformRange(1940, 1995));
+  return out;
+}
+
+std::string FillerSentence(Rng* rng, int min_words, int max_words) {
+  int words = static_cast<int>(rng->UniformRange(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    std::string w = rng->Pick(FillerWords());
+    if (i == 0) w[0] = static_cast<char>(std::toupper(w[0]));
+    if (i > 0) out += " ";
+    out += w;
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace vocab
+}  // namespace delex

@@ -1,0 +1,48 @@
+#ifndef DELEX_CORPUS_VOCAB_H_
+#define DELEX_CORPUS_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace delex {
+
+/// \brief Entity vocabularies shared by the corpus generator and the
+/// benchmark IE programs.
+///
+/// The generator plants these entities in page templates; the programs'
+/// dictionaries and patterns recognise them. Keeping both sides in one
+/// place guarantees the extraction tasks have non-trivial yields on the
+/// synthetic corpora (mirroring how the paper's real programs match real
+/// DBLife/Wikipedia content).
+namespace vocab {
+
+const std::vector<std::string>& Researchers();
+const std::vector<std::string>& Students();
+const std::vector<std::string>& Conferences();
+const std::vector<std::string>& Topics();
+const std::vector<std::string>& Rooms();
+const std::vector<std::string>& ChairTypes();
+const std::vector<std::string>& Actors();
+const std::vector<std::string>& Movies();
+const std::vector<std::string>& Awards();
+const std::vector<std::string>& Characters();
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& FillerWords();
+const std::vector<std::string>& Months();
+
+/// A random "3 pm" / "10:30 am" style time string.
+std::string RandomTime(Rng* rng);
+
+/// A random "March 12, 1974" style date string.
+std::string RandomDate(Rng* rng);
+
+/// A random sentence of filler words, capitalized and period-terminated.
+std::string FillerSentence(Rng* rng, int min_words = 6, int max_words = 14);
+
+}  // namespace vocab
+}  // namespace delex
+
+#endif  // DELEX_CORPUS_VOCAB_H_

@@ -1,0 +1,541 @@
+#include "delex/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "delex/region_derivation.h"
+
+namespace delex {
+
+using xlog::PlanKind;
+using xlog::PlanNode;
+using xlog::PlanNodePtr;
+
+/// Per-page evaluation state threaded through the tree walk.
+struct DelexEngine::PageContext {
+  const Page* page = nullptr;     // current page p
+  const Page* q_page = nullptr;   // previous version q, or null
+  MatchContext match_ctx;         // RU's shared match cache for this pair
+};
+
+DelexEngine::DelexEngine(xlog::PlanNodePtr plan, Options options)
+    : plan_(std::move(plan)), options_(std::move(options)) {}
+
+Status DelexEngine::Init() {
+  if (initialized_) return Status::InvalidArgument("engine already initialized");
+  DELEX_ASSIGN_OR_RETURN(analysis_,
+                         AnalyzeUnits(plan_, options_.fold_unit_operators));
+  if (analysis_.units.empty()) {
+    return Status::InvalidArgument("plan contains no IE units");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.work_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create work dir " + options_.work_dir);
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status DelexEngine::Resume(int generation) {
+  if (!initialized_) return Status::InvalidArgument("call Init() first");
+  if (generation_ != 0) {
+    return Status::InvalidArgument("engine has already run in this process");
+  }
+  if (generation <= 0) return Status::InvalidArgument("generation must be > 0");
+  for (size_t u = 0; u < analysis_.units.size(); ++u) {
+    std::string prefix = ReusePathPrefix(static_cast<int>(u), generation - 1);
+    std::error_code ec;
+    if (!std::filesystem::exists(prefix + ".in", ec) ||
+        !std::filesystem::exists(prefix + ".out", ec)) {
+      return Status::NotFound("no reuse files for generation " +
+                              std::to_string(generation - 1) + " under " +
+                              options_.work_dir);
+    }
+  }
+  generation_ = generation;
+  return Status::OK();
+}
+
+std::string DelexEngine::ReusePathPrefix(int unit_index, int generation) const {
+  return options_.work_dir + "/unit" + std::to_string(unit_index) + ".gen" +
+         std::to_string(generation);
+}
+
+Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
+    const Snapshot& current, const Snapshot* previous,
+    const MatcherAssignment& assignment, RunStats* stats) {
+  if (!initialized_) return Status::InvalidArgument("call Init() first");
+  if (previous != nullptr && generation_ == 0) {
+    return Status::InvalidArgument(
+        "previous snapshot supplied but no reuse files captured yet");
+  }
+  if (previous != nullptr &&
+      assignment.per_unit.size() != analysis_.units.size()) {
+    return Status::InvalidArgument("assignment size != number of IE units");
+  }
+
+  RunStats local_stats;
+  local_stats.units.resize(analysis_.units.size());
+  stats_ = stats != nullptr ? stats : &local_stats;
+  *stats_ = RunStats();
+  stats_->units.resize(analysis_.units.size());
+  assignment_ = &assignment;
+
+  Stopwatch total_watch;
+
+  // Open writers for this generation and readers over the previous one.
+  writers_.clear();
+  readers_.clear();
+  for (size_t u = 0; u < analysis_.units.size(); ++u) {
+    auto writer = std::make_unique<UnitReuseWriter>();
+    DELEX_RETURN_NOT_OK(
+        writer->Open(ReusePathPrefix(static_cast<int>(u), generation_)));
+    writers_.push_back(std::move(writer));
+    if (previous != nullptr) {
+      auto reader = std::make_unique<UnitReuseReader>();
+      DELEX_RETURN_NOT_OK(
+          reader->Open(ReusePathPrefix(static_cast<int>(u), generation_ - 1)));
+      readers_.push_back(std::move(reader));
+    }
+  }
+
+  std::vector<Tuple> results;
+  for (const Page& page : current.pages()) {
+    PageContext page_ctx;
+    page_ctx.page = &page;
+    if (previous != nullptr) {
+      if (auto idx = previous->FindByUrl(page.url)) {
+        page_ctx.q_page = &previous->pages()[*idx];
+        ++stats_->pages_with_previous;
+      }
+    }
+    ++stats_->pages;
+
+    DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> page_rows,
+                           EvalNode(*plan_, &page_ctx));
+    for (Tuple& row : page_rows) {
+      Tuple with_did;
+      with_did.reserve(row.size() + 1);
+      with_did.push_back(page.did);
+      for (Value& v : row) with_did.push_back(std::move(v));
+      results.push_back(std::move(with_did));
+    }
+  }
+
+  for (auto& writer : writers_) {
+    DELEX_RETURN_NOT_OK(writer->Close());
+    stats_->reuse_write_io += writer->CombinedStats();
+  }
+  for (auto& reader : readers_) {
+    DELEX_RETURN_NOT_OK(reader->Close());
+    stats_->reuse_read_io += reader->CombinedStats();
+  }
+
+  // Drop the now-consumed previous generation.
+  if (previous != nullptr) {
+    for (size_t u = 0; u < analysis_.units.size(); ++u) {
+      std::string prefix = ReusePathPrefix(static_cast<int>(u), generation_ - 1);
+      std::error_code ec;
+      std::filesystem::remove(prefix + ".in", ec);
+      std::filesystem::remove(prefix + ".out", ec);
+    }
+  }
+
+  writers_.clear();
+  readers_.clear();
+  ++generation_;
+  stats_->result_tuples = static_cast<int64_t>(results.size());
+  stats_->phases.total_us = total_watch.ElapsedMicros();
+  for (const UnitRunStats& u : stats_->units) {
+    stats_->phases.match_us += u.match_us;
+    stats_->phases.extract_us += u.extract_us;
+    stats_->phases.copy_us += u.copy_us;
+  }
+  assignment_ = nullptr;
+  stats_ = nullptr;
+  return results;
+}
+
+Result<std::vector<Tuple>> DelexEngine::EvalNode(const PlanNode& node,
+                                                 PageContext* page_ctx) {
+  auto unit_it = analysis_.unit_of_top.find(node.id);
+  if (unit_it != analysis_.unit_of_top.end()) {
+    return EvalUnit(analysis_.units[static_cast<size_t>(unit_it->second)],
+                    page_ctx);
+  }
+  const Page& page = *page_ctx->page;
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      std::vector<Tuple> out;
+      out.push_back(
+          {Value(TextSpan(0, static_cast<int64_t>(page.content.size())))});
+      return out;
+    }
+    case PlanKind::kSelect: {
+      DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                             EvalNode(*node.children[0], page_ctx));
+      std::vector<Tuple> out;
+      for (Tuple& t : input) {
+        DELEX_ASSIGN_OR_RETURN(bool keep,
+                               xlog::EvalSelect(node, t, page.content));
+        if (keep) out.push_back(std::move(t));
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                             EvalNode(*node.children[0], page_ctx));
+      std::vector<Tuple> out;
+      out.reserve(input.size());
+      for (const Tuple& t : input) {
+        Tuple projected;
+        projected.reserve(node.columns.size());
+        for (int c : node.columns) {
+          projected.push_back(t[static_cast<size_t>(c)]);
+        }
+        out.push_back(std::move(projected));
+      }
+      return out;
+    }
+    case PlanKind::kJoin: {
+      DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> left,
+                             EvalNode(*node.children[0], page_ctx));
+      DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> right,
+                             EvalNode(*node.children[1], page_ctx));
+      std::vector<Tuple> out;
+      xlog::EvalJoin(node, left, right, &out);
+      return out;
+    }
+    case PlanKind::kIE:
+      return Status::Internal(
+          "raw IE node reached outside a unit (unit analysis bug)");
+  }
+  return Status::Internal("unhandled node kind");
+}
+
+Result<bool> DelexEngine::ReplayChain(const IEUnit& unit,
+                                      const Tuple& input_tuple,
+                                      const Tuple& blackbox_output,
+                                      std::string_view page_text,
+                                      Tuple* final_tuple) {
+  Tuple combined = input_tuple;
+  combined.reserve(input_tuple.size() + blackbox_output.size());
+  for (const Value& v : blackbox_output) combined.push_back(v);
+
+  // chain[0] is the IE node itself (already applied); replay the folded
+  // σ/π above it.
+  for (size_t i = 1; i < unit.chain.size(); ++i) {
+    const PlanNode& op = *unit.chain[i];
+    if (op.kind == PlanKind::kSelect) {
+      DELEX_ASSIGN_OR_RETURN(bool keep,
+                             xlog::EvalSelect(op, combined, page_text));
+      if (!keep) return false;
+    } else {
+      DELEX_CHECK(op.kind == PlanKind::kProject);
+      Tuple projected;
+      projected.reserve(op.columns.size());
+      for (int c : op.columns) {
+        projected.push_back(combined[static_cast<size_t>(c)]);
+      }
+      combined = std::move(projected);
+    }
+  }
+  *final_tuple = std::move(combined);
+  return true;
+}
+
+Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
+                                                 PageContext* page_ctx) {
+  const Page& page = *page_ctx->page;
+  const Page* q_page = page_ctx->q_page;
+  UnitRunStats& ustats = stats_->units[static_cast<size_t>(unit.index)];
+  UnitReuseWriter& writer = *writers_[static_cast<size_t>(unit.index)];
+
+  DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> inputs,
+                         EvalNode(*unit.input, page_ctx));
+
+  // Pull this page's recorded tuples from the previous run (one forward
+  // seek per unit per page — §5.2's sequential-scan discipline).
+  std::vector<InputTupleRec> old_inputs;
+  std::vector<OutputTupleRec> old_outputs;
+  if (q_page != nullptr && !readers_.empty()) {
+    DELEX_RETURN_NOT_OK(readers_[static_cast<size_t>(unit.index)]->SeekPage(
+        q_page->did, &old_inputs, &old_outputs));
+  }
+  std::unordered_multimap<int64_t, const OutputTupleRec*> outputs_by_itid;
+  for (const OutputTupleRec& rec : old_outputs) {
+    outputs_by_itid.emplace(rec.itid, &rec);
+  }
+
+  const Extractor& extractor = *unit.ie_node->extractor;
+  const MatcherKind matcher_kind =
+      (assignment_ != nullptr && !assignment_->per_unit.empty() &&
+       q_page != nullptr)
+          ? assignment_->per_unit[static_cast<size_t>(unit.index)]
+          : MatcherKind::kDN;
+  const Matcher& matcher = GetMatcher(matcher_kind);
+  const TextSpan page_bounds(0, static_cast<int64_t>(page.content.size()));
+  (void)page_bounds;
+
+  std::vector<Tuple> unit_results;
+
+  // Index of old inputs by content hash (exact fast path) and by tid
+  // (copy-phase lookups). Old regions with a non-empty context are left
+  // out of the hash index and handled by the slow path.
+  std::unordered_multimap<uint64_t, const InputTupleRec*> old_by_hash;
+  std::unordered_map<int64_t, const InputTupleRec*> old_by_tid;
+  if (q_page != nullptr && !old_inputs.empty()) {
+    ScopedTimer match_timer(&ustats.match_us);
+    old_by_hash.reserve(old_inputs.size());
+    old_by_tid.reserve(old_inputs.size());
+    for (const InputTupleRec& old : old_inputs) {
+      old_by_tid.emplace(old.tid, &old);
+      if (!options_.disable_exact_fast_path && old.context.empty()) {
+        old_by_hash.emplace(old.region_hash, &old);
+      }
+    }
+  }
+
+  // Group child tuples by distinct input region: one paragraph carrying
+  // several person mentions yields several child tuples over the same
+  // region, but the blackbox (and all reuse machinery) runs once per
+  // distinct region; child-tuple multiplicity is restored at chain-replay
+  // time. This also keeps the reuse files free of duplicate groups.
+  struct RegionGroup {
+    TextSpan region;
+    size_t representative = 0;  // index of the first input tuple
+    int64_t tid = 0;
+    std::vector<Tuple> produced;  // sigma-surviving blackbox outputs
+  };
+  std::vector<RegionGroup> groups;
+  std::map<std::pair<int64_t, int64_t>, size_t> group_index;
+  std::vector<size_t> group_of_input(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Value& region_value =
+        inputs[i][static_cast<size_t>(unit.ie_node->input_col)];
+    if (!std::holds_alternative<TextSpan>(region_value)) {
+      return Status::InvalidArgument("IE input column is not a span");
+    }
+    TextSpan region = std::get<TextSpan>(region_value);
+    auto key = std::make_pair(region.start, region.end);
+    auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      it = group_index.emplace(key, groups.size()).first;
+      RegionGroup group;
+      group.region = region;
+      group.representative = i;
+      groups.push_back(std::move(group));
+    }
+    group_of_input[i] = it->second;
+  }
+
+  int64_t group_ordinal = -1;
+  for (RegionGroup& group : groups) {
+    ++group_ordinal;
+    ++ustats.input_tuples;
+    const TextSpan region = group.region;
+    const Tuple context;  // our IE predicates carry no extra parameters (c)
+    const uint64_t region_hash =
+        Fnv1a64(std::string_view(page.content)
+                    .substr(static_cast<size_t>(region.start),
+                            static_cast<size_t>(region.length())));
+
+    {
+      ScopedTimer capture_timer(&stats_->phases.capture_us);
+      DELEX_RETURN_NOT_OK(writer.AppendInput(page.did, region, region_hash,
+                                             context, &group.tid));
+    }
+
+    // ---- Matching: find reuse opportunities (§5.3). ----
+    RegionDerivation derivation;
+    bool attempted_reuse = false;
+    bool exact_hit = false;
+    if (q_page != nullptr && !old_inputs.empty()) {
+      ScopedTimer match_timer(&ustats.match_us);
+      attempted_reuse = true;
+      std::string_view p_text =
+          std::string_view(page.content)
+              .substr(static_cast<size_t>(region.start),
+                      static_cast<size_t>(region.length()));
+
+      // Fast path: an old region with identical bytes => one full-width,
+      // fully aligned segment; no matcher call, no region derivation --
+      // everything copies and nothing is re-extracted.
+      const InputTupleRec* exact = nullptr;
+      if (!options_.disable_exact_fast_path && context.empty()) {
+        auto [begin, end] = old_by_hash.equal_range(region_hash);
+        for (auto it = begin; it != end; ++it) {
+          const InputTupleRec& old = *it->second;
+          if (old.region.length() != region.length()) continue;
+          // Verify bytes (hash collisions must not corrupt results).
+          std::string_view q_text =
+              std::string_view(q_page->content)
+                  .substr(static_cast<size_t>(old.region.start),
+                          static_cast<size_t>(old.region.length()));
+          if (q_text == p_text) {
+            exact = &old;
+            break;
+          }
+        }
+      }
+
+      std::vector<TaggedSegment> segments;
+      if (exact != nullptr) {
+        ++ustats.exact_region_hits;
+        exact_hit = true;
+        MatchSegment full(region, exact->region);
+        // Record into the page pair's match cache so RU in higher units
+        // can recycle even exact matches.
+        page_ctx->match_ctx.Record(region, exact->region, {full});
+        // Hand-built derivation: the interior is the whole matched region
+        // (both edges aligned), so every recorded mention is copyable and
+        // the extraction residue is empty.
+        CopyRegion copy;
+        copy.q_interior = exact->region;
+        copy.delta = full.Delta();
+        copy.p_interior = region;
+        copy.old_tid = exact->tid;
+        derivation.copy_regions.push_back(copy);
+        derivation.p_safe = IntervalSet({region});
+      } else if (matcher_kind != MatcherKind::kDN) {
+        // Candidate old regions. RU answers from the page pair's recorded
+        // match cache at near-zero cost, so it can afford to consult every
+        // old region; the real matchers (UD/ST) only try the ones nearest
+        // in ordinal position.
+        std::vector<const InputTupleRec*> candidates;
+        if (matcher_kind == MatcherKind::kRU) {
+          candidates.reserve(old_inputs.size());
+          for (const InputTupleRec& old : old_inputs) {
+            candidates.push_back(&old);
+          }
+        } else {
+          for (int64_t offset = 0;
+               static_cast<int>(candidates.size()) <
+                   options_.max_match_candidates &&
+               offset < static_cast<int64_t>(old_inputs.size());
+               ++offset) {
+            int64_t idx = group_ordinal + (offset % 2 == 0 ? 1 : -1) *
+                                              ((offset + 1) / 2);
+            if (offset == 0) idx = group_ordinal;
+            if (idx < 0 || idx >= static_cast<int64_t>(old_inputs.size())) {
+              continue;
+            }
+            candidates.push_back(&old_inputs[static_cast<size_t>(idx)]);
+          }
+        }
+        for (const InputTupleRec* old : candidates) {
+          ++ustats.matcher_calls;
+          std::vector<MatchSegment> found =
+              matcher.Match(page.content, region, q_page->content, old->region,
+                            &page_ctx->match_ctx);
+          for (const MatchSegment& seg : found) {
+            segments.push_back({seg, old->region, old->tid});
+          }
+        }
+      }
+      if (!exact_hit) {
+        derivation = DeriveRegionsTagged(region, std::move(segments),
+                                         unit.alpha, unit.beta);
+      }
+    }
+    if (!attempted_reuse) {
+      derivation.extraction_regions = IntervalSet({region});
+    }
+
+    // ---- Copy phase: relocate recorded mentions (§5.3). ----
+    std::vector<Tuple> produced;  // blackbox outputs for this region
+    {
+      ScopedTimer copy_timer(&ustats.copy_us);
+      for (const CopyRegion& copy : derivation.copy_regions) {
+        auto [begin, end] = outputs_by_itid.equal_range(copy.old_tid);
+        auto old_it = old_by_tid.find(copy.old_tid);
+        const TextSpan old_region = old_it != old_by_tid.end()
+                                        ? old_it->second->region
+                                        : TextSpan();
+        for (auto it = begin; it != end; ++it) {
+          const OutputTupleRec& rec = *it->second;
+          TextSpan envelope = SpanEnvelope(rec.payload);
+          if (!EnvelopeCopyable(copy, envelope, old_region)) continue;
+          Tuple relocated = rec.payload;
+          ShiftSpans(&relocated, copy.delta);
+          produced.push_back(std::move(relocated));
+          ++ustats.copied_tuples;
+        }
+      }
+    }
+
+    // ---- Extraction phase: run the blackbox on the residue. ----
+    {
+      ScopedTimer extract_timer(&ustats.extract_us);
+      for (const TextSpan& sub : derivation.extraction_regions.spans()) {
+        ustats.chars_extracted += sub.length();
+        std::string_view sub_text =
+            std::string_view(page.content)
+                .substr(static_cast<size_t>(sub.start),
+                        static_cast<size_t>(sub.length()));
+        std::vector<Tuple> extracted =
+            extractor.Extract(sub_text, sub.start, context);
+        for (Tuple& o : extracted) {
+          TextSpan envelope = SpanEnvelope(o);
+          if (envelope.empty() && HasSpan(o)) continue;  // degenerate
+          // Keep rule: the mention's beta-window must lie inside this
+          // sub-region; clipping is allowed only at true region edges
+          // (where the sub-region edge IS the region edge).
+          TextSpan window(envelope.start - unit.beta,
+                          envelope.end + unit.beta);
+          if (window.start < region.start) window.start = region.start;
+          if (window.end > region.end) window.end = region.end;
+          if (!sub.Contains(window)) continue;
+          // Suppression rule: copy-safe mentions were already copied.
+          if (!envelope.empty() &&
+              derivation.p_safe.ContainsWithinOne(envelope)) {
+            continue;
+          }
+          produced.push_back(std::move(o));
+          ++ustats.extracted_tuples;
+        }
+      }
+    }
+
+    // ---- sigma-filter and capture survivors (once per region). ----
+    // Folded sigma predicates only read blackbox-produced columns (the
+    // foldability rule), so the verdict is identical for every child tuple
+    // sharing this region; the representative decides capture.
+    const Tuple& representative = inputs[group.representative];
+    for (Tuple& o : produced) {
+      Tuple ignored;
+      DELEX_ASSIGN_OR_RETURN(
+          bool keep,
+          ReplayChain(unit, representative, o, page.content, &ignored));
+      if (!keep) continue;
+      {
+        ScopedTimer capture_timer(&stats_->phases.capture_us);
+        DELEX_RETURN_NOT_OK(writer.AppendOutput(group.tid, page.did, o));
+      }
+      group.produced.push_back(std::move(o));
+    }
+  }
+
+  // ---- Materialize unit outputs: child multiplicity x region outputs. ----
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const RegionGroup& group = groups[group_of_input[i]];
+    for (const Tuple& o : group.produced) {
+      Tuple final_tuple;
+      DELEX_ASSIGN_OR_RETURN(
+          bool keep, ReplayChain(unit, inputs[i], o, page.content,
+                                 &final_tuple));
+      DELEX_CHECK(keep);  // survivors were filtered above
+      unit_results.push_back(std::move(final_tuple));
+      ++ustats.output_tuples;
+    }
+  }
+  return unit_results;
+}
+
+}  // namespace delex

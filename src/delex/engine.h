@@ -1,0 +1,113 @@
+#ifndef DELEX_DELEX_ENGINE_H_
+#define DELEX_DELEX_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delex/ie_unit.h"
+#include "delex/run_stats.h"
+#include "matcher/matcher.h"
+#include "storage/reuse_file.h"
+#include "storage/snapshot.h"
+#include "xlog/plan.h"
+
+namespace delex {
+
+/// \brief The end-to-end Delex executor (§7).
+///
+/// One engine instance owns the reuse files of one (program, corpus)
+/// stream. Feed it consecutive snapshots:
+///
+///   DelexEngine engine(plan, {.work_dir = "/tmp/delex"});
+///   engine.Init();
+///   engine.RunSnapshot(s0, nullptr, assignment0, &stats0);  // capture only
+///   engine.RunSnapshot(s1, &s0, assignment1, &stats1);      // reuse + capture
+///
+/// Each run scans the current snapshot once, page by page, in snapshot
+/// order; each IE unit's reuse files from the previous run are scanned
+/// strictly sequentially alongside (§5.2). The run captures fresh reuse
+/// files for the next snapshot (§4). Output tuples match from-scratch
+/// execution exactly (Theorem 1) for extractors honoring their declared
+/// (α, β).
+class DelexEngine {
+ public:
+  struct Options {
+    /// Directory for reuse files (created if absent).
+    std::string work_dir = "/tmp/delex-work";
+
+    /// Maximum old input regions matched per new input region when no
+    /// exact-content candidate exists (ŝ of the cost model).
+    int max_match_candidates = 2;
+
+    /// Disable the exact-content fast path (forces the assigned matcher to
+    /// run even on unchanged regions; used by ablation benches).
+    bool disable_exact_fast_path = false;
+
+    /// Disable σ/π folding: reuse at bare-blackbox level instead of IE-unit
+    /// level (the §4 ablation).
+    bool fold_unit_operators = true;
+  };
+
+  DelexEngine(xlog::PlanNodePtr plan, Options options);
+
+  /// Analyzes IE units; must be called once before RunSnapshot.
+  Status Init();
+
+  const xlog::PlanNodePtr& plan() const { return plan_; }
+  const UnitAnalysis& analysis() const { return analysis_; }
+  size_t NumUnits() const { return analysis_.units.size(); }
+
+  /// Executes the plan over `current`. `previous` is the prior snapshot
+  /// (null for the first run — everything extracts from scratch but
+  /// results are still captured). `assignment` maps each IE unit to a
+  /// matcher; it is ignored when `previous` is null.
+  ///
+  /// Returns the result tuples, each prefixed with the page's did.
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         const Snapshot* previous,
+                                         const MatcherAssignment& assignment,
+                                         RunStats* stats);
+
+  /// Number of completed runs (also the reuse-file generation counter).
+  int generation() const { return generation_; }
+
+  /// Resumes an interrupted stream: positions the engine as if
+  /// `generation` runs had completed in this work_dir, so the next
+  /// RunSnapshot consumes the reuse files that run left behind. Fails
+  /// unless those files exist. Call after Init(), before any RunSnapshot.
+  Status Resume(int generation);
+
+ private:
+  struct PageContext;
+
+  Result<std::vector<Tuple>> EvalNode(const xlog::PlanNode& node,
+                                      PageContext* page_ctx);
+  Result<std::vector<Tuple>> EvalUnit(const IEUnit& unit,
+                                      PageContext* page_ctx);
+
+  /// Applies the unit's folded σ/π chain to (input ++ blackbox output);
+  /// returns false if a folded σ rejects.
+  Result<bool> ReplayChain(const IEUnit& unit, const Tuple& input_tuple,
+                           const Tuple& blackbox_output,
+                           std::string_view page_text, Tuple* final_tuple);
+
+  std::string ReusePathPrefix(int unit_index, int generation) const;
+
+  xlog::PlanNodePtr plan_;
+  Options options_;
+  UnitAnalysis analysis_;
+  bool initialized_ = false;
+  int generation_ = 0;
+
+  // Per-run state.
+  std::vector<std::unique_ptr<UnitReuseWriter>> writers_;
+  std::vector<std::unique_ptr<UnitReuseReader>> readers_;
+  const MatcherAssignment* assignment_ = nullptr;
+  RunStats* stats_ = nullptr;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_DELEX_ENGINE_H_

@@ -1,0 +1,88 @@
+#ifndef DELEX_DELEX_RUN_STATS_H_
+#define DELEX_DELEX_RUN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matcher/matcher.h"
+#include "storage/io_stats.h"
+
+namespace delex {
+
+/// \brief Matcher choice per IE unit — the paper's "IE plan" (§6.1).
+struct MatcherAssignment {
+  std::vector<MatcherKind> per_unit;
+
+  static MatcherAssignment Uniform(size_t num_units, MatcherKind kind) {
+    MatcherAssignment a;
+    a.per_unit.assign(num_units, kind);
+    return a;
+  }
+
+  std::string ToString() const {
+    std::string out;
+    for (size_t i = 0; i < per_unit.size(); ++i) {
+      if (i > 0) out += ",";
+      out += MatcherKindName(per_unit[i]);
+    }
+    return out;
+  }
+
+  bool operator==(const MatcherAssignment& other) const = default;
+};
+
+/// \brief Wall-clock decomposition of one snapshot run — the categories of
+/// Figure 11 (Match / Extraction / Copy / Opt / Others).
+struct PhaseBreakdown {
+  int64_t match_us = 0;
+  int64_t extract_us = 0;
+  int64_t copy_us = 0;
+  int64_t opt_us = 0;
+  int64_t capture_us = 0;  ///< reuse-file writes (folded into Others in Fig 11)
+  int64_t total_us = 0;    ///< end-to-end wall clock
+
+  int64_t OthersUs() const {
+    int64_t accounted = match_us + extract_us + copy_us + opt_us + capture_us;
+    return total_us > accounted ? total_us - accounted : 0;
+  }
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other) {
+    match_us += other.match_us;
+    extract_us += other.extract_us;
+    copy_us += other.copy_us;
+    opt_us += other.opt_us;
+    capture_us += other.capture_us;
+    total_us += other.total_us;
+    return *this;
+  }
+};
+
+/// \brief Per-unit counters for one snapshot run.
+struct UnitRunStats {
+  int64_t input_tuples = 0;
+  int64_t output_tuples = 0;
+  int64_t copied_tuples = 0;
+  int64_t extracted_tuples = 0;
+  int64_t matcher_calls = 0;
+  int64_t exact_region_hits = 0;
+  int64_t chars_extracted = 0;  ///< total length of extraction regions run
+  int64_t match_us = 0;
+  int64_t extract_us = 0;
+  int64_t copy_us = 0;
+};
+
+/// \brief Aggregate statistics of one snapshot run.
+struct RunStats {
+  PhaseBreakdown phases;
+  IoStats reuse_read_io;
+  IoStats reuse_write_io;
+  std::vector<UnitRunStats> units;
+  int64_t pages = 0;
+  int64_t pages_with_previous = 0;
+  int64_t result_tuples = 0;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_DELEX_RUN_STATS_H_

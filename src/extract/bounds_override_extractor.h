@@ -1,0 +1,49 @@
+#ifndef DELEX_EXTRACT_BOUNDS_OVERRIDE_EXTRACTOR_H_
+#define DELEX_EXTRACT_BOUNDS_OVERRIDE_EXTRACTOR_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Wraps a blackbox, overriding only its *declared* (α, β).
+///
+/// The instrument of the paper's α/β sensitivity study: the behaviour is
+/// untouched, but Delex must honour looser declared bounds, which shrinks
+/// copy-safe interiors and widens extraction expansions. Overrides must be
+/// at least as large as the inner declarations — tighter values would be
+/// dishonest — and that is enforced at construction.
+class BoundsOverrideExtractor : public Extractor {
+ public:
+  BoundsOverrideExtractor(ExtractorPtr inner, int64_t alpha, int64_t beta)
+      : inner_(std::move(inner)),
+        alpha_(alpha),
+        beta_(beta),
+        name_(inner_->Name()) {
+    DELEX_CHECK_GE(alpha_, inner_->Scope());
+    DELEX_CHECK_GE(beta_, inner_->ContextWidth());
+  }
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override {
+    return inner_->Extract(region_text, region_base, context);
+  }
+
+  int64_t Scope() const override { return alpha_; }
+  int64_t ContextWidth() const override { return beta_; }
+  int64_t OutputArity() const override { return inner_->OutputArity(); }
+  const std::string& Name() const override { return name_; }
+
+ private:
+  ExtractorPtr inner_;
+  int64_t alpha_;
+  int64_t beta_;
+  std::string name_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_BOUNDS_OVERRIDE_EXTRACTOR_H_

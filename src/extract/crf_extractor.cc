@@ -1,0 +1,207 @@
+#include "extract/crf_extractor.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <limits>
+
+namespace delex {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+std::vector<TextSpan> Tokenize(std::string_view text) {
+  std::vector<TextSpan> tokens;
+  const int64_t n = static_cast<int64_t>(text.size());
+  int64_t i = 0;
+  while (i < n) {
+    while (i < n &&
+           std::isspace(static_cast<unsigned char>(text[static_cast<size_t>(i)]))) {
+      ++i;
+    }
+    if (i >= n) break;
+    int64_t start = i;
+    while (i < n &&
+           !std::isspace(static_cast<unsigned char>(text[static_cast<size_t>(i)]))) {
+      ++i;
+    }
+    tokens.emplace_back(start, i);
+  }
+  return tokens;
+}
+
+std::string StripPunct(std::string_view token) {
+  size_t begin = 0;
+  size_t end = token.size();
+  while (begin < end &&
+         std::ispunct(static_cast<unsigned char>(token[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::ispunct(static_cast<unsigned char>(token[end - 1]))) {
+    --end;
+  }
+  return std::string(token.substr(begin, end - begin));
+}
+
+}  // namespace
+
+CrfModel CrfModel::Default() {
+  CrfModel m;
+  // Emissions: rows are features, columns are labels (O, B, I).
+  m.emission[kFeatBias][kLabelO] = 1.0;
+  m.emission[kFeatCapitalized][kLabelB] = 1.2;
+  m.emission[kFeatCapitalized][kLabelI] = 1.0;
+  m.emission[kFeatAllCaps][kLabelB] = 0.4;
+  m.emission[kFeatAllDigits][kLabelO] = 0.4;
+  m.emission[kFeatHasDigit][kLabelO] = 0.3;
+  m.emission[kFeatInDictionary][kLabelB] = 2.4;
+  m.emission[kFeatInDictionary][kLabelI] = 1.4;
+  m.emission[kFeatQuoted][kLabelB] = 1.1;
+  m.emission[kFeatQuoted][kLabelI] = 1.1;
+  m.emission[kFeatShort][kLabelO] = 0.2;
+  m.emission[kFeatAfterTrigger][kLabelB] = 2.2;
+  // Transitions.
+  m.transition[kLabelO][kLabelO] = 0.8;
+  m.transition[kLabelO][kLabelB] = 0.0;
+  m.transition[kLabelO][kLabelI] = -1e9;  // O -> I is illegal
+  m.transition[kLabelB][kLabelI] = 1.0;
+  m.transition[kLabelB][kLabelO] = 0.2;
+  m.transition[kLabelB][kLabelB] = -0.4;
+  m.transition[kLabelI][kLabelI] = 0.6;
+  m.transition[kLabelI][kLabelO] = 0.2;
+  m.transition[kLabelI][kLabelB] = -0.4;
+  m.initial[kLabelO] = 0.5;
+  m.initial[kLabelB] = 0.0;
+  m.initial[kLabelI] = -1e9;  // chains cannot start inside a mention
+  return m;
+}
+
+CrfExtractor::CrfExtractor(std::string name, CrfModel model, CrfOptions options)
+    : name_(std::move(name)), model_(std::move(model)), options_(options) {}
+
+double CrfExtractor::EmissionScore(std::string_view text, const TextSpan& token,
+                                   bool after_trigger, int label) const {
+  std::string_view raw = text.substr(static_cast<size_t>(token.start),
+                                     static_cast<size_t>(token.length()));
+  std::string word = StripPunct(raw);
+
+  bool capitalized = false;
+  bool all_caps = !word.empty();
+  bool all_digits = !word.empty();
+  bool has_digit = false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(word[i]);
+    if (i == 0) capitalized = std::isupper(c) != 0;
+    if (!std::isupper(c)) all_caps = false;
+    if (!std::isdigit(c)) all_digits = false;
+    if (std::isdigit(c)) has_digit = true;
+  }
+  bool quoted = raw.size() >= 2 && (raw.front() == '"' || raw.front() == '\'') ;
+  bool in_dict = model_.dictionary.contains(word);
+  bool is_short = word.size() < 4;
+
+  double score = model_.emission[kFeatBias][label];
+  if (capitalized) score += model_.emission[kFeatCapitalized][label];
+  if (all_caps && word.size() > 1) score += model_.emission[kFeatAllCaps][label];
+  if (all_digits) score += model_.emission[kFeatAllDigits][label];
+  if (has_digit) score += model_.emission[kFeatHasDigit][label];
+  if (in_dict) score += model_.emission[kFeatInDictionary][label];
+  if (quoted) score += model_.emission[kFeatQuoted][label];
+  if (is_short) score += model_.emission[kFeatShort][label];
+  if (after_trigger) score += model_.emission[kFeatAfterTrigger][label];
+  return score;
+}
+
+std::vector<int> CrfExtractor::Decode(std::string_view text,
+                                      std::vector<TextSpan>* token_spans) const {
+  std::vector<TextSpan> tokens = Tokenize(text);
+  const size_t n = tokens.size();
+  std::vector<int> labels(n, kLabelO);
+  if (n == 0) {
+    if (token_spans != nullptr) token_spans->clear();
+    return labels;
+  }
+
+  std::vector<std::array<double, kNumCrfLabels>> score(n);
+  std::vector<std::array<int, kNumCrfLabels>> back(n);
+
+  bool prev_trigger = false;
+  for (size_t t = 0; t < n; ++t) {
+    std::string word = StripPunct(
+        text.substr(static_cast<size_t>(tokens[t].start),
+                    static_cast<size_t>(tokens[t].length())));
+    for (int label = 0; label < kNumCrfLabels; ++label) {
+      double emit = EmissionScore(text, tokens[t], prev_trigger, label);
+      if (t == 0) {
+        score[t][static_cast<size_t>(label)] = model_.initial[label] + emit;
+        back[t][static_cast<size_t>(label)] = -1;
+      } else {
+        double best = kNegInf;
+        int best_prev = 0;
+        for (int prev = 0; prev < kNumCrfLabels; ++prev) {
+          double candidate = score[t - 1][static_cast<size_t>(prev)] +
+                             model_.transition[prev][label];
+          if (candidate > best) {
+            best = candidate;
+            best_prev = prev;
+          }
+        }
+        score[t][static_cast<size_t>(label)] = best + emit;
+        back[t][static_cast<size_t>(label)] = best_prev;
+      }
+    }
+    prev_trigger = model_.triggers.contains(word);
+  }
+
+  int best_label = 0;
+  for (int label = 1; label < kNumCrfLabels; ++label) {
+    if (score[n - 1][static_cast<size_t>(label)] >
+        score[n - 1][static_cast<size_t>(best_label)]) {
+      best_label = label;
+    }
+  }
+  for (size_t t = n; t-- > 0;) {
+    labels[t] = best_label;
+    best_label = back[t][static_cast<size_t>(best_label)];
+  }
+
+  if (token_spans != nullptr) *token_spans = std::move(tokens);
+  return labels;
+}
+
+std::vector<Tuple> CrfExtractor::Extract(std::string_view region_text,
+                                         int64_t region_base,
+                                         const Tuple& context) const {
+  (void)context;
+  // Enforce the declared α by decoding only the leading window of an
+  // overlong region.
+  std::string_view text = region_text;
+  if (static_cast<int64_t>(text.size()) >= options_.max_input_length) {
+    text = text.substr(0, static_cast<size_t>(options_.max_input_length - 1));
+  }
+  uint64_t burn_guard =
+      BurnWork(options_.work_per_char * static_cast<int64_t>(text.size()));
+
+  std::vector<TextSpan> tokens;
+  std::vector<int> labels = Decode(text, &tokens);
+
+  std::vector<Tuple> out;
+  size_t i = 0;
+  while (i < labels.size()) {
+    if (labels[i] == kLabelB) {
+      size_t j = i + 1;
+      while (j < labels.size() && labels[j] == kLabelI) ++j;
+      out.push_back({Value(TextSpan(region_base + tokens[i].start,
+                                    region_base + tokens[j - 1].end))});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  (void)burn_guard;
+  Account(static_cast<int64_t>(text.size()), static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace delex

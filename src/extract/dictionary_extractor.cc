@@ -1,0 +1,122 @@
+#include "extract/dictionary_extractor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+
+namespace delex {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+DictionaryExtractor::DictionaryExtractor(std::string name,
+                                         std::vector<std::string> terms,
+                                         DictionaryOptions options)
+    : name_(std::move(name)), options_(options) {
+  for (const std::string& t : terms) {
+    max_term_length_ =
+        std::max(max_term_length_, static_cast<int64_t>(t.size()));
+  }
+  BuildAutomaton(terms);
+}
+
+int32_t DictionaryExtractor::Child(int32_t node, unsigned char c) const {
+  for (const auto& [ch, to] : nodes_[static_cast<size_t>(node)].next) {
+    if (ch == c) return to;
+  }
+  return -1;
+}
+
+void DictionaryExtractor::BuildAutomaton(std::vector<std::string> terms) {
+  nodes_.clear();
+  nodes_.emplace_back();  // root
+  // Duplicate terms would emit duplicate mentions; dictionaries are sets.
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (const std::string& term : terms) {
+    if (term.empty()) continue;
+    int32_t node = 0;
+    for (char c : term) {
+      auto uc = static_cast<unsigned char>(c);
+      int32_t child = Child(node, uc);
+      if (child < 0) {
+        child = static_cast<int32_t>(nodes_.size());
+        nodes_[static_cast<size_t>(node)].next.emplace_back(uc, child);
+        nodes_.emplace_back();
+      }
+      node = child;
+    }
+    nodes_[static_cast<size_t>(node)].term_lengths.push_back(
+        static_cast<int32_t>(term.size()));
+  }
+  // BFS to set fail links and merge output sets.
+  std::deque<int32_t> queue;
+  for (const auto& [c, child] : nodes_[0].next) {
+    (void)c;
+    nodes_[static_cast<size_t>(child)].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    int32_t node = queue.front();
+    queue.pop_front();
+    for (const auto& [c, child] : nodes_[static_cast<size_t>(node)].next) {
+      int32_t f = nodes_[static_cast<size_t>(node)].fail;
+      while (f != 0 && Child(f, c) < 0) f = nodes_[static_cast<size_t>(f)].fail;
+      int32_t target = Child(f, c);
+      if (target < 0 || target == child) target = 0;
+      nodes_[static_cast<size_t>(child)].fail = target;
+      const auto& inherited =
+          nodes_[static_cast<size_t>(target)].term_lengths;
+      auto& own = nodes_[static_cast<size_t>(child)].term_lengths;
+      own.insert(own.end(), inherited.begin(), inherited.end());
+      queue.push_back(child);
+    }
+  }
+}
+
+int32_t DictionaryExtractor::Step(int32_t node, unsigned char c) const {
+  while (true) {
+    int32_t child = Child(node, c);
+    if (child >= 0) return child;
+    if (node == 0) return 0;
+    node = nodes_[static_cast<size_t>(node)].fail;
+  }
+}
+
+std::vector<Tuple> DictionaryExtractor::Extract(std::string_view region_text,
+                                                int64_t region_base,
+                                                const Tuple& context) const {
+  (void)context;
+  std::vector<Tuple> out;
+  int32_t node = 0;
+  const int64_t n = static_cast<int64_t>(region_text.size());
+  uint64_t burn_guard = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    burn_guard ^= BurnWork(options_.work_per_char);
+    node = Step(node, static_cast<unsigned char>(region_text[static_cast<size_t>(i)]));
+    for (int32_t len : nodes_[static_cast<size_t>(node)].term_lengths) {
+      int64_t start = i - len + 1;
+      if (options_.require_word_boundaries) {
+        bool left_ok = start == 0 || !IsWordChar(region_text[static_cast<size_t>(start - 1)]);
+        bool right_ok = i + 1 == n || !IsWordChar(region_text[static_cast<size_t>(i + 1)]);
+        if (!left_ok || !right_ok) continue;
+      }
+      Tuple tuple;
+      tuple.emplace_back(TextSpan(region_base + start, region_base + i + 1));
+      if (options_.emit_term) {
+        tuple.emplace_back(std::string(
+            region_text.substr(static_cast<size_t>(start), static_cast<size_t>(len))));
+      }
+      out.push_back(std::move(tuple));
+    }
+  }
+  (void)burn_guard;
+  Account(n, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace delex

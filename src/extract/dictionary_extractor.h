@@ -1,0 +1,66 @@
+#ifndef DELEX_EXTRACT_DICTIONARY_EXTRACTOR_H_
+#define DELEX_EXTRACT_DICTIONARY_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Options for DictionaryExtractor.
+struct DictionaryOptions {
+  /// Require non-word characters (or region edge) around each match — the
+  /// usual behaviour of entity dictionaries.
+  bool require_word_boundaries = true;
+
+  /// Also emit the matched term as a second (string) attribute.
+  bool emit_term = false;
+
+  /// Calibrated per-character CPU cost (see BurnWork).
+  int64_t work_per_char = 20;
+};
+
+/// \brief Rule-based blackbox: finds occurrences of dictionary terms.
+///
+/// The pervasive IE primitive of DBLife-style systems ("find mentions of
+/// known researcher / conference / course names"). Matching is a single
+/// Aho–Corasick pass, so cost is linear in the region length — exactly the
+/// cost profile the Delex cost model assumes for extraction.
+///
+/// α = longest term + 1; β = 1 (the two boundary characters).
+class DictionaryExtractor : public Extractor {
+ public:
+  DictionaryExtractor(std::string name, std::vector<std::string> terms,
+                      DictionaryOptions options = DictionaryOptions());
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override;
+  int64_t Scope() const override { return max_term_length_ + 1; }
+  int64_t ContextWidth() const override {
+    return options_.require_word_boundaries ? 1 : 0;
+  }
+  int64_t OutputArity() const override { return options_.emit_term ? 2 : 1; }
+  const std::string& Name() const override { return name_; }
+
+ private:
+  struct Node {
+    std::vector<std::pair<unsigned char, int32_t>> next;
+    int32_t fail = 0;
+    // Lengths of dictionary terms ending at this node (via output links).
+    std::vector<int32_t> term_lengths;
+  };
+
+  void BuildAutomaton(std::vector<std::string> terms);
+  int32_t Step(int32_t node, unsigned char c) const;
+  int32_t Child(int32_t node, unsigned char c) const;
+
+  std::string name_;
+  DictionaryOptions options_;
+  int64_t max_term_length_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_DICTIONARY_EXTRACTOR_H_

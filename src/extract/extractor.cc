@@ -1,0 +1,19 @@
+#include "extract/extractor.h"
+
+namespace delex {
+
+uint64_t BurnWork(int64_t units) {
+  // xorshift-style mixing; the data dependence chain prevents the compiler
+  // from collapsing the loop.
+  volatile uint64_t sink = 0x9E3779B97F4A7C15ULL;
+  uint64_t h = sink;
+  for (int64_t i = 0; i < units; ++i) {
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 29;
+  }
+  sink = h;
+  return sink;
+}
+
+}  // namespace delex

@@ -1,0 +1,51 @@
+#include "extract/pair_extractor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace delex {
+
+PairExtractor::PairExtractor(std::string name, ExtractorPtr left,
+                             ExtractorPtr right, int64_t window)
+    : name_(std::move(name)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      window_(window) {
+  DELEX_CHECK(left_ != nullptr && right_ != nullptr);
+  DELEX_CHECK_MSG(left_->OutputArity() == 1 && right_->OutputArity() == 1,
+                  "PairExtractor composes single-span extractors");
+}
+
+int64_t PairExtractor::ContextWidth() const {
+  // A pair is emitted iff both inner mentions are (each governed by its
+  // own β, and both lie inside the pair's envelope) and their distance
+  // fits the window — which is determined by the envelope itself.
+  return std::max(left_->ContextWidth(), right_->ContextWidth());
+}
+
+std::vector<Tuple> PairExtractor::Extract(std::string_view region_text,
+                                          int64_t region_base,
+                                          const Tuple& context) const {
+  std::vector<Tuple> lefts = left_->Extract(region_text, region_base, context);
+  std::vector<Tuple> rights =
+      right_->Extract(region_text, region_base, context);
+
+  std::vector<Tuple> out;
+  for (const Tuple& l : lefts) {
+    const TextSpan& ls = std::get<TextSpan>(l[0]);
+    for (const Tuple& r : rights) {
+      const TextSpan& rs = std::get<TextSpan>(r[0]);
+      int64_t envelope =
+          std::max(ls.end, rs.end) - std::min(ls.start, rs.start);
+      if (envelope < window_) {
+        out.push_back({Value(ls), Value(rs)});
+      }
+    }
+  }
+  Account(static_cast<int64_t>(region_text.size()),
+          static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace delex

@@ -1,0 +1,41 @@
+#ifndef DELEX_EXTRACT_PAIR_EXTRACTOR_H_
+#define DELEX_EXTRACT_PAIR_EXTRACTOR_H_
+
+#include <string>
+
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Rule-based blackbox that pairs the mentions of two inner
+/// extractors occurring within a proximity window.
+///
+/// The paper's running example ("extract locations, extract times, keep
+/// pairs spanning at most 100 characters" — Example 2, where the whole
+/// pairing blackbox has α = 100). The inner extractors are part of the
+/// blackbox: from the outside this is one opaque IE predicate with two
+/// span outputs.
+class PairExtractor : public Extractor {
+ public:
+  /// `window` is the maximum envelope (α) of an emitted pair; pairs whose
+  /// combined extent reaches `window` characters are dropped.
+  PairExtractor(std::string name, ExtractorPtr left, ExtractorPtr right,
+                int64_t window);
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override;
+  int64_t Scope() const override { return window_; }
+  int64_t ContextWidth() const override;
+  int64_t OutputArity() const override { return 2; }
+  const std::string& Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  ExtractorPtr left_;
+  ExtractorPtr right_;
+  int64_t window_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_PAIR_EXTRACTOR_H_

@@ -1,0 +1,63 @@
+#include "extract/regex_extractor.h"
+
+#include <cctype>
+
+namespace delex {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+RegexExtractor::RegexExtractor(std::string name, const std::string& pattern,
+                               RegexOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      regex_(pattern, std::regex::ECMAScript | std::regex::optimize) {}
+
+std::vector<Tuple> RegexExtractor::Extract(std::string_view region_text,
+                                           int64_t region_base,
+                                           const Tuple& context) const {
+  (void)context;
+  std::vector<Tuple> out;
+  const int64_t n = static_cast<int64_t>(region_text.size());
+  uint64_t burn_guard = 0;
+
+  // Matching is attempted *at every start position* (match_continuous)
+  // rather than with a non-overlapping scan: whether a mention starts at i
+  // must depend only on text near i, never on where a previous match
+  // happened to end — that locality is what makes the declared β honest.
+  for (int64_t i = 0; i < n; ++i) {
+    burn_guard ^= BurnWork(options_.work_per_char);
+    if (!options_.first_chars.empty() &&
+        options_.first_chars.find(region_text[static_cast<size_t>(i)]) ==
+            std::string::npos) {
+      continue;
+    }
+    std::cmatch match;
+    const char* begin = region_text.data() + i;
+    const char* end = region_text.data() + n;
+    if (!std::regex_search(begin, end, match, regex_,
+                           std::regex_constants::match_continuous)) {
+      continue;
+    }
+    int64_t length = static_cast<int64_t>(match.length(0));
+    if (length == 0 || length >= options_.scope) continue;
+    if (options_.require_word_boundaries) {
+      bool left_ok =
+          i == 0 || !IsWordChar(region_text[static_cast<size_t>(i - 1)]);
+      bool right_ok = i + length == n ||
+                      !IsWordChar(region_text[static_cast<size_t>(i + length)]);
+      if (!left_ok || !right_ok) continue;
+    }
+    out.push_back(
+        {Value(TextSpan(region_base + i, region_base + i + length))});
+  }
+  (void)burn_guard;
+  Account(n, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace delex

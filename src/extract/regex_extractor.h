@@ -1,0 +1,62 @@
+#ifndef DELEX_EXTRACT_REGEX_EXTRACTOR_H_
+#define DELEX_EXTRACT_REGEX_EXTRACTOR_H_
+
+#include <regex>
+#include <string>
+
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Options for RegexExtractor.
+struct RegexOptions {
+  /// Declared scope α. Matches at least this long are *discarded*, which
+  /// keeps the declaration honest regardless of the pattern.
+  int64_t scope = 256;
+
+  /// Declared context β. Must be >= the lookaround the pattern effectively
+  /// performs; 0 is honest for patterns without anchors or boundaries, 1
+  /// covers \b-style boundary behaviour emulated below.
+  int64_t context_width = 1;
+
+  /// Require non-word characters (or region edge) around each match.
+  bool require_word_boundaries = false;
+
+  /// If non-empty, the set of characters a match can start with; positions
+  /// holding other characters are skipped without invoking the regex
+  /// engine. Purely an optimization — the caller promises the pattern
+  /// cannot match at skipped positions, so results are unchanged.
+  std::string first_chars;
+
+  /// Calibrated per-character CPU cost (see BurnWork).
+  int64_t work_per_char = 20;
+};
+
+/// \brief Rule-based blackbox: emits every non-overlapping match of an ECMA
+/// regular expression as a span.
+///
+/// Implements the other classic IE rule form ("course numbers look like
+/// CS\d{3}", "times look like \d{1,2}\s*pm"). The caller declares (α, β);
+/// α is enforced by filtering, β is the caller's promise about the pattern
+/// (documented per program in programs.cc).
+class RegexExtractor : public Extractor {
+ public:
+  RegexExtractor(std::string name, const std::string& pattern,
+                 RegexOptions options = RegexOptions());
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override;
+  int64_t Scope() const override { return options_.scope; }
+  int64_t ContextWidth() const override { return options_.context_width; }
+  int64_t OutputArity() const override { return 1; }
+  const std::string& Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  RegexOptions options_;
+  std::regex regex_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_REGEX_EXTRACTOR_H_

@@ -1,0 +1,18 @@
+#include "extract/registry.h"
+
+namespace delex {
+
+void ExtractorRegistry::Register(ExtractorPtr extractor) {
+  extractors_[extractor->Name()] = std::move(extractor);
+}
+
+Result<ExtractorPtr> ExtractorRegistry::Lookup(const std::string& name) const {
+  auto it = extractors_.find(name);
+  if (it == extractors_.end()) {
+    return Status::NotFound("no extractor registered for IE predicate '" +
+                            name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace delex

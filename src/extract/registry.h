@@ -1,0 +1,42 @@
+#ifndef DELEX_EXTRACT_REGISTRY_H_
+#define DELEX_EXTRACT_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Binds IE-predicate names appearing in an xlog program to
+/// Extractor implementations.
+///
+/// A program text references blackboxes by name (extractTitle, ...); the
+/// registry supplies the procedure g of each p-predicate (§3).
+class ExtractorRegistry {
+ public:
+  /// Registers `extractor` under its Name(). Re-registering a name
+  /// replaces the binding.
+  void Register(ExtractorPtr extractor);
+
+  /// Looks up a blackbox; NotFound if the name is unbound.
+  Result<ExtractorPtr> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return extractors_.contains(name);
+  }
+
+  size_t Size() const { return extractors_.size(); }
+
+  const std::unordered_map<std::string, ExtractorPtr>& extractors() const {
+    return extractors_;
+  }
+
+ private:
+  std::unordered_map<std::string, ExtractorPtr> extractors_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_REGISTRY_H_

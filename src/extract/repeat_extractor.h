@@ -1,0 +1,52 @@
+#ifndef DELEX_EXTRACT_REPEAT_EXTRACTOR_H_
+#define DELEX_EXTRACT_REPEAT_EXTRACTOR_H_
+
+#include <string>
+#include <utility>
+
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Wraps a blackbox so each of its output tuples is emitted
+/// `repeat` times.
+///
+/// This is the instrument of the paper's Figure 14 experiment ("we changed
+/// the code of each IE blackbox ... so that a mention extracted by the IE
+/// blackbox is output multiple times"): it scales the number of mentions —
+/// and therefore the volume of captured and copied IE results — without
+/// changing extraction cost or corpus content. Duplicated tuples are
+/// identical, so (α, β) honesty carries over from the inner blackbox.
+class RepeatExtractor : public Extractor {
+ public:
+  /// The wrapper keeps the inner blackbox's name so it can transparently
+  /// replace the original binding in an ExtractorRegistry.
+  RepeatExtractor(ExtractorPtr inner, int repeat)
+      : inner_(std::move(inner)), repeat_(repeat), name_(inner_->Name()) {}
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override {
+    std::vector<Tuple> base = inner_->Extract(region_text, region_base, context);
+    std::vector<Tuple> out;
+    out.reserve(base.size() * static_cast<size_t>(repeat_));
+    for (const Tuple& t : base) {
+      for (int i = 0; i < repeat_; ++i) out.push_back(t);
+    }
+    Account(0, static_cast<int64_t>(out.size()));
+    return out;
+  }
+
+  int64_t Scope() const override { return inner_->Scope(); }
+  int64_t ContextWidth() const override { return inner_->ContextWidth(); }
+  int64_t OutputArity() const override { return inner_->OutputArity(); }
+  const std::string& Name() const override { return name_; }
+
+ private:
+  ExtractorPtr inner_;
+  int repeat_;
+  std::string name_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_REPEAT_EXTRACTOR_H_

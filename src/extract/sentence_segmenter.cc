@@ -1,0 +1,134 @@
+#include "extract/sentence_segmenter.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace delex {
+namespace {
+
+bool IsBoundaryChar(char c) { return c == '.' || c == '!' || c == '?'; }
+
+}  // namespace
+
+SentenceSegmenter::SentenceSegmenter(std::string name,
+                                     SentenceSegmenterOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {}
+
+double SentenceSegmenter::ScoreBoundary(std::string_view text,
+                                        int64_t pos) const {
+  const int64_t n = static_cast<int64_t>(text.size());
+  const int64_t w = options_.feature_window;
+  double score = 0.5;  // bias: most '.' are boundaries
+
+  // Feature: next non-space character within the window is uppercase or
+  // end-of-region.
+  int64_t next = pos + 1;
+  while (next < n && next <= pos + w &&
+         std::isspace(static_cast<unsigned char>(text[static_cast<size_t>(next)]))) {
+    ++next;
+  }
+  if (next >= n || next > pos + w) {
+    score += 1.0;  // trailing boundary
+  } else {
+    char c = text[static_cast<size_t>(next)];
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      score += 1.5;
+    } else if (std::islower(static_cast<unsigned char>(c))) {
+      score -= 2.0;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      score -= 0.5;
+    }
+  }
+
+  // Feature: no whitespace right after the '.' (e.g., "3.14", "e.g.x").
+  if (pos + 1 < n &&
+      !std::isspace(static_cast<unsigned char>(text[static_cast<size_t>(pos + 1)]))) {
+    score -= 1.5;
+  }
+
+  // Feature: decimal context — digits on both sides.
+  if (pos > 0 && pos + 1 < n &&
+      std::isdigit(static_cast<unsigned char>(text[static_cast<size_t>(pos - 1)])) &&
+      std::isdigit(static_cast<unsigned char>(text[static_cast<size_t>(pos + 1)]))) {
+    score -= 3.0;
+  }
+
+  // Feature: token before the '.' is a known abbreviation (looked up within
+  // the window only, so the receptive field stays bounded).
+  int64_t tok_end = pos;
+  int64_t tok_start = pos;
+  while (tok_start > 0 && tok_start > pos - w &&
+         std::isalpha(static_cast<unsigned char>(
+             text[static_cast<size_t>(tok_start - 1)]))) {
+    --tok_start;
+  }
+  if (tok_start < tok_end) {
+    std::string_view token = text.substr(static_cast<size_t>(tok_start),
+                                         static_cast<size_t>(tok_end - tok_start));
+    for (const std::string& abbr : options_.abbreviations) {
+      if (token == abbr) {
+        score -= 4.0;
+        break;
+      }
+    }
+    // Single capital letter ("F. Chen") is an initial, not a boundary.
+    if (tok_end - tok_start == 1 &&
+        std::isupper(static_cast<unsigned char>(
+            text[static_cast<size_t>(tok_start)]))) {
+      score -= 3.0;
+    }
+  }
+
+  return score;
+}
+
+std::vector<Tuple> SentenceSegmenter::Extract(std::string_view region_text,
+                                              int64_t region_base,
+                                              const Tuple& context) const {
+  (void)context;
+  std::vector<Tuple> out;
+  const int64_t n = static_cast<int64_t>(region_text.size());
+  uint64_t burn_guard = BurnWork(options_.work_per_char * n);
+
+  // Accepted boundary positions (position of the delimiter character; the
+  // sentence includes it).
+  std::vector<int64_t> cuts;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!IsBoundaryChar(region_text[static_cast<size_t>(i)])) continue;
+    burn_guard ^= BurnWork(options_.work_per_char * options_.feature_window);
+    if (ScoreBoundary(region_text, i) > options_.threshold) cuts.push_back(i);
+  }
+
+  int64_t start = 0;
+  auto emit = [&](int64_t s, int64_t e) {
+    // Trim leading whitespace, but never more than the feature window:
+    // an unbounded trim would put the accepting boundary farther from the
+    // mention than the declared β.
+    int64_t trimmed = 0;
+    while (s < e && trimmed < options_.feature_window &&
+           std::isspace(static_cast<unsigned char>(region_text[static_cast<size_t>(s)]))) {
+      ++s;
+      ++trimmed;
+    }
+    if (trimmed == options_.feature_window) s -= trimmed;  // give up the trim
+    TextSpan sentence(s, e);
+    if (sentence.length() >= options_.max_sentence_length) {
+      sentence.end = sentence.start + options_.max_sentence_length - 1;
+    }
+    if (!sentence.empty()) {
+      out.push_back({Value(TextSpan(region_base + sentence.start,
+                                    region_base + sentence.end))});
+    }
+  };
+  for (int64_t cut : cuts) {
+    emit(start, cut + 1);
+    start = cut + 1;
+  }
+  if (start < n) emit(start, n);
+
+  (void)burn_guard;
+  Account(n, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace delex

@@ -1,0 +1,66 @@
+#ifndef DELEX_EXTRACT_SENTENCE_SEGMENTER_H_
+#define DELEX_EXTRACT_SENTENCE_SEGMENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/extractor.h"
+
+namespace delex {
+
+/// \brief Options for SentenceSegmenter.
+struct SentenceSegmenterOptions {
+  /// Character window examined on each side of a candidate delimiter —
+  /// this is the classifier's receptive field, hence the declared β
+  /// (16 in the paper's ME experiment).
+  int64_t feature_window = 16;
+
+  /// Declared α: the longest sentence (321 in the paper's experiment).
+  /// Overlong sentences contribute a truncated leading chunk, as in
+  /// SegmentExtractor.
+  int64_t max_sentence_length = 321;
+
+  /// Decision threshold of the classifier.
+  double threshold = 0.0;
+
+  /// Abbreviations whose trailing '.' is not a boundary.
+  std::vector<std::string> abbreviations = {"Dr", "Mr", "Mrs", "Ms",  "Prof",
+                                            "vs", "etc", "Jr",  "Sr", "St"};
+
+  /// Calibrated per-character CPU cost (see BurnWork).
+  int64_t work_per_char = 25;
+};
+
+/// \brief Learning-style blackbox: a maximum-entropy-like sentence-boundary
+/// classifier (the ME blackbox of the paper's Figure 15 program).
+///
+/// Each '.', '!' or '?' is scored by a weighted feature sum over its
+/// ±feature_window characters (following capital, abbreviation before,
+/// decimal context, quote handling); positions scoring above the threshold
+/// are boundaries, and the emitted mentions are the sentence spans between
+/// accepted boundaries.
+class SentenceSegmenter : public Extractor {
+ public:
+  explicit SentenceSegmenter(std::string name,
+                             SentenceSegmenterOptions options =
+                                 SentenceSegmenterOptions());
+
+  std::vector<Tuple> Extract(std::string_view region_text, int64_t region_base,
+                             const Tuple& context) const override;
+  int64_t Scope() const override { return options_.max_sentence_length; }
+  int64_t ContextWidth() const override { return options_.feature_window + 1; }
+  int64_t OutputArity() const override { return 1; }
+  const std::string& Name() const override { return name_; }
+
+  /// Classifier score for the candidate boundary at `pos` (exposed for
+  /// unit tests).
+  double ScoreBoundary(std::string_view text, int64_t pos) const;
+
+ private:
+  std::string name_;
+  SentenceSegmenterOptions options_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_EXTRACT_SENTENCE_SEGMENTER_H_

@@ -1,0 +1,200 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "baseline/plan_extractor.h"
+#include "baseline/runners.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "delex/engine.h"
+#include "optimizer/optimizer.h"
+
+namespace delex {
+
+std::vector<Snapshot> GenerateSeries(const DatasetProfile& profile, int count,
+                                     uint64_t seed) {
+  CorpusGenerator generator(profile, seed);
+  std::vector<Snapshot> series;
+  series.reserve(static_cast<size_t>(count));
+  series.push_back(generator.Initial());
+  for (int i = 1; i < count; ++i) {
+    series.push_back(generator.Evolve(series.back()));
+  }
+  return series;
+}
+
+namespace {
+
+class NoReuseSolution : public Solution {
+ public:
+  explicit NoReuseSolution(const ProgramSpec& spec)
+      : name_("No-reuse"), runner_(spec.plan) {}
+
+  const std::string& Name() const override { return name_; }
+
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         const Snapshot* previous,
+                                         RunStats* stats) override {
+    (void)previous;
+    return runner_.RunSnapshot(current, stats);
+  }
+
+ private:
+  std::string name_;
+  NoReuseRunner runner_;
+};
+
+class ShortcutSolution : public Solution {
+ public:
+  explicit ShortcutSolution(const ProgramSpec& spec)
+      : name_("Shortcut"), runner_(spec.plan) {}
+
+  const std::string& Name() const override { return name_; }
+
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         const Snapshot* previous,
+                                         RunStats* stats) override {
+    (void)previous;
+    return runner_.RunSnapshot(current, stats);
+  }
+
+ private:
+  std::string name_;
+  ShortcutRunner runner_;
+};
+
+/// Shared by Cyclex (wrapped single-blackbox plan) and Delex (full plan):
+/// engine + per-snapshot optimizer.
+class EngineSolution : public Solution {
+ public:
+  EngineSolution(std::string name, xlog::PlanNodePtr plan,
+                 const std::string& work_dir, DelexSolutionOptions options)
+      : name_(std::move(name)), options_(std::move(options)) {
+    DelexEngine::Options engine_options;
+    engine_options.work_dir = work_dir;
+    engine_options.disable_exact_fast_path = options_.disable_exact_fast_path;
+    engine_options.fold_unit_operators = options_.fold_unit_operators;
+    engine_ = std::make_unique<DelexEngine>(std::move(plan), engine_options);
+  }
+
+  Status Prepare() {
+    DELEX_RETURN_NOT_OK(engine_->Init());
+    Optimizer::Options opt_options;
+    opt_options.collector.sample_pages = options_.sample_pages;
+    opt_options.history_snapshots = options_.history_snapshots;
+    optimizer_ = std::make_unique<Optimizer>(engine_->plan(),
+                                             engine_->analysis(), opt_options);
+    return Status::OK();
+  }
+
+  const std::string& Name() const override { return name_; }
+
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         const Snapshot* previous,
+                                         RunStats* stats) override {
+    MatcherAssignment assignment =
+        MatcherAssignment::Uniform(engine_->NumUnits(), MatcherKind::kDN);
+    int64_t opt_us = 0;
+    if (previous != nullptr) {
+      if (!options_.forced_assignment.per_unit.empty()) {
+        assignment = options_.forced_assignment;
+      } else {
+        Stopwatch opt_watch;
+        DELEX_RETURN_NOT_OK(optimizer_->ObserveSnapshotPair(
+            current, *previous, /*seed=*/0xC0FFEE ^ static_cast<uint64_t>(
+                                             engine_->generation())));
+        DELEX_ASSIGN_OR_RETURN(assignment, optimizer_->ChooseAssignment());
+        opt_us = opt_watch.ElapsedMicros();
+      }
+    }
+    last_assignment_ = assignment;
+    DELEX_ASSIGN_OR_RETURN(
+        std::vector<Tuple> results,
+        engine_->RunSnapshot(current, previous, assignment, stats));
+    if (stats != nullptr) {
+      stats->phases.opt_us = opt_us;
+      stats->phases.total_us += opt_us;
+    }
+    return results;
+  }
+
+  std::string LastAssignment() const override {
+    return last_assignment_.ToString();
+  }
+
+ private:
+  std::string name_;
+  DelexSolutionOptions options_;
+  std::unique_ptr<DelexEngine> engine_;
+  std::unique_ptr<Optimizer> optimizer_;
+  MatcherAssignment last_assignment_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solution> MakeNoReuseSolution(const ProgramSpec& spec) {
+  return std::make_unique<NoReuseSolution>(spec);
+}
+
+std::unique_ptr<Solution> MakeShortcutSolution(const ProgramSpec& spec) {
+  return std::make_unique<ShortcutSolution>(spec);
+}
+
+std::unique_ptr<Solution> MakeCyclexSolution(const ProgramSpec& spec,
+                                             const std::string& work_dir) {
+  xlog::PlanNodePtr wrapped =
+      WrapWholeProgram(spec.plan, "whole[" + spec.name + "]", spec.whole_alpha,
+                       spec.whole_beta);
+  auto solution = std::make_unique<EngineSolution>(
+      "Cyclex", std::move(wrapped), work_dir, DelexSolutionOptions());
+  Status st = solution->Prepare();
+  DELEX_CHECK_MSG(st.ok(), st.ToString());
+  return solution;
+}
+
+std::unique_ptr<Solution> MakeDelexSolution(const ProgramSpec& spec,
+                                            const std::string& work_dir,
+                                            DelexSolutionOptions options) {
+  auto solution = std::make_unique<EngineSolution>("Delex", spec.plan,
+                                                   work_dir, std::move(options));
+  Status st = solution->Prepare();
+  DELEX_CHECK_MSG(st.ok(), st.ToString());
+  return solution;
+}
+
+Result<SeriesRun> RunSeries(Solution* solution,
+                            const std::vector<Snapshot>& series,
+                            bool keep_results) {
+  SeriesRun run;
+  run.solution = solution->Name();
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Snapshot* previous = i == 0 ? nullptr : &series[i - 1];
+    RunStats stats;
+    Stopwatch watch;
+    DELEX_ASSIGN_OR_RETURN(
+        std::vector<Tuple> results,
+        solution->RunSnapshot(series[i], previous, &stats));
+    double seconds = watch.ElapsedSeconds();
+    if (i == 0) continue;  // warm-up snapshot, not reported (as in §8)
+    run.seconds.push_back(seconds);
+    run.stats.push_back(stats);
+    run.assignments.push_back(solution->LastAssignment());
+    if (keep_results) run.results.push_back(Canonicalize(std::move(results)));
+  }
+  return run;
+}
+
+std::vector<Tuple> Canonicalize(std::vector<Tuple> tuples) {
+  std::sort(tuples.begin(), tuples.end(), TupleLess);
+  return tuples;
+}
+
+bool SameResults(const std::vector<Tuple>& a, const std::vector<Tuple>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (TupleLess(a[i], b[i]) || TupleLess(b[i], a[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace delex

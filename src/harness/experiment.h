@@ -1,0 +1,102 @@
+#ifndef DELEX_HARNESS_EXPERIMENT_H_
+#define DELEX_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delex/run_stats.h"
+#include "harness/programs.h"
+#include "storage/snapshot.h"
+
+namespace delex {
+
+/// \brief Generates `count` consecutive snapshots of a synthetic corpus.
+std::vector<Snapshot> GenerateSeries(const DatasetProfile& profile, int count,
+                                     uint64_t seed);
+
+/// \brief A solution under test: No-reuse, Shortcut, Cyclex, or Delex
+/// (§8's four contenders), behind one interface so the experiment driver
+/// and the correctness tests treat them uniformly.
+class Solution {
+ public:
+  virtual ~Solution() = default;
+  virtual const std::string& Name() const = 0;
+
+  /// Processes one snapshot; `previous` is null for the first. Returns
+  /// did-prefixed result tuples.
+  virtual Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                                 const Snapshot* previous,
+                                                 RunStats* stats) = 0;
+
+  /// The matcher assignment used by the most recent RunSnapshot, as a
+  /// display string ("ST,RU,DN,..."); empty for solutions without plans.
+  virtual std::string LastAssignment() const { return ""; }
+};
+
+/// \brief Re-extracts everything from scratch each snapshot.
+std::unique_ptr<Solution> MakeNoReuseSolution(const ProgramSpec& spec);
+
+/// \brief Copies results of byte-identical pages, re-extracts the rest.
+std::unique_ptr<Solution> MakeShortcutSolution(const ProgramSpec& spec);
+
+/// \brief Treats the whole program as a single IE blackbox with the
+/// spec's program-level (α, β); optimizes the single matcher choice per
+/// snapshot with the §6 machinery (which degenerates to Cyclex's).
+std::unique_ptr<Solution> MakeCyclexSolution(const ProgramSpec& spec,
+                                             const std::string& work_dir);
+
+/// \brief Options for the Delex solution.
+struct DelexSolutionOptions {
+  /// Statistics sample size (Fig 13a).
+  int sample_pages = 6;
+  /// History window (Fig 13b).
+  int history_snapshots = 3;
+  /// If non-empty, skip the optimizer and force this assignment on every
+  /// snapshot (used by Fig 12's exhaustive plan runs and the ablations).
+  MatcherAssignment forced_assignment;
+  /// Disable the exact-region fast path (ablation).
+  bool disable_exact_fast_path = false;
+  /// Disable σ/π folding — reuse at bare-blackbox level (ablation, §4).
+  bool fold_unit_operators = true;
+};
+
+/// \brief Full Delex: per-unit reuse with cost-based matcher assignment.
+std::unique_ptr<Solution> MakeDelexSolution(
+    const ProgramSpec& spec, const std::string& work_dir,
+    DelexSolutionOptions options = DelexSolutionOptions());
+
+/// \brief Per-snapshot record of one solution over a series.
+struct SeriesRun {
+  std::string solution;
+  std::vector<double> seconds;            // per consecutive snapshot (2..n)
+  std::vector<RunStats> stats;            // aligned with `seconds`
+  std::vector<std::string> assignments;   // chosen plan per snapshot (if any)
+  std::vector<std::vector<Tuple>> results;  // optional, kept when requested
+
+  double TotalSeconds() const {
+    double total = 0;
+    for (double s : seconds) total += s;
+    return total;
+  }
+};
+
+/// \brief Runs a solution across a whole series. The first snapshot is a
+/// warm-up (capture only) and is not recorded — matching §8, which plots
+/// consecutive snapshots 2..15. Set `keep_results` for correctness
+/// comparisons.
+Result<SeriesRun> RunSeries(Solution* solution,
+                            const std::vector<Snapshot>& series,
+                            bool keep_results = false);
+
+/// \brief Canonical (sorted) form of a result multiset for equality
+/// comparisons across solutions (Theorem 1 checks).
+std::vector<Tuple> Canonicalize(std::vector<Tuple> tuples);
+
+/// \brief True iff two result multisets are identical.
+bool SameResults(const std::vector<Tuple>& a, const std::vector<Tuple>& b);
+
+}  // namespace delex
+
+#endif  // DELEX_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,373 @@
+#include "harness/programs.h"
+
+#include "corpus/vocab.h"
+#include "extract/crf_extractor.h"
+#include "extract/dictionary_extractor.h"
+#include "extract/pair_extractor.h"
+#include "extract/regex_extractor.h"
+#include "extract/segment_extractor.h"
+#include "extract/sentence_segmenter.h"
+#include "xlog/parser.h"
+#include "xlog/translate.h"
+
+namespace delex {
+namespace {
+
+// ---- Shared blackbox factories -------------------------------------------
+//
+// Each factory documents the declared (α, β) and why it is honest; the
+// Theorem 1 property tests re-verify honesty on randomized corpora.
+
+ExtractorPtr MakeParagraphExtractor() {
+  SegmentOptions opts;
+  opts.delimiter = "\n\n";
+  // Tight *unit-level* bound: the developer knows no paragraph in these
+  // sources exceeds ~2.4 KB. This is precisely the per-blackbox knowledge
+  // Delex exploits and whole-program treatment cannot (§3).
+  opts.max_segment_length = 2400;
+  opts.work_per_char = 40;
+  return std::make_shared<SegmentExtractor>("extractParagraph", opts);
+}
+
+ExtractorPtr MakeSentenceSplitter(const std::string& name) {
+  SegmentOptions opts;
+  opts.delimiter = ". ";
+  opts.max_segment_length = 321;
+  opts.work_per_char = 40;
+  return std::make_shared<SegmentExtractor>(name, opts);
+}
+
+ExtractorPtr MakeResearcherDict(const std::string& name) {
+  DictionaryOptions opts;
+  opts.work_per_char = 150;
+  return std::make_shared<DictionaryExtractor>(name, vocab::Researchers(),
+                                               opts);
+}
+
+ExtractorPtr MakeTimeRegex() {
+  RegexOptions opts;
+  opts.scope = 16;
+  opts.context_width = 1;
+  opts.require_word_boundaries = true;
+  opts.first_chars = "0123456789";
+  opts.work_per_char = 100;
+  return std::make_shared<RegexExtractor>(
+      "extractTime", R"(\d{1,2}(:\d{2})? ?(am|pm))", opts);
+}
+
+ExtractorPtr MakeChairTypeRegex() {
+  RegexOptions opts;
+  opts.scope = 24;
+  opts.context_width = 1;
+  opts.require_word_boundaries = true;
+  opts.first_chars = "pgdiw";
+  opts.work_per_char = 100;
+  return std::make_shared<RegexExtractor>(
+      "extractChairType", R"((program|general|demo|industrial|workshop) chair)",
+      opts);
+}
+
+ExtractorPtr MakeQuotedTitleRegex(const std::string& name) {
+  RegexOptions opts;
+  opts.scope = 52;  // the play-program blackbox whose α the paper's
+                    // sensitivity study inflates from 52 to 250
+  opts.context_width = 1;
+  opts.first_chars = "\"";
+  opts.work_per_char = 100;
+  return std::make_shared<RegexExtractor>(name, R"("[A-Z][^"\n]{2,40}")", opts);
+}
+
+ExtractorPtr MakeYearRegex() {
+  RegexOptions opts;
+  opts.scope = 8;
+  opts.context_width = 1;
+  opts.require_word_boundaries = true;
+  opts.first_chars = "12";
+  opts.work_per_char = 80;
+  return std::make_shared<RegexExtractor>("extractYear", R"((19|20)\d{2})",
+                                          opts);
+}
+
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& words) {
+  return {words.begin(), words.end()};
+}
+
+std::unordered_set<std::string> NameWordSet() {
+  std::unordered_set<std::string> set = ToSet(vocab::FirstNames());
+  for (const std::string& l : vocab::LastNames()) set.insert(l);
+  return set;
+}
+
+ExtractorPtr MakeCrf(const std::string& name,
+                     std::unordered_set<std::string> dictionary,
+                     std::unordered_set<std::string> triggers) {
+  CrfModel model = CrfModel::Default();
+  model.dictionary = std::move(dictionary);
+  model.triggers = std::move(triggers);
+  CrfOptions opts;
+  opts.max_input_length = 400;  // ≥ the segmenter's longest sentence (§8:
+                                // α_CRF = β_CRF = longest input string)
+  opts.work_per_char = 300;
+  return std::make_shared<CrfExtractor>(name, std::move(model), opts);
+}
+
+// ---- Program definitions ---------------------------------------------------
+
+Result<ProgramSpec> MakeTalk() {
+  ProgramSpec spec;
+  spec.name = "talk";
+  spec.description =
+      "talk(speaker, time): single pairing blackbox over seminar pages "
+      "(the one-blackbox task where Delex must degenerate to Cyclex)";
+  spec.wiki = false;
+  spec.num_blackboxes = 1;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+  spec.registry->Register(std::make_shared<PairExtractor>(
+      "extractTalk", MakeResearcherDict("speakerDict"), MakeTimeRegex(),
+      /*window=*/155));
+  spec.xlog_source = R"(
+    # Figure 8b row 1: talks from seminar announcements.
+    talk(spk, t) :- docs(d), extractTalk(d, spk, t).
+  )";
+  spec.whole_alpha = 155;  // == the sole blackbox's scope
+  spec.whole_beta = 2;
+  return spec;
+}
+
+Result<ProgramSpec> MakeChair() {
+  ProgramSpec spec;
+  spec.name = "chair";
+  spec.description =
+      "chair(para, person, chairType, conf): 3 blackboxes stacked on "
+      "paragraph evidence";
+  spec.wiki = false;
+  spec.num_blackboxes = 3;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+  spec.registry->Register(MakeParagraphExtractor());
+  spec.registry->Register(std::make_shared<PairExtractor>(
+      "extractChairRole", MakeResearcherDict("personDict"),
+      MakeChairTypeRegex(), /*window=*/120));
+  DictionaryOptions conf_opts;
+  conf_opts.work_per_char = 120;
+  spec.registry->Register(std::make_shared<DictionaryExtractor>(
+      "extractConf", vocab::Conferences(), conf_opts));
+  spec.xlog_source = R"(
+    paras(d, para) :- docs(d), extractParagraph(d, para).
+    chair(para, person, ctype, conf) :-
+        paras(d, para),
+        extractChairRole(para, person, ctype),
+        extractConf(para, conf),
+        before(ctype, conf), within(ctype, conf, 60).
+  )";
+  // Whole-program (α, β) obtained the way the paper says one realistically
+  // must — indirect composition of the component bounds (§3: "we often end
+  // up with large α and β"). The paragraph blackbox dominates.
+  spec.whole_alpha = 2800;
+  spec.whole_beta = 8;
+  return spec;
+}
+
+Result<ProgramSpec> MakeAdvise() {
+  ProgramSpec spec;
+  spec.name = "advise";
+  spec.description =
+      "advise(para, advisor, advisee, topic): 5 blackboxes, two chains "
+      "joined on the advising paragraph";
+  spec.wiki = false;
+  spec.num_blackboxes = 5;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+  spec.registry->Register(MakeParagraphExtractor());
+  spec.registry->Register(MakeResearcherDict("extractAdvisor"));
+  DictionaryOptions student_opts;
+  student_opts.work_per_char = 150;
+  spec.registry->Register(std::make_shared<DictionaryExtractor>(
+      "extractStudent", vocab::Students(), student_opts));
+  spec.registry->Register(MakeSentenceSplitter("extractTopicSentence"));
+  DictionaryOptions topic_opts;
+  topic_opts.work_per_char = 120;
+  spec.registry->Register(std::make_shared<DictionaryExtractor>(
+      "extractTopic", vocab::Topics(), topic_opts));
+  spec.xlog_source = R"(
+    paras(d, para) :- docs(d), extractParagraph(d, para).
+    advpairs(d, para, adv, stu) :-
+        paras(d, para),
+        extractAdvisor(para, adv), extractStudent(para, stu),
+        containsStr(para, "advises"),
+        before(adv, stu), within(adv, stu, 120).
+    advise(para, adv, stu, top) :-
+        advpairs(d, para, adv, stu),
+        extractTopicSentence(para, sent), extractTopic(sent, top),
+        contains(sent, stu), before(stu, top).
+  )";
+  spec.whole_alpha = 2800;  // composed bounds; paragraph blackbox dominates
+  spec.whole_beta = 12;
+  return spec;
+}
+
+Result<ProgramSpec> MakeBlockbuster() {
+  ProgramSpec spec;
+  spec.name = "blockbuster";
+  spec.description =
+      "blockbuster(para, movie): 2 blackboxes; gross-revenue paragraphs";
+  spec.wiki = true;
+  spec.num_blackboxes = 2;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+  spec.registry->Register(MakeParagraphExtractor());
+  spec.registry->Register(MakeQuotedTitleRegex("extractMovie"));
+  spec.xlog_source = R"(
+    paras(d, para) :- docs(d), extractParagraph(d, para).
+    blockbuster(para, movie) :-
+        paras(d, para), containsStr(para, "grossed"),
+        extractMovie(para, movie).
+  )";
+  spec.whole_alpha = 2800;  // composed bounds (Fig 8b analogue: 10625)
+  spec.whole_beta = 8;
+  return spec;
+}
+
+Result<ProgramSpec> MakePlay() {
+  ProgramSpec spec;
+  spec.name = "play";
+  spec.description =
+      "play(sent, actor, movie): 4 blackboxes in a linear pipeline — the "
+      "256-plan task used to evaluate the optimizer (Fig 12)";
+  spec.wiki = true;
+  spec.num_blackboxes = 4;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+  spec.registry->Register(MakeParagraphExtractor());
+  spec.registry->Register(MakeSentenceSplitter("extractSentence"));
+  DictionaryOptions actor_opts;
+  actor_opts.work_per_char = 150;
+  spec.registry->Register(std::make_shared<DictionaryExtractor>(
+      "extractActor", vocab::Actors(), actor_opts));
+  spec.registry->Register(MakeQuotedTitleRegex("extractMovieTitle"));
+  spec.xlog_source = R"(
+    play(sent, actor, movie) :-
+        docs(d),
+        extractParagraph(d, para),
+        extractSentence(para, sent),
+        extractActor(sent, actor),
+        extractMovieTitle(sent, movie),
+        before(actor, movie), within(actor, movie, 150).
+  )";
+  spec.whole_alpha = 2800;  // composed bounds: paragraph -> sentence -> pair
+  spec.whole_beta = 8;
+  return spec;
+}
+
+Result<ProgramSpec> MakeAward() {
+  ProgramSpec spec;
+  spec.name = "award";
+  spec.description =
+      "award(sent, actor, award, movie, year): 5 blackboxes with a join of "
+      "two award-sentence chains (the Fig 9 plan shape)";
+  spec.wiki = true;
+  spec.num_blackboxes = 5;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+  spec.registry->Register(MakeParagraphExtractor());
+  spec.registry->Register(MakeSentenceSplitter("extractAwardSentence"));
+  DictionaryOptions actor_opts;
+  actor_opts.work_per_char = 150;
+  spec.registry->Register(std::make_shared<DictionaryExtractor>(
+      "extractActor2", vocab::Actors(), actor_opts));
+  DictionaryOptions award_opts;
+  award_opts.work_per_char = 120;
+  spec.registry->Register(std::make_shared<DictionaryExtractor>(
+      "extractAward", vocab::Awards(), award_opts));
+  spec.registry->Register(std::make_shared<PairExtractor>(
+      "extractMovieYear", MakeQuotedTitleRegex("movieTitleInner"),
+      MakeYearRegex(), /*window=*/60));
+  spec.xlog_source = R"(
+    awardsent(d, sent) :-
+        docs(d), extractParagraph(d, para), containsStr(para, "won the"),
+        extractAwardSentence(para, sent), containsStr(sent, "won the").
+    actorawards(d, sent, actor, aw) :-
+        awardsent(d, sent), extractActor2(sent, actor),
+        extractAward(sent, aw), before(actor, aw), within(actor, aw, 120).
+    movieyears(d, sent2, movie, yr) :-
+        awardsent(d, sent2), extractMovieYear(sent2, movie, yr).
+    award(sent, actor, aw, movie, yr) :-
+        actorawards(d, sent, actor, aw),
+        movieyears(d, sent2, movie, yr),
+        sameSpan(sent, sent2), before(aw, movie).
+  )";
+  spec.whole_alpha = 2800;  // composed bounds (Fig 8b analogue: 3777)
+  spec.whole_beta = 8;
+  return spec;
+}
+
+Result<ProgramSpec> MakeInfobox() {
+  ProgramSpec spec;
+  spec.name = "infobox";
+  spec.description =
+      "infobox(name, birthName, birthDate, role): the Fig 15 learning-based "
+      "program — an ME sentence classifier feeding four CRF models";
+  spec.wiki = true;
+  spec.num_blackboxes = 5;
+  spec.registry = std::make_shared<ExtractorRegistry>();
+
+  SentenceSegmenterOptions seg_opts;  // α = 321, β = 16 + 1, as in §8
+  seg_opts.work_per_char = 150;
+  spec.registry->Register(
+      std::make_shared<SentenceSegmenter>("segmentSentences", seg_opts));
+  spec.registry->Register(
+      std::make_shared<SentenceSegmenter>("segmentSentences2", seg_opts));
+
+  spec.registry->Register(MakeCrf("crfName", NameWordSet(), {}));
+  spec.registry->Register(MakeCrf("crfBirthName", NameWordSet(), {"as"}));
+  spec.registry->Register(
+      MakeCrf("crfBirthDate", ToSet(vocab::Months()), {"on"}));
+  std::unordered_set<std::string> role_words;
+  for (const std::string& character : vocab::Characters()) {
+    size_t space = character.find(' ');
+    role_words.insert(character.substr(0, space));
+    if (space != std::string::npos) role_words.insert(character.substr(space + 1));
+  }
+  spec.registry->Register(MakeCrf("crfRole", std::move(role_words), {"played"}));
+
+  spec.xlog_source = R"(
+    # Wu & Weld-style infobox construction: segment with the ME classifier,
+    # decode attributes with four CRFs.
+    facts(d, s, n, b, bd) :-
+        docs(d), segmentSentences(d, s), containsStr(s, "born as"),
+        crfName(s, n), crfBirthName(s, b), crfBirthDate(s, bd),
+        before(n, b), before(b, bd).
+    roleplays(d, s2, r) :-
+        docs(d), segmentSentences2(d, s2), containsStr(s2, "played"),
+        crfRole(s2, r).
+    infobox(n, b, bd, r) :- facts(d, s, n, b, bd), roleplays(d, s2, r).
+  )";
+  // Head spans come from two different sentences anywhere in the page, so
+  // the whole-program envelope is page-sized (§8 reports α = 17824 for the
+  // entire learning-based program) and β is CRF-sized.
+  spec.whole_alpha = 20000;
+  spec.whole_beta = 400;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> AllProgramNames() {
+  return {"talk", "chair", "advise", "blockbuster", "play", "award", "infobox"};
+}
+
+Result<ProgramSpec> MakeProgram(const std::string& name) {
+  Result<ProgramSpec> spec = Status::NotFound("unknown program '" + name + "'");
+  if (name == "talk") spec = MakeTalk();
+  if (name == "chair") spec = MakeChair();
+  if (name == "advise") spec = MakeAdvise();
+  if (name == "blockbuster") spec = MakeBlockbuster();
+  if (name == "play") spec = MakePlay();
+  if (name == "award") spec = MakeAward();
+  if (name == "infobox") spec = MakeInfobox();
+  if (!spec.ok()) return spec;
+
+  ProgramSpec out = std::move(spec).ValueOrDie();
+  DELEX_ASSIGN_OR_RETURN(xlog::Program ast,
+                         xlog::ParseProgram(out.xlog_source));
+  DELEX_ASSIGN_OR_RETURN(out.plan,
+                         xlog::TranslateProgram(ast, *out.registry));
+  return out;
+}
+
+}  // namespace delex

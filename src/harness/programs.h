@@ -1,0 +1,53 @@
+#ifndef DELEX_HARNESS_PROGRAMS_H_
+#define DELEX_HARNESS_PROGRAMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/generator.h"
+#include "extract/registry.h"
+#include "xlog/plan.h"
+
+namespace delex {
+
+/// \brief One benchmark IE task: an xlog program, its blackbox bindings,
+/// the dataset profile it runs over, and the program-level (α, β) a
+/// whole-program (Cyclex) treatment must assume.
+///
+/// The seven specs mirror Figure 8b plus the Figure 15 learning-based
+/// program. `whole_alpha`/`whole_beta` are derived the way §8 describes —
+/// by analyzing the blackboxes and their relationships — and are large for
+/// programs whose heads carry paragraph/sentence evidence spans, which is
+/// exactly what limits whole-program reuse.
+struct ProgramSpec {
+  std::string name;
+  std::string description;
+  std::string xlog_source;
+  bool wiki = false;  ///< true → Wikipedia profile, false → DBLife
+  int64_t whole_alpha = 0;
+  int64_t whole_beta = 0;
+  int num_blackboxes = 0;  ///< distinct IE blackboxes (Fig 8b column)
+
+  std::shared_ptr<ExtractorRegistry> registry;
+  xlog::PlanNodePtr plan;
+
+  DatasetProfile Profile() const {
+    return wiki ? DatasetProfile::Wikipedia() : DatasetProfile::DBLife();
+  }
+};
+
+/// Program names in Figure 8b order, then the Figure 15 program.
+std::vector<std::string> AllProgramNames();
+
+/// \brief Builds a fully-wired spec (parses the xlog text, registers the
+/// blackboxes, translates to an execution tree).
+///
+/// Known names: talk, chair, advise (DBLife); blockbuster, play, award
+/// (Wikipedia); infobox (Wikipedia, learning-based).
+Result<ProgramSpec> MakeProgram(const std::string& name);
+
+}  // namespace delex
+
+#endif  // DELEX_HARNESS_PROGRAMS_H_

@@ -1,0 +1,30 @@
+#ifndef DELEX_HARNESS_TABLE_H_
+#define DELEX_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace delex {
+
+/// \brief Minimal fixed-width table printer for the bench binaries — each
+/// paper table/figure is regenerated as one of these.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_HARNESS_TABLE_H_

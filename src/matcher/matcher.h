@@ -1,0 +1,85 @@
+#ifndef DELEX_MATCHER_MATCHER_H_
+#define DELEX_MATCHER_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/span.h"
+#include "text/match_segment.h"
+
+namespace delex {
+
+/// The four matchers of §5.4.
+enum class MatcherKind {
+  kDN,  ///< "declare none": returns no matches, zero cost → IE from scratch
+  kUD,  ///< Unix-diff style (Myers O(ND)): fast, finds only in-order matches
+  kST,  ///< suffix-tree style: linear time, finds relocated blocks too
+  kRU,  ///< reuse: recycles match results recorded by ST/UD this page pair
+};
+
+const char* MatcherKindName(MatcherKind kind);
+
+/// \brief Per-page-pair cache of matching work, shared across IE units.
+///
+/// Whenever ST or UD matches a region R of p with a region S of q, the
+/// triple (R, S, O) is recorded here; RU answers later queries by clipping
+/// the recorded overlap set O — the cross-IE-unit sharing that §5.4
+/// introduces and that Cyclex could not exploit. The context is reset for
+/// every new page pair.
+class MatchContext {
+ public:
+  struct Entry {
+    TextSpan p_region;
+    TextSpan q_region;
+    std::vector<MatchSegment> segments;
+  };
+
+  void Reset() { entries_.clear(); }
+
+  void Record(const TextSpan& p_region, const TextSpan& q_region,
+              std::vector<MatchSegment> segments) {
+    entries_.push_back({p_region, q_region, std::move(segments)});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool Empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// \brief Finds overlapping text regions between a region of the new page
+/// p and a region of the old page q (Figure 1 of the paper).
+///
+/// Returned segments satisfy: equal length on both sides, identical bytes,
+/// and both spans contained in the respective query regions. Matchers
+/// trade completeness for running time (§3); all are correct to *under*-
+/// report matches — reuse then degrades, never correctness.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual MatcherKind Kind() const = 0;
+
+  /// Matches p_region of p_content against q_region of q_content.
+  /// `ctx` is the current page pair's shared match cache: ST/UD record
+  /// their results into it, RU reads from it. May be null (no sharing).
+  virtual std::vector<MatchSegment> Match(std::string_view p_content,
+                                          const TextSpan& p_region,
+                                          std::string_view q_content,
+                                          const TextSpan& q_region,
+                                          MatchContext* ctx) const = 0;
+};
+
+/// \brief Returns the process-wide immutable instance for `kind`.
+const Matcher& GetMatcher(MatcherKind kind);
+
+/// All kinds, in the fixed order used by plan enumeration.
+inline constexpr MatcherKind kAllMatcherKinds[] = {
+    MatcherKind::kDN, MatcherKind::kUD, MatcherKind::kST, MatcherKind::kRU};
+
+}  // namespace delex
+
+#endif  // DELEX_MATCHER_MATCHER_H_

@@ -1,0 +1,125 @@
+#include "optimizer/cost_model.h"
+
+#include "common/logging.h"
+
+namespace delex {
+
+ChainStructure ChainStructure::Build(const xlog::PlanNodePtr& root,
+                                     const UnitAnalysis& analysis) {
+  ChainStructure out;
+  out.chains = PartitionChains(root, analysis);
+  out.chain_of_unit.assign(analysis.units.size(), -1);
+  out.pos_in_chain.assign(analysis.units.size(), -1);
+  out.raw_input.assign(analysis.units.size(), false);
+  for (size_t c = 0; c < out.chains.size(); ++c) {
+    const IEChain& chain = out.chains[c];
+    for (size_t pos = 0; pos < chain.units.size(); ++pos) {
+      int u = chain.units[pos];
+      out.chain_of_unit[static_cast<size_t>(u)] = static_cast<int>(c);
+      out.pos_in_chain[static_cast<size_t>(u)] = static_cast<int>(pos);
+    }
+  }
+  for (const IEUnit& unit : analysis.units) {
+    // A unit has raw-page input iff its input subtree contains no IE node.
+    out.raw_input[static_cast<size_t>(unit.index)] =
+        CountIENodes(*unit.input) == 0;
+  }
+  return out;
+}
+
+double EstimateUnitCost(const CostModelStats& stats, int u,
+                        MatcherKind effective, bool ru_priced) {
+  const UnitCostStats& unit = stats.units[static_cast<size_t>(u)];
+  const size_t mi = MatcherIndex(effective);
+  const double a1 = unit.a;  // â_{n+1} ≈ a_n (consecutive snapshots)
+  const double an = unit.a;
+  const double m1 = stats.m;
+  const double f = stats.f;
+
+  // (1) identify matching input tuples: read I_U^n + compare contexts.
+  double cost = stats.w_io_us_per_block * unit.b_blocks +
+                stats.w_find_us * an * a1 * m1 * f;
+
+  // (2) match the identified regions. RU pays neither the page I/O (pages
+  // are already pinned for the units that ran the real matcher) nor any
+  // meaningful CPU.
+  if (effective != MatcherKind::kDN && !ru_priced) {
+    cost += stats.w_io_us_per_block * stats.d_blocks * f;
+    cost += unit.match_us_per_char[mi] * a1 * m1 * f * unit.s[mi] * unit.l;
+  }
+
+  // (3) extract over extraction regions: pages without a previous version
+  // in full, matched pages over the leftover fraction ĝ.
+  double g = unit.g[mi];
+  cost += unit.extract_us_per_char *
+          (a1 * m1 * (1 - f) * unit.l + a1 * m1 * f * unit.l * g);
+
+  // (4) reuse output tuples for copy regions.
+  double h = unit.h[mi];
+  cost += stats.w_io_us_per_block * unit.c_blocks +
+          stats.w_copy_us * an * m1 * (a1 * m1 * f * h) / stats.v_buckets;
+
+  return cost;
+}
+
+namespace {
+
+/// Resolves what matcher an RU-assigned unit actually recycles: the
+/// nearest ST/UD unit *below* it in its own chain, else an eligible
+/// bottom unit of another chain (raw input + ST/UD), else none.
+MatcherKind ResolveRuSource(const CostModelStats& stats,
+                            const ChainStructure& chains,
+                            const MatcherAssignment& assignment, int u) {
+  (void)stats;
+  int c = chains.chain_of_unit[static_cast<size_t>(u)];
+  int pos = chains.pos_in_chain[static_cast<size_t>(u)];
+  const IEChain& chain = chains.chains[static_cast<size_t>(c)];
+  for (size_t below = static_cast<size_t>(pos) + 1; below < chain.units.size();
+       ++below) {
+    MatcherKind k =
+        assignment.per_unit[static_cast<size_t>(chain.units[below])];
+    if (k == MatcherKind::kUD || k == MatcherKind::kST) return k;
+  }
+  for (size_t oc = 0; oc < chains.chains.size(); ++oc) {
+    if (static_cast<int>(oc) == c) continue;
+    int bottom = chains.chains[oc].units.back();
+    if (!chains.raw_input[static_cast<size_t>(bottom)]) continue;
+    MatcherKind k = assignment.per_unit[static_cast<size_t>(bottom)];
+    if (k == MatcherKind::kUD || k == MatcherKind::kST) return k;
+  }
+  return MatcherKind::kDN;
+}
+
+}  // namespace
+
+double EstimatePlanCost(const CostModelStats& stats,
+                        const ChainStructure& chains,
+                        const MatcherAssignment& assignment) {
+  DELEX_CHECK_EQ(assignment.per_unit.size(), stats.units.size());
+  double total = 0;
+  for (size_t u = 0; u < stats.units.size(); ++u) {
+    MatcherKind kind = assignment.per_unit[u];
+    if (kind == MatcherKind::kRU) {
+      MatcherKind source =
+          ResolveRuSource(stats, chains, assignment, static_cast<int>(u));
+      total += EstimateUnitCost(stats, static_cast<int>(u), source,
+                                /*ru_priced=*/true);
+    } else {
+      total += EstimateUnitCost(stats, static_cast<int>(u), kind,
+                                /*ru_priced=*/false);
+    }
+  }
+  return total;
+}
+
+double EstimateChainScratchCost(const CostModelStats& stats,
+                                const IEChain& chain) {
+  double total = 0;
+  for (int u : chain.units) {
+    const UnitCostStats& unit = stats.units[static_cast<size_t>(u)];
+    total += unit.extract_us_per_char * unit.a * stats.m * unit.l;
+  }
+  return total;
+}
+
+}  // namespace delex

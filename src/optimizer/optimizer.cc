@@ -1,0 +1,53 @@
+#include "optimizer/optimizer.h"
+
+namespace delex {
+
+Optimizer::Optimizer(xlog::PlanNodePtr plan, const UnitAnalysis& analysis,
+                     Options options)
+    : plan_(std::move(plan)),
+      analysis_(analysis),
+      options_(options),
+      chains_(ChainStructure::Build(plan_, analysis)) {}
+
+Status Optimizer::ObserveSnapshotPair(const Snapshot& current,
+                                      const Snapshot& previous,
+                                      uint64_t seed) {
+  DELEX_ASSIGN_OR_RETURN(
+      CostModelStats stats,
+      CollectStats(plan_, analysis_, current, previous, options_.collector,
+                   seed));
+  history_.push_back(std::move(stats));
+  while (static_cast<int>(history_.size()) > options_.history_snapshots) {
+    history_.pop_front();
+  }
+  return Status::OK();
+}
+
+Result<CostModelStats> Optimizer::Averaged() {
+  if (history_.empty()) {
+    return Status::InvalidArgument("no statistics collected yet");
+  }
+  averaged_ =
+      AverageStats(std::vector<CostModelStats>(history_.begin(), history_.end()));
+  return averaged_;
+}
+
+Result<MatcherAssignment> Optimizer::ChooseAssignment(double* estimated_cost) {
+  DELEX_RETURN_NOT_OK(Averaged().status());
+  PlanSearch search(averaged_, chains_);
+  return search.Greedy(estimated_cost);
+}
+
+Result<double> Optimizer::EstimateCost(const MatcherAssignment& assignment) {
+  DELEX_RETURN_NOT_OK(Averaged().status());
+  return EstimatePlanCost(averaged_, chains_, assignment);
+}
+
+std::vector<MatcherAssignment> Optimizer::EnumerateAllPlans() const {
+  CostModelStats dummy;
+  dummy.units.resize(analysis_.units.size());
+  PlanSearch search(dummy, chains_);
+  return search.EnumerateAll();
+}
+
+}  // namespace delex

@@ -1,0 +1,59 @@
+#ifndef DELEX_OPTIMIZER_OPTIMIZER_H_
+#define DELEX_OPTIMIZER_OPTIMIZER_H_
+
+#include <deque>
+#include <vector>
+
+#include "optimizer/search.h"
+#include "optimizer/stats_collector.h"
+
+namespace delex {
+
+/// \brief The per-snapshot optimizer façade (§6 end-to-end): collect
+/// statistics over a sample + recent history, then search the plan space.
+class Optimizer {
+ public:
+  struct Options {
+    StatsCollectorOptions collector;
+    /// How many recent snapshot pairs feed the averaged statistics
+    /// (Fig 13b's knob).
+    int history_snapshots = 3;
+  };
+
+  Optimizer(xlog::PlanNodePtr plan, const UnitAnalysis& analysis,
+            Options options);
+  Optimizer(xlog::PlanNodePtr plan, const UnitAnalysis& analysis)
+      : Optimizer(std::move(plan), analysis, Options()) {}
+
+  /// Samples the incoming pair, pushes the measurement into the history
+  /// window. The elapsed time of this call is the run's "Opt" phase.
+  Status ObserveSnapshotPair(const Snapshot& current, const Snapshot& previous,
+                             uint64_t seed);
+
+  /// Algorithm 1 over the averaged statistics. Requires at least one
+  /// ObserveSnapshotPair.
+  Result<MatcherAssignment> ChooseAssignment(double* estimated_cost = nullptr);
+
+  /// Cost of an arbitrary assignment under the current statistics.
+  Result<double> EstimateCost(const MatcherAssignment& assignment);
+
+  /// All 4^n plans (Fig 12); requires few units.
+  std::vector<MatcherAssignment> EnumerateAllPlans() const;
+
+  const ChainStructure& chains() const { return chains_; }
+  bool HasStats() const { return !history_.empty(); }
+
+ private:
+  Result<CostModelStats> Averaged();
+
+  xlog::PlanNodePtr plan_;
+  const UnitAnalysis& analysis_;
+  Options options_;
+  ChainStructure chains_;
+  std::deque<CostModelStats> history_;
+  CostModelStats averaged_;  // refreshed by Averaged()
+};
+
+}  // namespace delex
+
+#endif  // DELEX_OPTIMIZER_OPTIMIZER_H_

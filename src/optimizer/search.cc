@@ -1,0 +1,125 @@
+#include "optimizer/search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace delex {
+
+PlanSearch::PlanSearch(const CostModelStats& stats,
+                       const ChainStructure& chains)
+    : stats_(stats), chains_(chains) {}
+
+MatcherAssignment PlanSearch::FindBestForChain(const IEChain& chain,
+                                               const MatcherAssignment& base,
+                                               double* best_cost) const {
+  // Candidate set M'_i (Algorithm 1, FindBest): all-DN, and for every
+  // chain position j: {ST|UD at A_j, RU at A_1..A_{j-1}, DN at A_{j+1}..}.
+  std::vector<MatcherAssignment> candidates;
+  {
+    MatcherAssignment all_dn = base;
+    for (int u : chain.units) {
+      all_dn.per_unit[static_cast<size_t>(u)] = MatcherKind::kDN;
+    }
+    candidates.push_back(std::move(all_dn));
+  }
+  for (size_t j = 0; j < chain.units.size(); ++j) {
+    for (MatcherKind expensive : {MatcherKind::kST, MatcherKind::kUD}) {
+      MatcherAssignment plan = base;
+      for (size_t pos = 0; pos < chain.units.size(); ++pos) {
+        MatcherKind kind = pos < j    ? MatcherKind::kRU
+                           : pos == j ? expensive
+                                      : MatcherKind::kDN;
+        plan.per_unit[static_cast<size_t>(chain.units[pos])] = kind;
+      }
+      candidates.push_back(std::move(plan));
+    }
+  }
+
+  MatcherAssignment best = candidates.front();
+  double best_score = Cost(best);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    double score = Cost(candidates[i]);
+    if (score < best_score) {
+      best_score = score;
+      best = candidates[i];
+    }
+  }
+  if (best_cost != nullptr) *best_cost = best_score;
+  return best;
+}
+
+MatcherAssignment PlanSearch::Greedy(double* estimated_cost) const {
+  const size_t n = stats_.units.size();
+  MatcherAssignment assignment = MatcherAssignment::Uniform(n, MatcherKind::kDN);
+
+  // Step 1: sort chains by decreasing from-scratch cost estimate.
+  std::vector<size_t> order(chains_.chains.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return EstimateChainScratchCost(stats_, chains_.chains[a]) >
+           EstimateChainScratchCost(stats_, chains_.chains[b]);
+  });
+
+  // Steps 2–4: cover chains one by one, considering reuse-across-chains.
+  std::vector<size_t> covered;
+  for (size_t idx : order) {
+    const IEChain& chain = chains_.chains[idx];
+    double local_cost = 0;
+    MatcherAssignment local = FindBestForChain(chain, assignment, &local_cost);
+
+    // Reuse-across-chains candidate g''_i: all units of this chain on RU,
+    // recycling a covered chain whose bottom unit reads the raw page and
+    // runs ST or UD (Algorithm 1, lines 9–13).
+    bool source_available = false;
+    for (size_t prev : covered) {
+      int bottom = chains_.chains[prev].units.back();
+      MatcherKind k = local.per_unit[static_cast<size_t>(bottom)];
+      // `local` holds prior commitments for covered chains.
+      if (chains_.raw_input[static_cast<size_t>(bottom)] &&
+          (k == MatcherKind::kST || k == MatcherKind::kUD)) {
+        source_available = true;
+        break;
+      }
+    }
+    if (source_available) {
+      MatcherAssignment cross = assignment;
+      for (int u : chain.units) {
+        cross.per_unit[static_cast<size_t>(u)] = MatcherKind::kRU;
+      }
+      double cross_cost = Cost(cross);
+      if (cross_cost < local_cost) {
+        local = std::move(cross);
+        local_cost = cross_cost;
+      }
+    }
+    assignment = std::move(local);
+    covered.push_back(idx);
+  }
+
+  if (estimated_cost != nullptr) *estimated_cost = Cost(assignment);
+  return assignment;
+}
+
+std::vector<MatcherAssignment> PlanSearch::EnumerateAll(
+    size_t max_units) const {
+  const size_t n = stats_.units.size();
+  DELEX_CHECK_MSG(n <= max_units, "plan space too large to enumerate");
+  size_t total = 1;
+  for (size_t i = 0; i < n; ++i) total *= kNumMatcherKinds;
+  std::vector<MatcherAssignment> out;
+  out.reserve(total);
+  for (size_t code = 0; code < total; ++code) {
+    MatcherAssignment a;
+    a.per_unit.resize(n);
+    size_t rest = code;
+    for (size_t u = 0; u < n; ++u) {
+      a.per_unit[u] = static_cast<MatcherKind>(rest % kNumMatcherKinds);
+      rest /= kNumMatcherKinds;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace delex

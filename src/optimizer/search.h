@@ -1,0 +1,47 @@
+#ifndef DELEX_OPTIMIZER_SEARCH_H_
+#define DELEX_OPTIMIZER_SEARCH_H_
+
+#include <vector>
+
+#include "optimizer/cost_model.h"
+
+namespace delex {
+
+/// \brief Plan-space search over matcher assignments (§6.1–6.2).
+///
+/// The full space is k^|T| assignments; Greedy() implements Algorithm 1:
+/// partition into IE chains, order by estimated from-scratch cost, find
+/// the best plan per chain within the restricted space M (at most one
+/// ST/UD per chain, RU above it, DN below), and consider reuse-across-
+/// chains plans that point a whole chain's RU at an earlier chain's
+/// bottom matcher.
+class PlanSearch {
+ public:
+  PlanSearch(const CostModelStats& stats, const ChainStructure& chains);
+
+  /// Algorithm 1. Returns the chosen assignment and (optionally) its
+  /// estimated cost.
+  MatcherAssignment Greedy(double* estimated_cost = nullptr) const;
+
+  /// Exhaustive enumeration of all 4^n assignments (n ≤ max_units guard).
+  /// Used by the Fig 12 optimizer-effectiveness experiment.
+  std::vector<MatcherAssignment> EnumerateAll(size_t max_units = 10) const;
+
+  double Cost(const MatcherAssignment& assignment) const {
+    return EstimatePlanCost(stats_, chains_, assignment);
+  }
+
+ private:
+  /// findBest(C_i): the best plan for one chain, with every other unit
+  /// held at `base`.
+  MatcherAssignment FindBestForChain(const IEChain& chain,
+                                     const MatcherAssignment& base,
+                                     double* best_cost) const;
+
+  const CostModelStats& stats_;
+  const ChainStructure& chains_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_OPTIMIZER_SEARCH_H_

@@ -1,0 +1,369 @@
+#include "optimizer/stats_collector.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "delex/region_derivation.h"
+#include "matcher/matcher.h"
+
+namespace delex {
+namespace {
+
+using xlog::PlanKind;
+using xlog::PlanNode;
+
+/// Raw accumulators before normalization into UnitCostStats.
+struct UnitAccumulator {
+  int64_t input_tuples = 0;
+  int64_t output_tuples = 0;
+  int64_t total_region_len = 0;
+  int64_t extract_chars = 0;
+  int64_t extract_us = 0;
+  // Indexed by matcher kind.
+  std::array<int64_t, kNumMatcherKinds> matched_inputs = {};
+  std::array<int64_t, kNumMatcherKinds> matched_len = {};
+  std::array<int64_t, kNumMatcherKinds> leftover_len = {};
+  std::array<int64_t, kNumMatcherKinds> copy_regions = {};
+  std::array<int64_t, kNumMatcherKinds> matcher_calls = {};
+  std::array<int64_t, kNumMatcherKinds> match_us = {};
+};
+
+/// Per-unit input regions observed on one page.
+struct PageObservation {
+  std::vector<std::vector<TextSpan>> unit_inputs;
+};
+
+/// From-scratch evaluation that records each unit's input regions and
+/// times its blackbox. Mirrors xlog::ExecutePlan, with bookkeeping.
+class RecordingEvaluator {
+ public:
+  RecordingEvaluator(const UnitAnalysis& analysis,
+                     std::vector<UnitAccumulator>* accumulators,
+                     bool account_extraction)
+      : analysis_(analysis),
+        accumulators_(accumulators),
+        account_extraction_(account_extraction) {}
+
+  Result<std::vector<Tuple>> Eval(const PlanNode& node, const Page& page,
+                                  PageObservation* observation) {
+    switch (node.kind) {
+      case PlanKind::kScan: {
+        std::vector<Tuple> out;
+        out.push_back(
+            {Value(TextSpan(0, static_cast<int64_t>(page.content.size())))});
+        return out;
+      }
+      case PlanKind::kIE: {
+        DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                               Eval(*node.children[0], page, observation));
+        auto unit_it = analysis_.unit_of_member.find(node.id);
+        DELEX_CHECK(unit_it != analysis_.unit_of_member.end());
+        const size_t u = static_cast<size_t>(unit_it->second);
+        UnitAccumulator& acc = (*accumulators_)[u];
+
+        std::vector<Tuple> out;
+        // Mirror the engine: the blackbox runs once per distinct region.
+        std::map<std::pair<int64_t, int64_t>, std::vector<Tuple>> cache;
+        for (const Tuple& t : input) {
+          TextSpan region =
+              std::get<TextSpan>(t[static_cast<size_t>(node.input_col)]);
+          auto key = std::make_pair(region.start, region.end);
+          auto cached = cache.find(key);
+          if (cached == cache.end()) {
+            observation->unit_inputs[u].push_back(region);
+            if (account_extraction_) {
+              ++acc.input_tuples;
+              acc.total_region_len += region.length();
+            }
+            std::string_view text =
+                std::string_view(page.content)
+                    .substr(static_cast<size_t>(region.start),
+                            static_cast<size_t>(region.length()));
+            Stopwatch watch;
+            std::vector<Tuple> produced =
+                node.extractor->Extract(text, region.start, Tuple());
+            if (account_extraction_) {
+              acc.extract_us += watch.ElapsedMicros();
+              acc.extract_chars += region.length();
+            }
+            cached = cache.emplace(key, std::move(produced)).first;
+          }
+          for (const Tuple& o : cached->second) {
+            Tuple combined = t;
+            for (const Value& v : o) combined.push_back(v);
+            out.push_back(std::move(combined));
+          }
+        }
+        if (account_extraction_) {
+          acc.output_tuples += static_cast<int64_t>(out.size());
+        }
+        return out;
+      }
+      case PlanKind::kSelect: {
+        DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                               Eval(*node.children[0], page, observation));
+        std::vector<Tuple> out;
+        for (Tuple& t : input) {
+          DELEX_ASSIGN_OR_RETURN(bool keep,
+                                 xlog::EvalSelect(node, t, page.content));
+          if (keep) out.push_back(std::move(t));
+        }
+        return out;
+      }
+      case PlanKind::kProject: {
+        DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                               Eval(*node.children[0], page, observation));
+        std::vector<Tuple> out;
+        for (const Tuple& t : input) {
+          Tuple projected;
+          for (int c : node.columns) {
+            projected.push_back(t[static_cast<size_t>(c)]);
+          }
+          out.push_back(std::move(projected));
+        }
+        return out;
+      }
+      case PlanKind::kJoin: {
+        DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> left,
+                               Eval(*node.children[0], page, observation));
+        DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> right,
+                               Eval(*node.children[1], page, observation));
+        std::vector<Tuple> out;
+        xlog::EvalJoin(node, left, right, &out);
+        return out;
+      }
+    }
+    return Status::Internal("unhandled node");
+  }
+
+ private:
+  const UnitAnalysis& analysis_;
+  std::vector<UnitAccumulator>* accumulators_;
+  bool account_extraction_;
+};
+
+Page TruncatePage(const Page& page, int64_t max_bytes) {
+  Page out;
+  out.did = page.did;
+  out.url = page.url;
+  out.content = page.content.substr(
+      0, static_cast<size_t>(std::min<int64_t>(
+             max_bytes, static_cast<int64_t>(page.content.size()))));
+  return out;
+}
+
+/// Trial-matches the sampled regions of one unit with one matcher kind,
+/// mirroring the engine's exact-content fast path and candidate policy.
+void TrialMatch(const Page& p_page, const Page& q_page,
+                const std::vector<TextSpan>& p_regions,
+                const std::vector<TextSpan>& q_regions, MatcherKind kind,
+                int64_t alpha, int64_t beta, int max_candidates,
+                UnitAccumulator* acc) {
+  const size_t mi = MatcherIndex(kind);
+  MatchContext ctx;
+  for (size_t i = 0; i < p_regions.size(); ++i) {
+    const TextSpan& region = p_regions[i];
+    if (q_regions.empty()) continue;
+    Stopwatch watch;
+
+    std::string_view p_text =
+        std::string_view(p_page.content)
+            .substr(static_cast<size_t>(region.start),
+                    static_cast<size_t>(region.length()));
+
+    // Exact-content fast path (shared by all matcher assignments).
+    const TextSpan* exact = nullptr;
+    for (const TextSpan& q_region : q_regions) {
+      if (q_region.length() != region.length()) continue;
+      std::string_view q_text =
+          std::string_view(q_page.content)
+              .substr(static_cast<size_t>(q_region.start),
+                      static_cast<size_t>(q_region.length()));
+      if (q_text == p_text) {
+        exact = &q_region;
+        break;
+      }
+    }
+
+    std::vector<TaggedSegment> segments;
+    if (exact != nullptr) {
+      segments.push_back({MatchSegment(region, *exact), *exact, 0});
+    } else if (kind == MatcherKind::kUD || kind == MatcherKind::kST) {
+      const Matcher& matcher = GetMatcher(kind);
+      for (int64_t offset = 0;
+           offset < static_cast<int64_t>(q_regions.size()) &&
+           offset < max_candidates;
+           ++offset) {
+        int64_t idx = static_cast<int64_t>(i) +
+                      (offset % 2 == 0 ? 1 : -1) * ((offset + 1) / 2);
+        if (offset == 0) idx = static_cast<int64_t>(i);
+        if (idx < 0 || idx >= static_cast<int64_t>(q_regions.size())) continue;
+        const TextSpan& q_region = q_regions[static_cast<size_t>(idx)];
+        ++acc->matcher_calls[mi];
+        for (const MatchSegment& seg :
+             GetMatcher(kind).Match(p_page.content, region, q_page.content,
+                                    q_region, &ctx)) {
+          segments.push_back({seg, q_region, 0});
+        }
+        (void)matcher;
+      }
+    }
+
+    RegionDerivation derivation =
+        DeriveRegionsTagged(region, std::move(segments), alpha, beta);
+    acc->match_us[mi] += watch.ElapsedMicros();
+    ++acc->matched_inputs[mi];
+    acc->matched_len[mi] += region.length();
+    acc->leftover_len[mi] += derivation.extraction_regions.TotalLength();
+    acc->copy_regions[mi] +=
+        static_cast<int64_t>(derivation.copy_regions.size());
+  }
+}
+
+}  // namespace
+
+Result<CostModelStats> CollectStats(const xlog::PlanNodePtr& plan,
+                                    const UnitAnalysis& analysis,
+                                    const Snapshot& current,
+                                    const Snapshot& previous,
+                                    const StatsCollectorOptions& options,
+                                    uint64_t seed) {
+  CostModelStats stats;
+  const size_t num_units = analysis.units.size();
+  stats.units.resize(num_units);
+  stats.m = static_cast<double>(current.NumPages());
+  stats.d_blocks = static_cast<double>(previous.TotalBlocks());
+
+  // f: exact URL overlap.
+  int64_t with_prev = 0;
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < current.pages().size(); ++i) {
+    if (previous.FindByUrl(current.pages()[i].url)) {
+      ++with_prev;
+      candidates.push_back(i);
+    }
+  }
+  stats.f = current.NumPages() == 0
+                ? 0
+                : static_cast<double>(with_prev) /
+                      static_cast<double>(current.NumPages());
+
+  // Sample page pairs.
+  Rng rng(seed);
+  std::vector<size_t> sample;
+  for (int draws = 0;
+       draws < options.sample_pages && !candidates.empty();
+       ++draws) {
+    sample.push_back(candidates[rng.Uniform(candidates.size())]);
+  }
+
+  std::vector<UnitAccumulator> accumulators(num_units);
+  for (size_t page_idx : sample) {
+    const Page& p_full = current.pages()[page_idx];
+    auto q_idx = previous.FindByUrl(p_full.url);
+    DELEX_CHECK(q_idx.has_value());
+    Page p = TruncatePage(p_full, options.max_sample_bytes);
+    Page q = TruncatePage(previous.pages()[*q_idx], options.max_sample_bytes);
+
+    PageObservation p_obs;
+    p_obs.unit_inputs.resize(num_units);
+    PageObservation q_obs;
+    q_obs.unit_inputs.resize(num_units);
+
+    RecordingEvaluator p_eval(analysis, &accumulators,
+                              /*account_extraction=*/true);
+    DELEX_RETURN_NOT_OK(p_eval.Eval(*plan, p, &p_obs).status());
+    RecordingEvaluator q_eval(analysis, &accumulators,
+                              /*account_extraction=*/false);
+    DELEX_RETURN_NOT_OK(q_eval.Eval(*plan, q, &q_obs).status());
+
+    for (size_t u = 0; u < num_units; ++u) {
+      const IEUnit& unit = analysis.units[u];
+      for (MatcherKind kind :
+           {MatcherKind::kDN, MatcherKind::kUD, MatcherKind::kST}) {
+        TrialMatch(p, q, p_obs.unit_inputs[u], q_obs.unit_inputs[u], kind,
+                   unit.alpha, unit.beta, options.max_match_candidates,
+                   &accumulators[u]);
+      }
+    }
+  }
+
+  // Normalize.
+  const double pages = std::max<double>(1.0, static_cast<double>(sample.size()));
+  for (size_t u = 0; u < num_units; ++u) {
+    const UnitAccumulator& acc = accumulators[u];
+    UnitCostStats& unit = stats.units[u];
+    unit.a = static_cast<double>(acc.input_tuples) / pages;
+    unit.l = acc.input_tuples > 0 ? static_cast<double>(acc.total_region_len) /
+                                        static_cast<double>(acc.input_tuples)
+                                  : 0;
+    unit.extract_us_per_char =
+        acc.extract_chars > 0 ? static_cast<double>(acc.extract_us) /
+                                    static_cast<double>(acc.extract_chars)
+                              : 0.05;
+    for (size_t mi = 0; mi < kNumMatcherKinds; ++mi) {
+      if (acc.matched_len[mi] > 0) {
+        unit.match_us_per_char[mi] =
+            static_cast<double>(acc.match_us[mi]) /
+            static_cast<double>(acc.matched_len[mi]);
+        unit.g[mi] = static_cast<double>(acc.leftover_len[mi]) /
+                     static_cast<double>(acc.matched_len[mi]);
+        unit.h[mi] = static_cast<double>(acc.copy_regions[mi]) /
+                     static_cast<double>(acc.matched_inputs[mi]);
+        unit.s[mi] = static_cast<double>(acc.matcher_calls[mi]) /
+                     static_cast<double>(acc.matched_inputs[mi]);
+      } else {
+        unit.g[mi] = 1.0;
+      }
+    }
+    // RU inherits selectivity from its source at plan-costing time; its
+    // own matching cost is near zero.
+    unit.match_us_per_char[MatcherIndex(MatcherKind::kRU)] = 0.0;
+
+    // Reuse-file sizes: ~40 bytes per input tuple, ~60 per output tuple.
+    double outputs_per_page = static_cast<double>(acc.output_tuples) / pages;
+    unit.b_blocks = unit.a * stats.m * 40.0 / static_cast<double>(kBlockSize);
+    unit.c_blocks =
+        outputs_per_page * stats.m * 60.0 / static_cast<double>(kBlockSize);
+  }
+  return stats;
+}
+
+CostModelStats AverageStats(const std::vector<CostModelStats>& history) {
+  DELEX_CHECK(!history.empty());
+  CostModelStats out = history.back();
+  if (history.size() == 1) return out;
+  const double n = static_cast<double>(history.size());
+  out.f = 0;
+  out.m = 0;
+  out.d_blocks = 0;
+  for (UnitCostStats& u : out.units) u = UnitCostStats();
+  for (const CostModelStats& s : history) {
+    out.f += s.f / n;
+    out.m += s.m / n;
+    out.d_blocks += s.d_blocks / n;
+    for (size_t i = 0; i < out.units.size(); ++i) {
+      const UnitCostStats& in = s.units[i];
+      UnitCostStats& acc = out.units[i];
+      acc.a += in.a / n;
+      acc.l += in.l / n;
+      acc.extract_us_per_char += in.extract_us_per_char / n;
+      acc.b_blocks += in.b_blocks / n;
+      acc.c_blocks += in.c_blocks / n;
+      for (size_t mi = 0; mi < kNumMatcherKinds; ++mi) {
+        acc.match_us_per_char[mi] += in.match_us_per_char[mi] / n;
+        acc.g[mi] += in.g[mi] / n;
+        acc.h[mi] += in.h[mi] / n;
+        acc.s[mi] += in.s[mi] / n;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace delex

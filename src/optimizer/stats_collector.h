@@ -1,0 +1,50 @@
+#ifndef DELEX_OPTIMIZER_STATS_COLLECTOR_H_
+#define DELEX_OPTIMIZER_STATS_COLLECTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "delex/ie_unit.h"
+#include "optimizer/cost_model.h"
+#include "storage/snapshot.h"
+#include "xlog/plan.h"
+
+namespace delex {
+
+/// \brief Options for statistics estimation (§6.3: "we estimate the
+/// parameters using a small sample S of P_{n+1} as well as the past k
+/// snapshots").
+struct StatsCollectorOptions {
+  /// Pages sampled from the incoming snapshot (Fig 13a's knob).
+  int sample_pages = 6;
+
+  /// Pages are truncated to this many bytes during sampling. The cap must
+  /// stay comparable to real page sizes — aggressive truncation distorts
+  /// the leaf units' region lengths and match selectivities and misleads
+  /// the plan search.
+  int64_t max_sample_bytes = 8192;
+
+  /// Candidate old regions matched per sampled region (mirrors the
+  /// engine's candidate policy).
+  int max_match_candidates = 2;
+};
+
+/// \brief Measures one snapshot pair: runs the plan from scratch over a
+/// small sample of page pairs, timing every blackbox and trial-matching
+/// every region with each matcher, to estimate the Fig 7 parameters.
+///
+/// The elapsed time of this call is the "Opt" component of Figure 11.
+Result<CostModelStats> CollectStats(const xlog::PlanNodePtr& plan,
+                                    const UnitAnalysis& analysis,
+                                    const Snapshot& current,
+                                    const Snapshot& previous,
+                                    const StatsCollectorOptions& options,
+                                    uint64_t seed);
+
+/// \brief Element-wise average of per-snapshot statistics over a history
+/// window (the "number of snapshots" knob of Fig 13b).
+CostModelStats AverageStats(const std::vector<CostModelStats>& history);
+
+}  // namespace delex
+
+#endif  // DELEX_OPTIMIZER_STATS_COLLECTOR_H_

@@ -1,0 +1,35 @@
+#ifndef DELEX_STORAGE_IO_STATS_H_
+#define DELEX_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace delex {
+
+/// Logical block size used for all cost accounting (the paper reasons about
+/// reuse-file and snapshot sizes in blocks).
+inline constexpr int64_t kBlockSize = 4096;
+
+/// \brief Byte/record counters for one file or one aggregated run.
+struct IoStats {
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t records_read = 0;
+  int64_t records_written = 0;
+
+  int64_t BlocksRead() const { return (bytes_read + kBlockSize - 1) / kBlockSize; }
+  int64_t BlocksWritten() const {
+    return (bytes_written + kBlockSize - 1) / kBlockSize;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    records_read += other.records_read;
+    records_written += other.records_written;
+    return *this;
+  }
+};
+
+}  // namespace delex
+
+#endif  // DELEX_STORAGE_IO_STATS_H_

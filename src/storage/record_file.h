@@ -1,0 +1,84 @@
+#ifndef DELEX_STORAGE_RECORD_FILE_H_
+#define DELEX_STORAGE_RECORD_FILE_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace delex {
+
+/// \brief Append-only file of length-prefixed records with block-sized
+/// write buffering.
+///
+/// This is the substrate for reuse files (§4): "we use one block of memory
+/// per reuse file to buffer the writes; whenever a block fills up, we flush
+/// the buffered tuples to the end of the corresponding reuse file."
+class RecordWriter {
+ public:
+  RecordWriter() = default;
+  ~RecordWriter();
+
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Creates/truncates the file at `path`.
+  Status Open(const std::string& path);
+
+  /// Buffers one record; flushes whole blocks as the buffer fills.
+  Status Append(std::string_view record);
+
+  /// Flushes the partial tail block and closes the file.
+  Status Close();
+
+  bool IsOpen() const { return file_ != nullptr; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  Status FlushBuffer();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string buffer_;
+  IoStats stats_;
+};
+
+/// \brief Sequential reader over a RecordWriter file.
+///
+/// Supports exactly the access pattern §5.2 requires: one front-to-back
+/// scan; no random probes.
+class RecordReader {
+ public:
+  RecordReader() = default;
+  ~RecordReader();
+
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Reads the next record into `*record`. Sets `*at_end` when the file is
+  /// exhausted (then `*record` is untouched).
+  Status Next(std::string* record, bool* at_end);
+
+  Status Close();
+
+  bool IsOpen() const { return file_ != nullptr; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  Status FillBuffer(size_t need);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  bool hit_eof_ = false;
+  IoStats stats_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_STORAGE_RECORD_FILE_H_

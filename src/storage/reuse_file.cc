@@ -1,0 +1,211 @@
+#include "storage/reuse_file.h"
+
+namespace delex {
+
+namespace {
+
+// Fixed-width little-endian header fields; the hot path decodes one record
+// per region group per page, so this codec avoids tuple-machinery allocs.
+void PutFixed(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+bool GetFixed(std::string_view data, size_t* offset, int64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(
+               data[*offset + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  *offset += 8;
+  *v = static_cast<int64_t>(out);
+  return true;
+}
+
+}  // namespace
+
+void EncodeInputTuple(const InputTupleRec& rec, std::string* out) {
+  PutFixed(static_cast<uint64_t>(rec.tid), out);
+  PutFixed(static_cast<uint64_t>(rec.did), out);
+  PutFixed(static_cast<uint64_t>(rec.region.start), out);
+  PutFixed(static_cast<uint64_t>(rec.region.end), out);
+  PutFixed(rec.region_hash, out);
+  EncodeTuple(rec.context, out);
+}
+
+void EncodeOutputTuple(const OutputTupleRec& rec, std::string* out) {
+  PutFixed(static_cast<uint64_t>(rec.tid), out);
+  PutFixed(static_cast<uint64_t>(rec.itid), out);
+  PutFixed(static_cast<uint64_t>(rec.did), out);
+  EncodeTuple(rec.payload, out);
+}
+
+Result<InputTupleRec> DecodeInputTuple(std::string_view data) {
+  size_t offset = 0;
+  InputTupleRec rec;
+  int64_t hash_bits = 0;
+  if (!GetFixed(data, &offset, &rec.tid) ||
+      !GetFixed(data, &offset, &rec.did) ||
+      !GetFixed(data, &offset, &rec.region.start) ||
+      !GetFixed(data, &offset, &rec.region.end) ||
+      !GetFixed(data, &offset, &hash_bits)) {
+    return Status::Corruption("bad input tuple header");
+  }
+  rec.region_hash = static_cast<uint64_t>(hash_bits);
+  DELEX_ASSIGN_OR_RETURN(rec.context, DecodeTuple(data, &offset));
+  return rec;
+}
+
+Result<OutputTupleRec> DecodeOutputTuple(std::string_view data) {
+  size_t offset = 0;
+  OutputTupleRec rec;
+  if (!GetFixed(data, &offset, &rec.tid) ||
+      !GetFixed(data, &offset, &rec.itid) ||
+      !GetFixed(data, &offset, &rec.did)) {
+    return Status::Corruption("bad output tuple header");
+  }
+  DELEX_ASSIGN_OR_RETURN(rec.payload, DecodeTuple(data, &offset));
+  return rec;
+}
+
+Status UnitReuseWriter::Open(const std::string& path_prefix) {
+  DELEX_RETURN_NOT_OK(input_writer_.Open(path_prefix + ".in"));
+  DELEX_RETURN_NOT_OK(output_writer_.Open(path_prefix + ".out"));
+  next_input_tid_ = 0;
+  next_output_tid_ = 0;
+  return Status::OK();
+}
+
+Status UnitReuseWriter::AppendInput(int64_t did, const TextSpan& region,
+                                    uint64_t region_hash, const Tuple& context,
+                                    int64_t* tid) {
+  InputTupleRec rec;
+  rec.tid = next_input_tid_++;
+  rec.did = did;
+  rec.region = region;
+  rec.region_hash = region_hash;
+  rec.context = context;
+  scratch_.clear();
+  EncodeInputTuple(rec, &scratch_);
+  DELEX_RETURN_NOT_OK(input_writer_.Append(scratch_));
+  if (tid != nullptr) *tid = rec.tid;
+  return Status::OK();
+}
+
+Status UnitReuseWriter::AppendOutput(int64_t itid, int64_t did,
+                                     const Tuple& payload) {
+  OutputTupleRec rec;
+  rec.tid = next_output_tid_++;
+  rec.itid = itid;
+  rec.did = did;
+  rec.payload = payload;
+  scratch_.clear();
+  EncodeOutputTuple(rec, &scratch_);
+  return output_writer_.Append(scratch_);
+}
+
+Status UnitReuseWriter::Close() {
+  DELEX_RETURN_NOT_OK(input_writer_.Close());
+  return output_writer_.Close();
+}
+
+IoStats UnitReuseWriter::CombinedStats() const {
+  IoStats stats = input_writer_.stats();
+  stats += output_writer_.stats();
+  return stats;
+}
+
+Status UnitReuseReader::Open(const std::string& path_prefix) {
+  DELEX_RETURN_NOT_OK(input_reader_.Open(path_prefix + ".in"));
+  DELEX_RETURN_NOT_OK(output_reader_.Open(path_prefix + ".out"));
+  input_pending_ = input_done_ = false;
+  output_pending_ = output_done_ = false;
+  return Status::OK();
+}
+
+Status UnitReuseReader::NextInput(bool* at_end) {
+  bool eof = false;
+  DELEX_RETURN_NOT_OK(input_reader_.Next(&scratch_, &eof));
+  if (eof) {
+    *at_end = true;
+    return Status::OK();
+  }
+  DELEX_ASSIGN_OR_RETURN(pending_input_, DecodeInputTuple(scratch_));
+  *at_end = false;
+  return Status::OK();
+}
+
+Status UnitReuseReader::NextOutput(bool* at_end) {
+  bool eof = false;
+  DELEX_RETURN_NOT_OK(output_reader_.Next(&scratch_, &eof));
+  if (eof) {
+    *at_end = true;
+    return Status::OK();
+  }
+  DELEX_ASSIGN_OR_RETURN(pending_output_, DecodeOutputTuple(scratch_));
+  *at_end = false;
+  return Status::OK();
+}
+
+Status UnitReuseReader::SeekPage(int64_t did, std::vector<InputTupleRec>* inputs,
+                                 std::vector<OutputTupleRec>* outputs) {
+  inputs->clear();
+  outputs->clear();
+
+  // Advance the input cursor to did's group, skipping earlier groups
+  // (pages that were deleted or had no matching page in the new snapshot).
+  while (!input_done_) {
+    if (!input_pending_) {
+      bool at_end = false;
+      DELEX_RETURN_NOT_OK(NextInput(&at_end));
+      if (at_end) {
+        input_done_ = true;
+        break;
+      }
+      input_pending_ = true;
+    }
+    if (pending_input_.did < did) {
+      input_pending_ = false;  // skip a passed group
+      continue;
+    }
+    if (pending_input_.did > did) break;  // group absent
+    inputs->push_back(std::move(pending_input_));
+    input_pending_ = false;
+  }
+
+  while (!output_done_) {
+    if (!output_pending_) {
+      bool at_end = false;
+      DELEX_RETURN_NOT_OK(NextOutput(&at_end));
+      if (at_end) {
+        output_done_ = true;
+        break;
+      }
+      output_pending_ = true;
+    }
+    if (pending_output_.did < did) {
+      output_pending_ = false;
+      continue;
+    }
+    if (pending_output_.did > did) break;
+    outputs->push_back(std::move(pending_output_));
+    output_pending_ = false;
+  }
+  return Status::OK();
+}
+
+Status UnitReuseReader::Close() {
+  DELEX_RETURN_NOT_OK(input_reader_.Close());
+  return output_reader_.Close();
+}
+
+IoStats UnitReuseReader::CombinedStats() const {
+  IoStats stats = input_reader_.stats();
+  stats += output_reader_.stats();
+  return stats;
+}
+
+}  // namespace delex

@@ -1,0 +1,123 @@
+#ifndef DELEX_STORAGE_REUSE_FILE_H_
+#define DELEX_STORAGE_REUSE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/span.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/io_stats.h"
+#include "storage/record_file.h"
+
+namespace delex {
+
+/// \brief One row of I_U^n: a text region that IE unit U operated on.
+///
+/// (tid, did, s, e, c) of §4 — `context` carries the "rest of the input
+/// parameter values" c; matching only reuses tuples whose context equals
+/// the new input's context.
+struct InputTupleRec {
+  int64_t tid = 0;
+  int64_t did = 0;
+  TextSpan region;
+  /// FNV-1a of the region's text, computed at capture time (the content is
+  /// in memory then); spares the next run from re-hashing every old region
+  /// for the exact-content fast path.
+  uint64_t region_hash = 0;
+  Tuple context;
+};
+
+/// \brief One row of O_U^n: a tuple U produced, with the input tuple that
+/// yielded it.
+///
+/// (tid, itid, m, c') of §4 — `payload` is the full output tuple; its span
+/// values are the mention m (plus any extra span attributes), everything
+/// else is c'. `did` is stored redundantly for per-page grouping.
+struct OutputTupleRec {
+  int64_t tid = 0;
+  int64_t itid = 0;
+  int64_t did = 0;
+  Tuple payload;
+};
+
+/// \brief Writer for one IE unit's pair of reuse files (I_U, O_U).
+///
+/// Appends are buffered one block per file (§4). Tuple ids are assigned
+/// monotonically by the writer.
+class UnitReuseWriter {
+ public:
+  UnitReuseWriter() = default;
+
+  /// Creates `<path_prefix>.in` and `<path_prefix>.out`.
+  Status Open(const std::string& path_prefix);
+
+  /// Appends an input tuple; `region_hash` is the FNV-1a of the region's
+  /// text. Returns the assigned tid via `*tid`.
+  Status AppendInput(int64_t did, const TextSpan& region, uint64_t region_hash,
+                     const Tuple& context, int64_t* tid);
+
+  /// Appends an output tuple produced from input tuple `itid`.
+  Status AppendOutput(int64_t itid, int64_t did, const Tuple& payload);
+
+  Status Close();
+
+  IoStats CombinedStats() const;
+
+ private:
+  RecordWriter input_writer_;
+  RecordWriter output_writer_;
+  int64_t next_input_tid_ = 0;
+  int64_t next_output_tid_ = 0;
+  std::string scratch_;
+};
+
+/// \brief Sequential reader over one IE unit's reuse files.
+///
+/// §5.2 guarantees per-page tuple groups appear in processing order, so a
+/// single forward scan serves all pages; SeekPage never rewinds. A did
+/// whose group has already been passed (possible only if the snapshot
+/// order was perturbed) yields an empty group, which degrades reuse but
+/// never correctness.
+class UnitReuseReader {
+ public:
+  UnitReuseReader() = default;
+
+  /// Opens `<path_prefix>.in` and `<path_prefix>.out`.
+  Status Open(const std::string& path_prefix);
+
+  /// Scans forward to page `did`, filling that page's input and output
+  /// tuples (empty if the page has none or was already passed).
+  Status SeekPage(int64_t did, std::vector<InputTupleRec>* inputs,
+                  std::vector<OutputTupleRec>* outputs);
+
+  Status Close();
+
+  IoStats CombinedStats() const;
+
+ private:
+  Status NextInput(bool* at_end);
+  Status NextOutput(bool* at_end);
+
+  RecordReader input_reader_;
+  RecordReader output_reader_;
+  // One-record lookahead per file.
+  bool input_pending_ = false;
+  bool input_done_ = false;
+  InputTupleRec pending_input_;
+  bool output_pending_ = false;
+  bool output_done_ = false;
+  OutputTupleRec pending_output_;
+  std::string scratch_;
+};
+
+/// Encoding helpers (exposed for tests).
+void EncodeInputTuple(const InputTupleRec& rec, std::string* out);
+void EncodeOutputTuple(const OutputTupleRec& rec, std::string* out);
+Result<InputTupleRec> DecodeInputTuple(std::string_view data);
+Result<OutputTupleRec> DecodeOutputTuple(std::string_view data);
+
+}  // namespace delex
+
+#endif  // DELEX_STORAGE_REUSE_FILE_H_

@@ -1,0 +1,71 @@
+#include "storage/snapshot.h"
+
+#include "common/value.h"
+#include "storage/record_file.h"
+
+namespace delex {
+
+Page& Snapshot::AddPage(std::string url, std::string content) {
+  Page page;
+  page.did = static_cast<int64_t>(pages_.size());
+  page.url = std::move(url);
+  page.content = std::move(content);
+  by_url_[page.url] = pages_.size();
+  pages_.push_back(std::move(page));
+  return pages_.back();
+}
+
+int64_t Snapshot::TotalBytes() const {
+  int64_t total = 0;
+  for (const Page& p : pages_) total += static_cast<int64_t>(p.content.size());
+  return total;
+}
+
+std::optional<size_t> Snapshot::FindByUrl(const std::string& url) const {
+  auto it = by_url_.find(url);
+  if (it == by_url_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Snapshot::ReindexUrls() {
+  by_url_.clear();
+  for (size_t i = 0; i < pages_.size(); ++i) by_url_[pages_[i].url] = i;
+}
+
+Status WriteSnapshot(const Snapshot& snapshot, const std::string& path,
+                     IoStats* stats) {
+  RecordWriter writer;
+  DELEX_RETURN_NOT_OK(writer.Open(path));
+  std::string record;
+  for (const Page& page : snapshot.pages()) {
+    record.clear();
+    EncodeTuple({page.did, page.url, page.content}, &record);
+    DELEX_RETURN_NOT_OK(writer.Append(record));
+  }
+  DELEX_RETURN_NOT_OK(writer.Close());
+  if (stats != nullptr) *stats += writer.stats();
+  return Status::OK();
+}
+
+Result<Snapshot> ReadSnapshot(const std::string& path, IoStats* stats) {
+  RecordReader reader;
+  DELEX_RETURN_NOT_OK(reader.Open(path));
+  Snapshot snapshot;
+  std::string record;
+  while (true) {
+    bool at_end = false;
+    DELEX_RETURN_NOT_OK(reader.Next(&record, &at_end));
+    if (at_end) break;
+    size_t offset = 0;
+    DELEX_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(record, &offset));
+    if (tuple.size() != 3) return Status::Corruption("bad page record");
+    Page& page = snapshot.AddPage(std::move(std::get<std::string>(tuple[1])),
+                                  std::move(std::get<std::string>(tuple[2])));
+    page.did = std::get<int64_t>(tuple[0]);
+  }
+  DELEX_RETURN_NOT_OK(reader.Close());
+  if (stats != nullptr) *stats += reader.stats();
+  return snapshot;
+}
+
+}  // namespace delex

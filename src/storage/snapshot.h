@@ -1,0 +1,66 @@
+#ifndef DELEX_STORAGE_SNAPSHOT_H_
+#define DELEX_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace delex {
+
+/// \brief One retrieved data page: a URL plus its text content.
+///
+/// `did` is the document id, unique within a snapshot; pages at the same
+/// URL in different snapshots generally have different dids.
+struct Page {
+  int64_t did = 0;
+  std::string url;
+  std::string content;
+};
+
+/// \brief One corpus snapshot P_i: the ordered set of pages retrieved at
+/// crawl time i.
+///
+/// Order matters: §5.2's single-pass algorithm processes snapshot n+1 in
+/// exactly the page order of snapshot n, so reuse files are scanned
+/// strictly sequentially.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Appends a page, assigning it the next document id.
+  Page& AddPage(std::string url, std::string content);
+
+  const std::vector<Page>& pages() const { return pages_; }
+  std::vector<Page>& mutable_pages() { return pages_; }
+  size_t NumPages() const { return pages_.size(); }
+
+  /// Total content bytes across pages.
+  int64_t TotalBytes() const;
+  int64_t TotalBlocks() const { return (TotalBytes() + kBlockSize - 1) / kBlockSize; }
+
+  /// Index of the page at `url`, if present.
+  std::optional<size_t> FindByUrl(const std::string& url) const;
+
+  /// Rebuilds the url index (call after mutating pages in place).
+  void ReindexUrls();
+
+ private:
+  std::vector<Page> pages_;
+  std::unordered_map<std::string, size_t> by_url_;
+};
+
+/// \brief Writes a snapshot to a record file at `path`.
+Status WriteSnapshot(const Snapshot& snapshot, const std::string& path,
+                     IoStats* stats = nullptr);
+
+/// \brief Reads a snapshot back from `path`.
+Result<Snapshot> ReadSnapshot(const std::string& path, IoStats* stats = nullptr);
+
+}  // namespace delex
+
+#endif  // DELEX_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,194 @@
+#include "text/diff.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace delex {
+namespace {
+
+// A line with its absolute span and content hash; equality compares the
+// hash first and falls back to bytes to rule out collisions.
+struct Line {
+  TextSpan span;  // relative to the region text
+  uint64_t hash;
+};
+
+std::vector<Line> HashLines(std::string_view text) {
+  std::vector<Line> lines;
+  for (const TextSpan& s : SplitLines(text)) {
+    lines.push_back(
+        {s, Fnv1a64(text.substr(static_cast<size_t>(s.start),
+                                static_cast<size_t>(s.length())))});
+  }
+  return lines;
+}
+
+bool LinesEqual(std::string_view p_text, const Line& a, std::string_view q_text,
+                const Line& b) {
+  if (a.hash != b.hash || a.span.length() != b.span.length()) return false;
+  return p_text.substr(static_cast<size_t>(a.span.start),
+                       static_cast<size_t>(a.span.length())) ==
+         q_text.substr(static_cast<size_t>(b.span.start),
+                       static_cast<size_t>(b.span.length()));
+}
+
+// Appends the char-level segment covering matched line pair (pi, qi),
+// coalescing with the previous segment when adjacent on both sides.
+void EmitMatchedLine(const std::vector<Line>& p_lines,
+                     const std::vector<Line>& q_lines, int64_t p_base,
+                     int64_t q_base, size_t pi, size_t qi,
+                     std::vector<MatchSegment>* out) {
+  TextSpan p_span = p_lines[pi].span.Shift(p_base);
+  TextSpan q_span = q_lines[qi].span.Shift(q_base);
+  if (!out->empty() && out->back().p.end == p_span.start &&
+      out->back().q.end == q_span.start) {
+    out->back().p.end = p_span.end;
+    out->back().q.end = q_span.end;
+  } else {
+    out->emplace_back(p_span, q_span);
+  }
+}
+
+}  // namespace
+
+std::vector<TextSpan> SplitLines(std::string_view text) {
+  std::vector<TextSpan> out;
+  int64_t start = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
+    if (text[static_cast<size_t>(i)] == '\n') {
+      out.emplace_back(start, i + 1);
+      start = i + 1;
+    }
+  }
+  if (start < static_cast<int64_t>(text.size())) {
+    out.emplace_back(start, static_cast<int64_t>(text.size()));
+  }
+  return out;
+}
+
+std::vector<MatchSegment> DiffMatch(std::string_view p_text, int64_t p_base,
+                                    std::string_view q_text, int64_t q_base,
+                                    const DiffOptions& options) {
+  std::vector<MatchSegment> out;
+  if (p_text.empty() || q_text.empty()) return out;
+
+  std::vector<Line> p_lines = HashLines(p_text);
+  std::vector<Line> q_lines = HashLines(q_text);
+
+  // Trim the common prefix and suffix of the line sequences — on slowly
+  // changing pages this does nearly all of the work.
+  size_t prefix = 0;
+  while (prefix < p_lines.size() && prefix < q_lines.size() &&
+         LinesEqual(p_text, p_lines[prefix], q_text, q_lines[prefix])) {
+    EmitMatchedLine(p_lines, q_lines, p_base, q_base, prefix, prefix, &out);
+    ++prefix;
+  }
+  size_t suffix = 0;
+  while (prefix + suffix < p_lines.size() && prefix + suffix < q_lines.size() &&
+         LinesEqual(p_text, p_lines[p_lines.size() - 1 - suffix], q_text,
+                    q_lines[q_lines.size() - 1 - suffix])) {
+    ++suffix;
+  }
+
+  const int64_t n = static_cast<int64_t>(p_lines.size() - prefix - suffix);
+  const int64_t m = static_cast<int64_t>(q_lines.size() - prefix - suffix);
+
+  if (n > 0 && m > 0) {
+    auto equal_mid = [&](int64_t x, int64_t y) {
+      return LinesEqual(p_text, p_lines[prefix + static_cast<size_t>(x)],
+                        q_text, q_lines[prefix + static_cast<size_t>(y)]);
+    };
+
+    // Myers O(ND) with full trace for backtracking.
+    const int64_t max_d = std::min(n + m, options.max_edit_distance);
+    const int64_t offset = max_d;
+    std::vector<int64_t> v(static_cast<size_t>(2 * max_d + 1), 0);
+    std::vector<std::vector<int64_t>> trace;
+    int64_t found_d = -1;
+    for (int64_t d = 0; d <= max_d && found_d < 0; ++d) {
+      trace.push_back(v);
+      for (int64_t k = -d; k <= d; k += 2) {
+        int64_t x;
+        if (k == -d ||
+            (k != d && v[static_cast<size_t>(offset + k - 1)] <
+                           v[static_cast<size_t>(offset + k + 1)])) {
+          x = v[static_cast<size_t>(offset + k + 1)];  // insertion (down)
+        } else {
+          x = v[static_cast<size_t>(offset + k - 1)] + 1;  // deletion (right)
+        }
+        int64_t y = x - k;
+        while (x < n && y < m && equal_mid(x, y)) {
+          ++x;
+          ++y;
+        }
+        v[static_cast<size_t>(offset + k)] = x;
+        if (x >= n && y >= m) {
+          found_d = d;
+          break;
+        }
+      }
+    }
+
+    if (found_d >= 0) {
+      // Backtrack, collecting matched (x, y) line pairs.
+      std::vector<std::pair<int64_t, int64_t>> matched;
+      int64_t x = n;
+      int64_t y = m;
+      for (int64_t d = found_d; d > 0 && (x > 0 || y > 0); --d) {
+        const std::vector<int64_t>& pv = trace[static_cast<size_t>(d)];
+        int64_t k = x - y;
+        int64_t prev_k;
+        if (k == -d || (k != d && pv[static_cast<size_t>(offset + k - 1)] <
+                                      pv[static_cast<size_t>(offset + k + 1)])) {
+          prev_k = k + 1;
+        } else {
+          prev_k = k - 1;
+        }
+        int64_t prev_x = pv[static_cast<size_t>(offset + prev_k)];
+        int64_t prev_y = prev_x - prev_k;
+        while (x > prev_x && y > prev_y) {
+          matched.emplace_back(x - 1, y - 1);
+          --x;
+          --y;
+        }
+        if (prev_k == k + 1) {
+          --y;  // was an insertion
+        } else {
+          --x;  // was a deletion
+        }
+        x = prev_x;
+        y = prev_y;
+      }
+      while (x > 0 && y > 0) {  // snake at d == 0
+        matched.emplace_back(x - 1, y - 1);
+        --x;
+        --y;
+      }
+      std::reverse(matched.begin(), matched.end());
+      for (const auto& [mx, my] : matched) {
+        EmitMatchedLine(p_lines, q_lines, p_base, q_base,
+                        prefix + static_cast<size_t>(mx),
+                        prefix + static_cast<size_t>(my), &out);
+      }
+    }
+    // If the cutoff was hit the middle contributes nothing — like diff's
+    // bail-out, UD then reports only the prefix/suffix matches.
+  }
+
+  for (size_t i = 0; i < suffix; ++i) {
+    size_t pi = p_lines.size() - suffix + i;
+    size_t qi = q_lines.size() - suffix + i;
+    EmitMatchedLine(p_lines, q_lines, p_base, q_base, pi, qi, &out);
+  }
+
+  if (options.min_segment_length > 1) {
+    std::erase_if(out, [&](const MatchSegment& s) {
+      return s.length() < options.min_segment_length;
+    });
+  }
+  return out;
+}
+
+}  // namespace delex

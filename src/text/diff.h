@@ -1,0 +1,40 @@
+#ifndef DELEX_TEXT_DIFF_H_
+#define DELEX_TEXT_DIFF_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/match_segment.h"
+
+namespace delex {
+
+/// \brief Options for the Unix-diff-style matcher (UD in the paper).
+struct DiffOptions {
+  /// Upper bound on the Myers edit distance explored before bailing out to
+  /// the prefix/suffix heuristic. Real diff applies a similar cutoff; it is
+  /// what keeps UD "linear in |R| + |S|" on slowly-changing pages.
+  int64_t max_edit_distance = 4096;
+
+  /// Matched line runs shorter than this many characters are dropped; tiny
+  /// matches create more region-bookkeeping than they save in extraction.
+  int64_t min_segment_length = 1;
+};
+
+/// \brief Line-based Myers O(ND) diff between region `p_text` (at absolute
+/// offset `p_base` in its page) and region `q_text` (at `q_base`).
+///
+/// Returns equal-length matched segments, ordered and non-crossing (this is
+/// the "finds only some matching regions" matcher: relocated blocks are not
+/// detected). This implements reference [24] of the paper (Myers 1986).
+std::vector<MatchSegment> DiffMatch(std::string_view p_text, int64_t p_base,
+                                    std::string_view q_text, int64_t q_base,
+                                    const DiffOptions& options = DiffOptions());
+
+/// \brief Splits `text` into line spans (newline included in each span,
+/// offsets relative to the start of `text`).
+std::vector<TextSpan> SplitLines(std::string_view text);
+
+}  // namespace delex
+
+#endif  // DELEX_TEXT_DIFF_H_

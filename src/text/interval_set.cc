@@ -1,0 +1,103 @@
+#include "text/interval_set.h"
+
+#include <algorithm>
+
+namespace delex {
+
+IntervalSet::IntervalSet(std::vector<TextSpan> spans)
+    : spans_(std::move(spans)), normalized_(false) {}
+
+void IntervalSet::Add(const TextSpan& span) {
+  spans_.push_back(span);
+  normalized_ = false;
+}
+
+void IntervalSet::Normalize() const {
+  if (normalized_) return;
+  std::vector<TextSpan> merged;
+  std::erase_if(spans_, [](const TextSpan& s) { return s.empty(); });
+  std::sort(spans_.begin(), spans_.end());
+  for (const TextSpan& s : spans_) {
+    if (!merged.empty() && s.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, s.end);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  spans_ = std::move(merged);
+  normalized_ = true;
+}
+
+const std::vector<TextSpan>& IntervalSet::spans() const {
+  Normalize();
+  return spans_;
+}
+
+int64_t IntervalSet::TotalLength() const {
+  int64_t total = 0;
+  for (const TextSpan& s : spans()) total += s.length();
+  return total;
+}
+
+bool IntervalSet::ContainsWithinOne(const TextSpan& span) const {
+  const auto& sp = spans();
+  // First interval whose end is past span.start could contain it.
+  auto it = std::lower_bound(
+      sp.begin(), sp.end(), span.start,
+      [](const TextSpan& s, int64_t pos) { return s.end <= pos; });
+  return it != sp.end() && it->Contains(span);
+}
+
+bool IntervalSet::ContainsPoint(int64_t pos) const {
+  return ContainsWithinOne(TextSpan(pos, pos + 1));
+}
+
+IntervalSet IntervalSet::ComplementWithin(const TextSpan& bounds) const {
+  std::vector<TextSpan> out;
+  int64_t cursor = bounds.start;
+  for (const TextSpan& s : spans()) {
+    TextSpan clipped = s.Intersect(bounds);
+    if (clipped.empty()) continue;
+    if (clipped.start > cursor) out.emplace_back(cursor, clipped.start);
+    cursor = std::max(cursor, clipped.end);
+  }
+  if (cursor < bounds.end) out.emplace_back(cursor, bounds.end);
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Expand(int64_t amount, const TextSpan& bounds) const {
+  std::vector<TextSpan> out;
+  out.reserve(spans().size());
+  for (const TextSpan& s : spans()) {
+    TextSpan grown = s.Expand(amount, bounds);
+    if (!grown.empty()) out.push_back(grown);
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  const auto& a = spans();
+  const auto& b = other.spans();
+  std::vector<TextSpan> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    TextSpan cross = a[i].Intersect(b[j]);
+    if (!cross.empty()) out.push_back(cross);
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<TextSpan> all = spans();
+  const auto& b = other.spans();
+  all.insert(all.end(), b.begin(), b.end());
+  return IntervalSet(std::move(all));
+}
+
+}  // namespace delex

@@ -1,0 +1,57 @@
+#ifndef DELEX_TEXT_INTERVAL_SET_H_
+#define DELEX_TEXT_INTERVAL_SET_H_
+
+#include <vector>
+
+#include "common/span.h"
+
+namespace delex {
+
+/// \brief A normalized set of disjoint, sorted, non-empty text spans.
+///
+/// This is the workhorse of copy/extraction-region derivation (§5.3): the
+/// copy-safe interiors form an IntervalSet; the extraction regions are its
+/// complement expanded by α+β and re-normalized.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds a normalized set from arbitrary (possibly overlapping,
+  /// unsorted, empty) spans.
+  explicit IntervalSet(std::vector<TextSpan> spans);
+
+  /// Adds a span; the set is re-normalized lazily on first read.
+  void Add(const TextSpan& span);
+
+  const std::vector<TextSpan>& spans() const;
+
+  bool Empty() const { return spans().empty(); }
+  int64_t TotalLength() const;
+
+  /// True iff `span` is fully covered by a single member interval.
+  bool ContainsWithinOne(const TextSpan& span) const;
+  bool ContainsPoint(int64_t pos) const;
+
+  /// Set complement relative to `bounds`.
+  IntervalSet ComplementWithin(const TextSpan& bounds) const;
+
+  /// Every interval grown by `amount` on each side, clipped to `bounds`,
+  /// and re-merged.
+  IntervalSet Expand(int64_t amount, const TextSpan& bounds) const;
+
+  /// Pairwise intersection with another set.
+  IntervalSet Intersect(const IntervalSet& other) const;
+
+  /// Union with another set.
+  IntervalSet Union(const IntervalSet& other) const;
+
+ private:
+  void Normalize() const;
+
+  mutable std::vector<TextSpan> spans_;
+  mutable bool normalized_ = true;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_TEXT_INTERVAL_SET_H_

@@ -1,0 +1,44 @@
+#ifndef DELEX_TEXT_MATCH_SEGMENT_H_
+#define DELEX_TEXT_MATCH_SEGMENT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "common/span.h"
+
+namespace delex {
+
+/// \brief An equal-length pair of spans, one in the new text ("p" side)
+/// and one in the old text ("q" side), whose characters are identical.
+///
+/// Matchers (Figure 1 of the paper) produce lists of MatchSegments; region
+/// derivation consumes them. Spans are in absolute page coordinates.
+struct MatchSegment {
+  TextSpan p;  ///< span in the current-snapshot page
+  TextSpan q;  ///< span in the previous-snapshot page
+
+  MatchSegment() = default;
+  MatchSegment(TextSpan p_span, TextSpan q_span) : p(p_span), q(q_span) {}
+
+  int64_t length() const { return p.length(); }
+
+  /// Offset to add to a q-side position to land on the p side.
+  int64_t Delta() const { return p.start - q.start; }
+
+  bool operator==(const MatchSegment& other) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const MatchSegment& m) {
+  return os << "p" << m.p.ToString() << "=q" << m.q.ToString();
+}
+
+/// Total matched length over a segment list.
+inline int64_t TotalMatchedLength(const std::vector<MatchSegment>& segs) {
+  int64_t total = 0;
+  for (const MatchSegment& s : segs) total += s.length();
+  return total;
+}
+
+}  // namespace delex
+
+#endif  // DELEX_TEXT_MATCH_SEGMENT_H_

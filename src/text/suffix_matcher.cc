@@ -1,0 +1,128 @@
+#include "text/suffix_matcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/interval_set.h"
+
+namespace delex {
+
+SuffixAutomaton::SuffixAutomaton(std::string_view text) {
+  states_.reserve(2 * text.size() + 2);
+  states_.emplace_back();  // root
+  int32_t last = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[static_cast<size_t>(i)]);
+    int32_t cur = static_cast<int32_t>(states_.size());
+    states_.emplace_back();
+    states_[static_cast<size_t>(cur)].len =
+        states_[static_cast<size_t>(last)].len + 1;
+    states_[static_cast<size_t>(cur)].first_end = static_cast<int32_t>(i);
+    int32_t v = last;
+    while (v >= 0 && Transition(v, c) < 0) {
+      SetTransition(v, c, cur);
+      v = states_[static_cast<size_t>(v)].link;
+    }
+    if (v < 0) {
+      states_[static_cast<size_t>(cur)].link = 0;
+    } else {
+      int32_t u = Transition(v, c);
+      if (states_[static_cast<size_t>(u)].len ==
+          states_[static_cast<size_t>(v)].len + 1) {
+        states_[static_cast<size_t>(cur)].link = u;
+      } else {
+        int32_t clone = static_cast<int32_t>(states_.size());
+        states_.push_back(states_[static_cast<size_t>(u)]);
+        states_[static_cast<size_t>(clone)].len =
+            states_[static_cast<size_t>(v)].len + 1;
+        // first_end inherited from u is still a valid (minimal) end position.
+        while (v >= 0 && Transition(v, c) == u) {
+          SetTransition(v, c, clone);
+          v = states_[static_cast<size_t>(v)].link;
+        }
+        states_[static_cast<size_t>(u)].link = clone;
+        states_[static_cast<size_t>(cur)].link = clone;
+      }
+    }
+    last = cur;
+  }
+}
+
+int32_t SuffixAutomaton::Transition(int32_t state, unsigned char c) const {
+  for (const auto& [ch, to] : states_[static_cast<size_t>(state)].next) {
+    if (ch == c) return to;
+  }
+  return -1;
+}
+
+void SuffixAutomaton::SetTransition(int32_t state, unsigned char c,
+                                    int32_t to) {
+  for (auto& [ch, dest] : states_[static_cast<size_t>(state)].next) {
+    if (ch == c) {
+      dest = to;
+      return;
+    }
+  }
+  states_[static_cast<size_t>(state)].next.emplace_back(c, to);
+}
+
+int64_t SuffixAutomaton::LongestCommonSubstring(std::string_view query) const {
+  int64_t best = 0;
+  ScanMaximalMatches(query, 1, [&](int64_t, int64_t, int64_t len) {
+    best = std::max(best, len);
+  });
+  return best;
+}
+
+std::vector<MatchSegment> SuffixMatch(std::string_view p_text, int64_t p_base,
+                                      std::string_view q_text, int64_t q_base,
+                                      const SuffixMatchOptions& options) {
+  std::vector<MatchSegment> out;
+  if (p_text.empty() || q_text.empty()) return out;
+
+  struct Candidate {
+    int64_t p_start;
+    int64_t q_start;
+    int64_t length;
+  };
+  std::vector<Candidate> candidates;
+
+  SuffixAutomaton automaton(q_text);
+  automaton.ScanMaximalMatches(
+      p_text, options.min_match_length,
+      [&](int64_t p_end, int64_t q_end, int64_t len) {
+        if (candidates.size() >= options.max_candidates) return;
+        candidates.push_back({p_end - len + 1, q_end - len + 1, len});
+      });
+
+  // Greedy tiling: longest candidates first, rejecting any that overlaps an
+  // already-claimed stretch on either side. Ties broken by position to keep
+  // the result deterministic.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.length != b.length) return a.length > b.length;
+              if (a.p_start != b.p_start) return a.p_start < b.p_start;
+              return a.q_start < b.q_start;
+            });
+
+  IntervalSet p_claimed;
+  IntervalSet q_claimed;
+  for (const Candidate& c : candidates) {
+    TextSpan p_span(c.p_start, c.p_start + c.length);
+    TextSpan q_span(c.q_start, c.q_start + c.length);
+    bool p_free = p_claimed.Intersect(IntervalSet({p_span})).Empty();
+    bool q_free = q_claimed.Intersect(IntervalSet({q_span})).Empty();
+    if (!p_free || !q_free) continue;
+    p_claimed.Add(p_span);
+    q_claimed.Add(q_span);
+    out.emplace_back(p_span.Shift(p_base), q_span.Shift(q_base));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const MatchSegment& a, const MatchSegment& b) {
+              return a.p.start < b.p.start;
+            });
+  return out;
+}
+
+}  // namespace delex

@@ -1,0 +1,108 @@
+#ifndef DELEX_TEXT_SUFFIX_MATCHER_H_
+#define DELEX_TEXT_SUFFIX_MATCHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/match_segment.h"
+
+namespace delex {
+
+/// \brief Options for the suffix-tree-style matcher (ST in the paper).
+struct SuffixMatchOptions {
+  /// Minimum length of a reported common substring. Short accidental
+  /// matches (single words) are useless for reuse — the β-shrunken interior
+  /// would be empty — and bloat the segment list.
+  int64_t min_match_length = 24;
+
+  /// Safety valve on the number of candidate maximal matches considered by
+  /// the greedy tiling step.
+  size_t max_candidates = 1 << 16;
+};
+
+/// \brief Finds common substrings between region `p_text` (absolute offset
+/// `p_base`) and region `q_text` (offset `q_base`).
+///
+/// Implementation: a suffix automaton over the old region is streamed with
+/// the new region (O(|R| + |S|) construction and matching, the bound the
+/// paper quotes for ST), producing locally-maximal common substrings; a
+/// greedy tiling pass then selects a set of mutually non-overlapping
+/// segments, longest first. Unlike DiffMatch, relocated blocks are found —
+/// the returned segments may cross.
+std::vector<MatchSegment> SuffixMatch(
+    std::string_view p_text, int64_t p_base, std::string_view q_text,
+    int64_t q_base, const SuffixMatchOptions& options = SuffixMatchOptions());
+
+/// \brief Suffix automaton over a byte string; exposed for testing and for
+/// longest-common-substring queries.
+class SuffixAutomaton {
+ public:
+  explicit SuffixAutomaton(std::string_view text);
+
+  /// Length of the longest substring of the indexed text that is also a
+  /// substring of `query`.
+  int64_t LongestCommonSubstring(std::string_view query) const;
+
+  /// Streams `query`, invoking `sink(query_end, indexed_end, length)` for
+  /// every locally-maximal common substring with length >= min_length.
+  /// Positions are inclusive end indices into query / indexed text.
+  template <typename Sink>
+  void ScanMaximalMatches(std::string_view query, int64_t min_length,
+                          Sink&& sink) const;
+
+  size_t NumStates() const { return states_.size(); }
+
+ private:
+  struct State {
+    int32_t len = 0;
+    int32_t link = -1;
+    int32_t first_end = -1;  // minimal end position (inclusive) in the text
+    std::vector<std::pair<unsigned char, int32_t>> next;
+  };
+
+  int32_t Transition(int32_t state, unsigned char c) const;
+  void SetTransition(int32_t state, unsigned char c, int32_t to);
+
+  std::vector<State> states_;
+};
+
+template <typename Sink>
+void SuffixAutomaton::ScanMaximalMatches(std::string_view query,
+                                         int64_t min_length,
+                                         Sink&& sink) const {
+  int32_t state = 0;
+  int64_t length = 0;
+  int32_t prev_state = 0;
+  int64_t prev_length = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(query.size()); ++i) {
+    unsigned char c = static_cast<unsigned char>(query[static_cast<size_t>(i)]);
+    while (state != 0 && Transition(state, c) < 0) {
+      state = states_[static_cast<size_t>(state)].link;
+      length = states_[static_cast<size_t>(state)].len;
+    }
+    int32_t to = Transition(state, c);
+    if (to >= 0) {
+      state = to;
+      ++length;
+    } else {
+      length = 0;
+    }
+    // The match ending at i-1 was locally maximal iff it could not be
+    // extended by query[i].
+    if (prev_length >= min_length && length != prev_length + 1) {
+      sink(i - 1, states_[static_cast<size_t>(prev_state)].first_end,
+           prev_length);
+    }
+    prev_state = state;
+    prev_length = length;
+  }
+  if (prev_length >= min_length) {
+    sink(static_cast<int64_t>(query.size()) - 1,
+         states_[static_cast<size_t>(prev_state)].first_end, prev_length);
+  }
+}
+
+}  // namespace delex
+
+#endif  // DELEX_TEXT_SUFFIX_MATCHER_H_

@@ -1,0 +1,70 @@
+#ifndef DELEX_XLOG_AST_H_
+#define DELEX_XLOG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace delex {
+namespace xlog {
+
+/// \brief One argument of an atom: a variable, a string literal, or an
+/// integer literal.
+struct Term {
+  enum class Kind { kVariable, kString, kInt };
+
+  Kind kind = Kind::kVariable;
+  std::string text;     // variable name or string literal body
+  int64_t int_value = 0;
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.text = std::move(name);
+    return t;
+  }
+  static Term Str(std::string s) {
+    Term t;
+    t.kind = Kind::kString;
+    t.text = std::move(s);
+    return t;
+  }
+  static Term Int(int64_t v) {
+    Term t;
+    t.kind = Kind::kInt;
+    t.int_value = v;
+    return t;
+  }
+
+  bool IsVar() const { return kind == Kind::kVariable; }
+};
+
+/// \brief A predicate applied to terms: docs(d), extractTitle(d, title),
+/// immBefore(title, abstract), ...
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+};
+
+/// \brief A rule `head :- body_1, ..., body_n.`
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+};
+
+/// \brief A parsed xlog program: a list of rules (no negation/recursion —
+/// the same restriction as the paper's xlog).
+struct Program {
+  std::vector<Rule> rules;
+
+  /// The head predicate of the last rule — by convention the program's
+  /// target relation.
+  const std::string& TargetPredicate() const {
+    return rules.back().head.predicate;
+  }
+};
+
+}  // namespace xlog
+}  // namespace delex
+
+#endif  // DELEX_XLOG_AST_H_

@@ -1,0 +1,124 @@
+#include "xlog/builtins.h"
+
+#include <algorithm>
+
+namespace delex {
+namespace xlog {
+namespace {
+
+Result<TextSpan> AsSpan(const std::vector<Value>& args, size_t i) {
+  if (i >= args.size() || !std::holds_alternative<TextSpan>(args[i])) {
+    return Status::InvalidArgument("builtin argument " + std::to_string(i) +
+                                   " is not a span");
+  }
+  return std::get<TextSpan>(args[i]);
+}
+
+Result<int64_t> AsInt(const std::vector<Value>& args, size_t i) {
+  if (i >= args.size() || !std::holds_alternative<int64_t>(args[i])) {
+    return Status::InvalidArgument("builtin argument " + std::to_string(i) +
+                                   " is not an integer");
+  }
+  return std::get<int64_t>(args[i]);
+}
+
+Result<std::string> AsString(const std::vector<Value>& args, size_t i) {
+  if (i >= args.size() || !std::holds_alternative<std::string>(args[i])) {
+    return Status::InvalidArgument("builtin argument " + std::to_string(i) +
+                                   " is not a string");
+  }
+  return std::get<std::string>(args[i]);
+}
+
+}  // namespace
+
+Result<BuiltinPred> LookupBuiltin(const std::string& name) {
+  if (name == "immBefore") return BuiltinPred::kImmBefore;
+  if (name == "before") return BuiltinPred::kBefore;
+  if (name == "within") return BuiltinPred::kWithin;
+  if (name == "contains") return BuiltinPred::kContains;
+  if (name == "containsStr") return BuiltinPred::kContainsStr;
+  if (name == "sameSpan") return BuiltinPred::kSameSpan;
+  return Status::NotFound("unknown builtin predicate '" + name + "'");
+}
+
+bool IsBuiltin(const std::string& name) { return LookupBuiltin(name).ok(); }
+
+int BuiltinArity(BuiltinPred pred) {
+  switch (pred) {
+    case BuiltinPred::kWithin:
+      return 3;
+    case BuiltinPred::kImmBefore:
+    case BuiltinPred::kBefore:
+    case BuiltinPred::kContains:
+    case BuiltinPred::kContainsStr:
+    case BuiltinPred::kSameSpan:
+      return 2;
+  }
+  return 0;
+}
+
+const char* BuiltinName(BuiltinPred pred) {
+  switch (pred) {
+    case BuiltinPred::kImmBefore:
+      return "immBefore";
+    case BuiltinPred::kBefore:
+      return "before";
+    case BuiltinPred::kWithin:
+      return "within";
+    case BuiltinPred::kContains:
+      return "contains";
+    case BuiltinPred::kContainsStr:
+      return "containsStr";
+    case BuiltinPred::kSameSpan:
+      return "sameSpan";
+  }
+  return "?";
+}
+
+Result<bool> EvalBuiltin(BuiltinPred pred, const std::vector<Value>& args,
+                         std::string_view page_text) {
+  switch (pred) {
+    case BuiltinPred::kImmBefore: {
+      DELEX_ASSIGN_OR_RETURN(TextSpan a, AsSpan(args, 0));
+      DELEX_ASSIGN_OR_RETURN(TextSpan b, AsSpan(args, 1));
+      return a.end <= b.start && b.start - a.end <= 2;
+    }
+    case BuiltinPred::kBefore: {
+      DELEX_ASSIGN_OR_RETURN(TextSpan a, AsSpan(args, 0));
+      DELEX_ASSIGN_OR_RETURN(TextSpan b, AsSpan(args, 1));
+      return a.end <= b.start;
+    }
+    case BuiltinPred::kWithin: {
+      DELEX_ASSIGN_OR_RETURN(TextSpan a, AsSpan(args, 0));
+      DELEX_ASSIGN_OR_RETURN(TextSpan b, AsSpan(args, 1));
+      DELEX_ASSIGN_OR_RETURN(int64_t k, AsInt(args, 2));
+      int64_t extent = std::max(a.end, b.end) - std::min(a.start, b.start);
+      return extent < k;
+    }
+    case BuiltinPred::kContains: {
+      DELEX_ASSIGN_OR_RETURN(TextSpan a, AsSpan(args, 0));
+      DELEX_ASSIGN_OR_RETURN(TextSpan b, AsSpan(args, 1));
+      return a.Contains(b);
+    }
+    case BuiltinPred::kContainsStr: {
+      DELEX_ASSIGN_OR_RETURN(TextSpan a, AsSpan(args, 0));
+      DELEX_ASSIGN_OR_RETURN(std::string lit, AsString(args, 1));
+      if (a.start < 0 || a.end > static_cast<int64_t>(page_text.size())) {
+        return Status::InvalidArgument("span out of page bounds");
+      }
+      std::string_view body = page_text.substr(
+          static_cast<size_t>(a.start), static_cast<size_t>(a.length()));
+      return body.find(lit) != std::string_view::npos;
+    }
+    case BuiltinPred::kSameSpan: {
+      DELEX_ASSIGN_OR_RETURN(TextSpan a, AsSpan(args, 0));
+      DELEX_ASSIGN_OR_RETURN(TextSpan b, AsSpan(args, 1));
+      return a == b;
+    }
+  }
+  return Status::Internal("unhandled builtin");
+}
+
+}  // namespace xlog
+}  // namespace delex

@@ -1,0 +1,51 @@
+#ifndef DELEX_XLOG_BUILTINS_H_
+#define DELEX_XLOG_BUILTINS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace delex {
+namespace xlog {
+
+/// \brief Non-IE procedural predicates (p-predicates that only *test*).
+///
+/// These are the glue the paper's programs use between blackboxes —
+/// immBefore(title, abstract), proximity windows, containment, substring
+/// tests. They are relational-operator material (they become σ and ⋈
+/// conditions), never IE units.
+enum class BuiltinPred {
+  kImmBefore,    ///< immBefore(a, b): span a ends at most 2 chars before b starts
+  kBefore,       ///< before(a, b): span a ends before span b starts
+  kWithin,       ///< within(a, b, k): combined extent of spans a,b is < k chars
+  kContains,     ///< contains(a, b): span a fully contains span b
+  kContainsStr,  ///< containsStr(a, "lit"): text of span a contains the literal
+  kSameSpan,     ///< sameSpan(a, b): spans are identical
+};
+
+/// \brief Name → builtin lookup; NotFound for unknown names.
+Result<BuiltinPred> LookupBuiltin(const std::string& name);
+
+/// \brief True iff `name` denotes a builtin predicate.
+bool IsBuiltin(const std::string& name);
+
+/// \brief Expected argument count of a builtin.
+int BuiltinArity(BuiltinPred pred);
+
+/// \brief Display name.
+const char* BuiltinName(BuiltinPred pred);
+
+/// \brief Evaluates a builtin on resolved argument values.
+///
+/// `page_text` is the full content of the page currently being processed;
+/// kContainsStr reads span text from it.
+Result<bool> EvalBuiltin(BuiltinPred pred, const std::vector<Value>& args,
+                         std::string_view page_text);
+
+}  // namespace xlog
+}  // namespace delex
+
+#endif  // DELEX_XLOG_BUILTINS_H_

@@ -1,0 +1,234 @@
+#include "xlog/parser.h"
+
+#include <cctype>
+
+namespace delex {
+namespace xlog {
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind {
+  kIdent,
+  kString,
+  kInt,
+  kLParen,
+  kRParen,
+  kComma,
+  kImplies,  // :-
+  kPeriod,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token token;
+    token.line = line_;
+    if (pos_ >= source_.size()) {
+      token.kind = TokenKind::kEnd;
+      return token;
+    }
+    char c = source_[pos_];
+    if (c == '(') {
+      ++pos_;
+      token.kind = TokenKind::kLParen;
+      return token;
+    }
+    if (c == ')') {
+      ++pos_;
+      token.kind = TokenKind::kRParen;
+      return token;
+    }
+    if (c == ',') {
+      ++pos_;
+      token.kind = TokenKind::kComma;
+      return token;
+    }
+    if (c == '.') {
+      ++pos_;
+      token.kind = TokenKind::kPeriod;
+      return token;
+    }
+    if (c == ':') {
+      if (pos_ + 1 < source_.size() && source_[pos_ + 1] == '-') {
+        pos_ += 2;
+        token.kind = TokenKind::kImplies;
+        return token;
+      }
+      return Error("expected ':-'");
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string body;
+      while (pos_ < source_.size() && source_[pos_] != '"') {
+        if (source_[pos_] == '\\' && pos_ + 1 < source_.size()) ++pos_;
+        body += source_[pos_++];
+      }
+      if (pos_ >= source_.size()) return Error("unterminated string literal");
+      ++pos_;  // closing quote
+      token.kind = TokenKind::kString;
+      token.text = std::move(body);
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < source_.size() &&
+         std::isdigit(static_cast<unsigned char>(source_[pos_ + 1])))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+        ++pos_;
+      }
+      token.kind = TokenKind::kInt;
+      token.int_value = std::stoll(std::string(source_.substr(start, pos_ - start)));
+      return token;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        ++pos_;
+      }
+      token.kind = TokenKind::kIdent;
+      token.text = std::string(source_.substr(start, pos_ - start));
+      return token;
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < source_.size()) {
+      char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' || c == '%') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("xlog parse error at line " +
+                                   std::to_string(line_) + ": " + message);
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) {}
+
+  Result<Program> Parse() {
+    DELEX_RETURN_NOT_OK(Advance());
+    Program program;
+    while (current_.kind != TokenKind::kEnd) {
+      DELEX_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules.push_back(std::move(rule));
+    }
+    if (program.rules.empty()) {
+      return Status::InvalidArgument("xlog program has no rules");
+    }
+    return program;
+  }
+
+ private:
+  Status Advance() {
+    DELEX_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (current_.kind != kind) {
+      return Status::InvalidArgument(
+          "xlog parse error at line " + std::to_string(current_.line) +
+          ": expected " + what);
+    }
+    return Advance();
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    DELEX_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    DELEX_RETURN_NOT_OK(Expect(TokenKind::kImplies, "':-'"));
+    while (true) {
+      DELEX_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      rule.body.push_back(std::move(atom));
+      if (current_.kind == TokenKind::kComma) {
+        DELEX_RETURN_NOT_OK(Advance());
+        continue;
+      }
+      break;
+    }
+    DELEX_RETURN_NOT_OK(Expect(TokenKind::kPeriod, "'.'"));
+    return rule;
+  }
+
+  Result<Atom> ParseAtom() {
+    if (current_.kind != TokenKind::kIdent) {
+      return Status::InvalidArgument(
+          "xlog parse error at line " + std::to_string(current_.line) +
+          ": expected predicate name");
+    }
+    Atom atom;
+    atom.predicate = current_.text;
+    DELEX_RETURN_NOT_OK(Advance());
+    DELEX_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      switch (current_.kind) {
+        case TokenKind::kIdent:
+          atom.args.push_back(Term::Var(current_.text));
+          break;
+        case TokenKind::kString:
+          atom.args.push_back(Term::Str(current_.text));
+          break;
+        case TokenKind::kInt:
+          atom.args.push_back(Term::Int(current_.int_value));
+          break;
+        default:
+          return Status::InvalidArgument(
+              "xlog parse error at line " + std::to_string(current_.line) +
+              ": expected term");
+      }
+      DELEX_RETURN_NOT_OK(Advance());
+      if (current_.kind == TokenKind::kComma) {
+        DELEX_RETURN_NOT_OK(Advance());
+        continue;
+      }
+      break;
+    }
+    DELEX_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return atom;
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  return Parser(source).Parse();
+}
+
+}  // namespace xlog
+}  // namespace delex

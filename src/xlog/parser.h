@@ -1,0 +1,32 @@
+#ifndef DELEX_XLOG_PARSER_H_
+#define DELEX_XLOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xlog/ast.h"
+
+namespace delex {
+namespace xlog {
+
+/// \brief Parses xlog program text into an AST.
+///
+/// Grammar (a Datalog variant, §3 of the paper):
+///
+///   program  := rule+
+///   rule     := atom ":-" atom ("," atom)* "."
+///   atom     := IDENT "(" term ("," term)* ")"
+///   term     := IDENT            (variable)
+///             | STRING           ("double-quoted literal")
+///             | INTEGER
+///
+/// Comments run from '#' or '%' to end of line. The paper renders input
+/// arguments with an overline; the textual form needs no marker — binding
+/// direction is inferred during translation (an argument already bound by
+/// earlier atoms is an input).
+Result<Program> ParseProgram(std::string_view source);
+
+}  // namespace xlog
+}  // namespace delex
+
+#endif  // DELEX_XLOG_PARSER_H_

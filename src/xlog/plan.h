@@ -1,0 +1,117 @@
+#ifndef DELEX_XLOG_PLAN_H_
+#define DELEX_XLOG_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "extract/extractor.h"
+#include "storage/snapshot.h"
+#include "xlog/builtins.h"
+
+namespace delex {
+namespace xlog {
+
+/// Node kinds of an execution tree (Figure 2b / Figure 3a of the paper):
+/// relational operators mixed with IE blackbox procedures.
+enum class PlanKind { kScan, kIE, kSelect, kProject, kJoin };
+
+/// \brief One argument of a σ predicate: either a column of the input
+/// tuple or a literal value.
+struct PredArg {
+  int col = -1;
+  Value literal;
+
+  bool IsCol() const { return col >= 0; }
+  static PredArg Col(int c) {
+    PredArg a;
+    a.col = c;
+    return a;
+  }
+  static PredArg Lit(Value v) {
+    PredArg a;
+    a.literal = std::move(v);
+    return a;
+  }
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// \brief A node of an execution tree.
+///
+/// The tree is shared between the from-scratch interpreter (below), the
+/// baselines, and the Delex engine — they differ only in *how* IE nodes
+/// are evaluated, never in plan semantics.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+
+  /// Post-order id, assigned by AssignIds; stable across runs and used to
+  /// key reuse files and matcher assignments.
+  int id = -1;
+
+  /// Output column names (the xlog variables each column binds).
+  std::vector<std::string> schema;
+
+  /// kScan: none. kIE/kSelect/kProject: one. kJoin: two.
+  std::vector<PlanNodePtr> children;
+
+  // --- kIE ---
+  ExtractorPtr extractor;
+  int input_col = -1;  ///< column of the child tuple holding the input span
+
+  // --- kSelect ---
+  BuiltinPred pred = BuiltinPred::kBefore;
+  std::vector<PredArg> pred_args;
+
+  // --- kProject ---
+  std::vector<int> columns;  ///< child columns kept, in output order
+
+  // --- kJoin ---
+  /// Natural-join equality pairs (left col, right col).
+  std::vector<std::pair<int, int>> eq_pairs;
+  /// Right columns appended to the output (duplicates of join columns are
+  /// dropped).
+  std::vector<int> right_keep;
+
+  /// Short human-readable description ("IE[extractPerson]", "σ[within]").
+  std::string Label() const;
+};
+
+/// \brief Assigns post-order ids to every node. Call once after building.
+void AssignIds(const PlanNodePtr& root);
+
+/// \brief Renders the tree with indentation (for docs/tests/examples).
+std::string PlanToString(const PlanNode& root);
+
+/// \brief Collects nodes in post-order (children before parents).
+void CollectPostOrder(const PlanNodePtr& root, std::vector<PlanNodePtr>* out);
+
+/// \brief Number of IE nodes in the tree.
+int CountIENodes(const PlanNode& root);
+
+/// \brief Evaluates σ predicate `node` on `tuple` (resolving PredArgs).
+Result<bool> EvalSelect(const PlanNode& node, const Tuple& tuple,
+                        std::string_view page_text);
+
+/// \brief Evaluates a join-equality + right_keep combination.
+///
+/// Appends joined tuples of `left` × `right` to `*out`.
+void EvalJoin(const PlanNode& node, const std::vector<Tuple>& left,
+              const std::vector<Tuple>& right, std::vector<Tuple>* out);
+
+/// \brief From-scratch execution of a plan on a single page (the No-reuse
+/// path; also the correctness oracle for Theorem 1 tests).
+Result<std::vector<Tuple>> ExecutePlan(const PlanNode& root, const Page& page);
+
+/// \brief From-scratch execution over a whole snapshot; returns per-page
+/// results concatenated with a leading did column.
+Result<std::vector<Tuple>> ExecutePlanOnSnapshot(const PlanNode& root,
+                                                 const Snapshot& snapshot);
+
+}  // namespace xlog
+}  // namespace delex
+
+#endif  // DELEX_XLOG_PLAN_H_

@@ -1,0 +1,244 @@
+#include "xlog/translate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace delex {
+namespace xlog {
+namespace {
+
+int FindCol(const std::vector<std::string>& schema, const std::string& var) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+class Translator {
+ public:
+  Translator(const Program& program, const ExtractorRegistry& registry)
+      : program_(program), registry_(registry) {
+    for (size_t i = 0; i < program.rules.size(); ++i) {
+      const std::string& head = program.rules[i].head.predicate;
+      rule_index_.emplace(head, i);
+    }
+  }
+
+  Result<PlanNodePtr> Build(const std::string& predicate) {
+    auto range = rule_index_.equal_range(predicate);
+    if (range.first == range.second) {
+      return Status::NotFound("no rule defines predicate '" + predicate + "'");
+    }
+    if (std::distance(range.first, range.second) > 1) {
+      return Status::NotSupported("predicate '" + predicate +
+                                  "' has multiple rules (union unsupported)");
+    }
+    if (visiting_.contains(predicate)) {
+      return Status::NotSupported("recursive predicate '" + predicate +
+                                  "' (xlog forbids recursion)");
+    }
+    visiting_.insert(predicate);
+    Result<PlanNodePtr> result = BuildRule(program_.rules[range.first->second]);
+    visiting_.erase(predicate);
+    return result;
+  }
+
+ private:
+  Result<PlanNodePtr> BuildRule(const Rule& rule) {
+    PlanNodePtr plan;
+    for (const Atom& atom : rule.body) {
+      if (atom.predicate == "docs") {
+        DELEX_RETURN_NOT_OK(ApplyDocs(atom, &plan));
+      } else if (registry_.Contains(atom.predicate)) {
+        DELEX_RETURN_NOT_OK(ApplyIE(atom, &plan));
+      } else if (IsBuiltin(atom.predicate)) {
+        DELEX_RETURN_NOT_OK(ApplyBuiltin(atom, &plan));
+      } else if (rule_index_.contains(atom.predicate)) {
+        DELEX_RETURN_NOT_OK(ApplyIntensional(atom, &plan));
+      } else {
+        return Status::NotFound("atom '" + atom.predicate +
+                                "' is neither docs, a registered extractor, "
+                                "a builtin, nor a rule head");
+      }
+    }
+    if (plan == nullptr) {
+      return Status::InvalidArgument("rule for '" + rule.head.predicate +
+                                     "' has an empty body");
+    }
+    // Final π onto the head variables.
+    auto project = std::make_shared<PlanNode>();
+    project->kind = PlanKind::kProject;
+    project->children.push_back(plan);
+    for (const Term& term : rule.head.args) {
+      if (!term.IsVar()) {
+        return Status::NotSupported("literal in rule head");
+      }
+      int col = FindCol(plan->schema, term.text);
+      if (col < 0) {
+        return Status::InvalidArgument("head variable '" + term.text +
+                                       "' is unbound in rule body");
+      }
+      project->columns.push_back(col);
+      project->schema.push_back(term.text);
+    }
+    return project;
+  }
+
+  Status ApplyDocs(const Atom& atom, PlanNodePtr* plan) {
+    if (*plan != nullptr) {
+      return Status::NotSupported("docs(...) must be the first atom");
+    }
+    if (atom.args.size() != 1 || !atom.args[0].IsVar()) {
+      return Status::InvalidArgument("docs expects one variable");
+    }
+    auto scan = std::make_shared<PlanNode>();
+    scan->kind = PlanKind::kScan;
+    scan->schema.push_back(atom.args[0].text);
+    *plan = std::move(scan);
+    return Status::OK();
+  }
+
+  Status ApplyIE(const Atom& atom, PlanNodePtr* plan) {
+    DELEX_ASSIGN_OR_RETURN(ExtractorPtr extractor,
+                           registry_.Lookup(atom.predicate));
+    size_t expected = 1 + static_cast<size_t>(extractor->OutputArity());
+    if (atom.args.size() != expected) {
+      return Status::InvalidArgument(
+          "IE predicate '" + atom.predicate + "' expects " +
+          std::to_string(expected) + " arguments");
+    }
+    if (*plan == nullptr) {
+      return Status::InvalidArgument("IE predicate '" + atom.predicate +
+                                     "' has no bound input (docs missing?)");
+    }
+    if (!atom.args[0].IsVar()) {
+      return Status::InvalidArgument("IE input must be a variable");
+    }
+    int input_col = FindCol((*plan)->schema, atom.args[0].text);
+    if (input_col < 0) {
+      return Status::InvalidArgument("IE input variable '" +
+                                     atom.args[0].text + "' is unbound");
+    }
+    auto ie = std::make_shared<PlanNode>();
+    ie->kind = PlanKind::kIE;
+    ie->extractor = std::move(extractor);
+    ie->input_col = input_col;
+    ie->children.push_back(*plan);
+    ie->schema = (*plan)->schema;
+    for (size_t i = 1; i < atom.args.size(); ++i) {
+      const Term& term = atom.args[i];
+      if (!term.IsVar()) {
+        return Status::NotSupported("IE output must be a variable");
+      }
+      if (FindCol(ie->schema, term.text) >= 0) {
+        return Status::NotSupported("IE output variable '" + term.text +
+                                    "' is already bound");
+      }
+      ie->schema.push_back(term.text);
+    }
+    *plan = std::move(ie);
+    return Status::OK();
+  }
+
+  Status ApplyBuiltin(const Atom& atom, PlanNodePtr* plan) {
+    DELEX_ASSIGN_OR_RETURN(BuiltinPred pred, LookupBuiltin(atom.predicate));
+    if (static_cast<int>(atom.args.size()) != BuiltinArity(pred)) {
+      return Status::InvalidArgument("builtin '" + atom.predicate +
+                                     "' has wrong arity");
+    }
+    if (*plan == nullptr) {
+      return Status::InvalidArgument("builtin '" + atom.predicate +
+                                     "' appears before any generator atom");
+    }
+    auto select = std::make_shared<PlanNode>();
+    select->kind = PlanKind::kSelect;
+    select->pred = pred;
+    select->children.push_back(*plan);
+    select->schema = (*plan)->schema;
+    for (const Term& term : atom.args) {
+      switch (term.kind) {
+        case Term::Kind::kVariable: {
+          int col = FindCol((*plan)->schema, term.text);
+          if (col < 0) {
+            return Status::InvalidArgument("builtin argument '" + term.text +
+                                           "' is unbound");
+          }
+          select->pred_args.push_back(PredArg::Col(col));
+          break;
+        }
+        case Term::Kind::kString:
+          select->pred_args.push_back(PredArg::Lit(Value(term.text)));
+          break;
+        case Term::Kind::kInt:
+          select->pred_args.push_back(PredArg::Lit(Value(term.int_value)));
+          break;
+      }
+    }
+    *plan = std::move(select);
+    return Status::OK();
+  }
+
+  Status ApplyIntensional(const Atom& atom, PlanNodePtr* plan) {
+    DELEX_ASSIGN_OR_RETURN(PlanNodePtr sub, Build(atom.predicate));
+    if (atom.args.size() != sub->schema.size()) {
+      return Status::InvalidArgument("atom '" + atom.predicate +
+                                     "' has wrong arity");
+    }
+    // Rename the subplan's output columns to this atom's variables.
+    std::vector<std::string> renamed;
+    renamed.reserve(atom.args.size());
+    for (const Term& term : atom.args) {
+      if (!term.IsVar()) {
+        return Status::NotSupported(
+            "literal argument to intensional predicate");
+      }
+      renamed.push_back(term.text);
+    }
+    sub->schema = std::move(renamed);
+
+    if (*plan == nullptr) {
+      *plan = std::move(sub);
+      return Status::OK();
+    }
+    // Natural join on shared variable names.
+    auto join = std::make_shared<PlanNode>();
+    join->kind = PlanKind::kJoin;
+    join->children.push_back(*plan);
+    join->children.push_back(sub);
+    join->schema = (*plan)->schema;
+    const PlanNodePtr& right = join->children[1];
+    for (size_t rc = 0; rc < right->schema.size(); ++rc) {
+      int lc = FindCol((*plan)->schema, right->schema[rc]);
+      if (lc >= 0) {
+        join->eq_pairs.emplace_back(lc, static_cast<int>(rc));
+      } else {
+        join->right_keep.push_back(static_cast<int>(rc));
+        join->schema.push_back(right->schema[rc]);
+      }
+    }
+    *plan = std::move(join);
+    return Status::OK();
+  }
+
+  const Program& program_;
+  const ExtractorRegistry& registry_;
+  std::unordered_multimap<std::string, size_t> rule_index_;
+  std::unordered_set<std::string> visiting_;
+};
+
+}  // namespace
+
+Result<PlanNodePtr> TranslateProgram(const Program& program,
+                                     const ExtractorRegistry& registry,
+                                     const std::string& target) {
+  Translator translator(program, registry);
+  const std::string& goal =
+      target.empty() ? program.TargetPredicate() : target;
+  DELEX_ASSIGN_OR_RETURN(PlanNodePtr root, translator.Build(goal));
+  AssignIds(root);
+  return root;
+}
+
+}  // namespace xlog
+}  // namespace delex

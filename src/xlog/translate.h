@@ -1,0 +1,39 @@
+#ifndef DELEX_XLOG_TRANSLATE_H_
+#define DELEX_XLOG_TRANSLATE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "extract/registry.h"
+#include "xlog/ast.h"
+#include "xlog/plan.h"
+
+namespace delex {
+namespace xlog {
+
+/// \brief Translates a parsed xlog program into an execution tree
+/// (the Shen et al. VLDB'07 step the paper performs before handing the
+/// tree to Delex, §7).
+///
+/// Body atoms resolve, in order of declaration, to:
+///  - `docs(d)`      → a scan node (must be the first atom of a rule that
+///                     does not start from an intensional predicate);
+///  - a name bound in `registry` → an IE node: first argument is the input
+///    span (must already be bound), remaining arguments bind the
+///    blackbox's outputs (must be fresh variables);
+///  - a builtin (immBefore, within, ...) → a σ node (all variable
+///    arguments must be bound);
+///  - an intensional predicate (head of another rule) → its subplan,
+///    natural-joined with the atoms translated so far.
+///
+/// The rule's head becomes a final π. `target` selects which rule head is
+/// the program result (default: the head of the last rule). The returned
+/// tree has post-order ids assigned.
+Result<PlanNodePtr> TranslateProgram(const Program& program,
+                                     const ExtractorRegistry& registry,
+                                     const std::string& target = "");
+
+}  // namespace xlog
+}  // namespace delex
+
+#endif  // DELEX_XLOG_TRANSLATE_H_

@@ -1,0 +1,118 @@
+// Tests for the baselines: the whole-program blackbox wrapper that gives
+// Cyclex semantics, the Shortcut page-cache runner, and No-reuse.
+
+#include <gtest/gtest.h>
+
+#include "baseline/plan_extractor.h"
+#include "baseline/runners.h"
+#include "delex/ie_unit.h"
+#include "harness/experiment.h"
+#include "harness/programs.h"
+
+namespace delex {
+namespace {
+
+TEST(PlanExtractorTest, WrappedPlanMatchesDirectExecution) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  Page page;
+  page.did = 0;
+  page.content =
+      "The film \"Broken Compass\" grossed 321 million dollars worldwide.\n\n"
+      "Unrelated paragraph without revenue.";
+
+  auto direct = xlog::ExecutePlan(*spec.plan, page);
+  ASSERT_TRUE(direct.ok());
+
+  PlanExtractor wrapped("whole", spec.plan, spec.whole_alpha, spec.whole_beta);
+  auto via_blackbox = wrapped.Extract(page.content, 0, {});
+  ASSERT_EQ(via_blackbox.size(), direct->size());
+  for (size_t i = 0; i < via_blackbox.size(); ++i) {
+    EXPECT_FALSE(TupleLess(via_blackbox[i], (*direct)[i]) ||
+                 TupleLess((*direct)[i], via_blackbox[i]));
+  }
+  EXPECT_EQ(wrapped.OutputArity(),
+            static_cast<int64_t>(spec.plan->schema.size()));
+}
+
+TEST(PlanExtractorTest, TranslationInvariant) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  std::string text =
+      "The film \"Broken Compass\" grossed 321 million dollars worldwide.";
+  PlanExtractor wrapped("whole", spec.plan, spec.whole_alpha, spec.whole_beta);
+  auto at_zero = wrapped.Extract(text, 0, {});
+  auto at_base = wrapped.Extract(text, 777, {});
+  ASSERT_EQ(at_zero.size(), at_base.size());
+  for (size_t i = 0; i < at_zero.size(); ++i) {
+    Tuple shifted = at_zero[i];
+    ShiftSpans(&shifted, 777);
+    EXPECT_FALSE(TupleLess(shifted, at_base[i]) ||
+                 TupleLess(at_base[i], shifted));
+  }
+}
+
+TEST(PlanExtractorTest, WrapProducesSingleUnitTree) {
+  ProgramSpec spec = *MakeProgram("advise");  // 5 blackboxes inside
+  xlog::PlanNodePtr wrapped = WrapWholeProgram(spec.plan, "whole", 1000, 10);
+  auto analysis = AnalyzeUnits(wrapped);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->units.size(), 1u);  // Cyclex sees one blackbox
+  EXPECT_EQ(analysis->units[0].alpha, 1000);
+  EXPECT_EQ(analysis->units[0].beta, 10);
+}
+
+TEST(ShortcutRunnerTest, CopiesOnlyIdenticalPages) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  ShortcutRunner runner(spec.plan);
+
+  Snapshot first;
+  std::string hit_page =
+      "The film \"Winter Protocol\" grossed 640 million dollars worldwide.";
+  first.AddPage("a", hit_page);
+  first.AddPage("b", "nothing here\n\nat all");
+  RunStats stats;
+  auto rows1 = runner.RunSnapshot(first, &stats);
+  ASSERT_TRUE(rows1.ok());
+  EXPECT_EQ(runner.identical_pages_last_run(), 0);
+
+  Snapshot second;
+  second.AddPage("a", hit_page);                      // identical
+  second.AddPage("b", "changed text\n\nentirely so");  // changed
+  auto rows2 = runner.RunSnapshot(second, &stats);
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(runner.identical_pages_last_run(), 1);
+  EXPECT_EQ(rows2->size(), rows1->size());
+  EXPECT_GT(stats.phases.copy_us + stats.phases.extract_us, 0);
+}
+
+TEST(ShortcutRunnerTest, CacheKeyedByUrlNotPosition) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  ShortcutRunner runner(spec.plan);
+  Snapshot first;
+  first.AddPage("x", "page one\n\ncontent");
+  first.AddPage("y", "page two\n\ncontent");
+  RunStats stats;
+  ASSERT_TRUE(runner.RunSnapshot(first, &stats).ok());
+  // Same pages, swapped order: both should hit.
+  Snapshot second;
+  second.AddPage("y", "page two\n\ncontent");
+  second.AddPage("x", "page one\n\ncontent");
+  ASSERT_TRUE(runner.RunSnapshot(second, &stats).ok());
+  EXPECT_EQ(runner.identical_pages_last_run(), 2);
+}
+
+TEST(NoReuseRunnerTest, StatsReportPagesAndTuples) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  NoReuseRunner runner(spec.plan);
+  Snapshot snapshot;
+  snapshot.AddPage(
+      "a", "The film \"Silent Harbor\" grossed 900 million dollars worldwide.");
+  RunStats stats;
+  auto rows = runner.RunSnapshot(snapshot, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.pages, 1);
+  EXPECT_EQ(stats.result_tuples, static_cast<int64_t>(rows->size()));
+  EXPECT_GT(stats.phases.extract_us, 0);
+}
+
+}  // namespace
+}  // namespace delex

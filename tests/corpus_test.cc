@@ -1,0 +1,173 @@
+// Tests for the synthetic evolving-corpus generator: determinism,
+// overlap-structure fidelity to the profiles, and incrementality
+// (unchanged pages must stay byte-identical — the property all reuse
+// machinery feeds on).
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/vocab.h"
+
+namespace delex {
+namespace {
+
+TEST(CorpusGenerator, DeterministicForSameSeed) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 20;
+  CorpusGenerator a(profile, 7);
+  CorpusGenerator b(profile, 7);
+  Snapshot sa = a.Initial();
+  Snapshot sb = b.Initial();
+  ASSERT_EQ(sa.NumPages(), sb.NumPages());
+  for (size_t i = 0; i < sa.NumPages(); ++i) {
+    EXPECT_EQ(sa.pages()[i].url, sb.pages()[i].url);
+    EXPECT_EQ(sa.pages()[i].content, sb.pages()[i].content);
+  }
+  Snapshot ea = a.Evolve(sa);
+  Snapshot eb = b.Evolve(sb);
+  for (size_t i = 0; i < ea.NumPages(); ++i) {
+    EXPECT_EQ(ea.pages()[i].content, eb.pages()[i].content);
+  }
+}
+
+TEST(CorpusGenerator, DifferentSeedsDiffer) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 5;
+  Snapshot a = CorpusGenerator(profile, 1).Initial();
+  Snapshot b = CorpusGenerator(profile, 2).Initial();
+  EXPECT_NE(a.pages()[0].content, b.pages()[0].content);
+}
+
+class ProfileFidelity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ProfileFidelity, IdenticalFractionTracksProfile) {
+  const bool wiki = GetParam();
+  DatasetProfile profile =
+      wiki ? DatasetProfile::Wikipedia() : DatasetProfile::DBLife();
+  profile.num_sources = 300;
+  CorpusGenerator generator(profile, 99);
+  Snapshot prev = generator.Initial();
+  double identical_sum = 0;
+  int pairs = 4;
+  for (int i = 0; i < pairs; ++i) {
+    Snapshot next = generator.Evolve(prev);
+    int64_t identical = 0;
+    int64_t survivors = 0;
+    for (const Page& page : next.pages()) {
+      auto idx = prev.FindByUrl(page.url);
+      if (!idx) continue;
+      ++survivors;
+      if (prev.pages()[*idx].content == page.content) ++identical;
+    }
+    identical_sum +=
+        static_cast<double>(identical) / static_cast<double>(survivors);
+    prev = std::move(next);
+  }
+  double fraction = identical_sum / pairs;
+  EXPECT_NEAR(fraction, profile.identical_fraction, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileFidelity, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Wikipedia" : "DBLife";
+                         });
+
+TEST(CorpusGenerator, ChangedPagesShareMostContent) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 50;
+  profile.identical_fraction = 0.0;  // force edits everywhere
+  CorpusGenerator generator(profile, 5);
+  Snapshot first = generator.Initial();
+  Snapshot second = generator.Evolve(first);
+  for (const Page& page : second.pages()) {
+    auto idx = first.FindByUrl(page.url);
+    if (!idx) continue;
+    const std::string& before = first.pages()[*idx].content;
+    // Paragraph-granularity edits: most paragraphs survive verbatim.
+    size_t shared = 0;
+    size_t start = 0;
+    size_t total = 0;
+    while (start <= before.size()) {
+      size_t hit = before.find("\n\n", start);
+      std::string paragraph = before.substr(
+          start, hit == std::string::npos ? std::string::npos : hit - start);
+      ++total;
+      if (page.content.find(paragraph) != std::string::npos) ++shared;
+      if (hit == std::string::npos) break;
+      start = hit + 2;
+    }
+    EXPECT_GT(shared, total / 2) << page.url;
+  }
+}
+
+TEST(CorpusGenerator, PageSizesInCrawlRange) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 30;
+  Snapshot snapshot = CorpusGenerator(profile, 3).Initial();
+  for (const Page& page : snapshot.pages()) {
+    EXPECT_GT(page.content.size(), 3000u);
+    EXPECT_LT(page.content.size(), 40000u);
+  }
+}
+
+TEST(CorpusGenerator, NewPagesGetFreshUrls) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 50;
+  profile.page_add_rate = 1.0;  // guarantee additions
+  profile.page_delete_rate = 0.0;
+  CorpusGenerator generator(profile, 8);
+  Snapshot first = generator.Initial();
+  Snapshot second = generator.Evolve(first);
+  EXPECT_GT(second.NumPages(), first.NumPages());
+  // Added URLs never collide with existing ones.
+  for (const Page& page : second.pages()) {
+    size_t count = 0;
+    for (const Page& other : second.pages()) {
+      if (other.url == page.url) ++count;
+    }
+    EXPECT_EQ(count, 1u) << page.url;
+  }
+}
+
+TEST(CorpusGenerator, EntitySentencesAppearInBothStyles) {
+  for (bool wiki : {false, true}) {
+    DatasetProfile profile =
+        wiki ? DatasetProfile::Wikipedia() : DatasetProfile::DBLife();
+    profile.num_sources = 10;
+    Snapshot snapshot = CorpusGenerator(profile, 11).Initial();
+    std::string all;
+    for (const Page& page : snapshot.pages()) all += page.content;
+    if (wiki) {
+      EXPECT_NE(all.find("starred in"), std::string::npos);
+      EXPECT_NE(all.find("grossed"), std::string::npos);
+      EXPECT_NE(all.find("won the"), std::string::npos);
+    } else {
+      EXPECT_NE(all.find("Talk: "), std::string::npos);
+      EXPECT_NE(all.find("advises"), std::string::npos);
+      EXPECT_NE(all.find("chair of"), std::string::npos);
+    }
+  }
+}
+
+TEST(Vocab, PoolsNonEmptyAndStable) {
+  EXPECT_GE(vocab::Researchers().size(), 50u);
+  EXPECT_GE(vocab::Actors().size(), 50u);
+  EXPECT_FALSE(vocab::Movies().empty());
+  EXPECT_FALSE(vocab::Awards().empty());
+  // Stable references (memoized).
+  EXPECT_EQ(&vocab::Researchers(), &vocab::Researchers());
+}
+
+TEST(Vocab, RandomTimeMatchesTalkRegexShape) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    std::string t = vocab::RandomTime(&rng);
+    EXPECT_TRUE(t.find("am") != std::string::npos ||
+                t.find("pm") != std::string::npos)
+        << t;
+    EXPECT_TRUE(isdigit(static_cast<unsigned char>(t[0]))) << t;
+  }
+}
+
+}  // namespace
+}  // namespace delex

@@ -1,0 +1,155 @@
+// Theorem 1 (§7): Delex applied to snapshot P_{n+1} produces exactly the
+// mentions that running the IE program from scratch produces — for every
+// program, every matcher assignment, and both dataset profiles. These are
+// the load-bearing tests of the whole reproduction: any violation of the
+// (α, β) safety rules, capture format, or streaming reuse logic shows up
+// here as a result mismatch.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/experiment.h"
+#include "harness/programs.h"
+
+namespace delex {
+namespace {
+
+std::string TempWorkDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("delex-test-" + tag)).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Shrinks a profile for test speed.
+DatasetProfile SmallProfile(DatasetProfile profile, int pages) {
+  profile.num_sources = pages;
+  return profile;
+}
+
+class ProgramCorrectness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProgramCorrectness, DelexMatchesFromScratchAcrossSnapshots) {
+  const std::string program_name = GetParam();
+  auto spec_or = MakeProgram(program_name);
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+
+  // infobox's CRFs are expensive; use fewer pages there.
+  const int pages = program_name == "infobox" ? 12 : 25;
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), pages), 4, /*seed=*/7);
+
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto delex = MakeDelexSolution(spec, TempWorkDir("dx-" + program_name));
+
+  auto baseline_run = RunSeries(no_reuse.get(), series, /*keep_results=*/true);
+  ASSERT_TRUE(baseline_run.ok()) << baseline_run.status().ToString();
+  auto delex_run = RunSeries(delex.get(), series, /*keep_results=*/true);
+  ASSERT_TRUE(delex_run.ok()) << delex_run.status().ToString();
+
+  ASSERT_EQ(baseline_run->results.size(), delex_run->results.size());
+  for (size_t i = 0; i < baseline_run->results.size(); ++i) {
+    EXPECT_TRUE(SameResults(baseline_run->results[i], delex_run->results[i]))
+        << program_name << ": snapshot " << i + 2 << " differs ("
+        << baseline_run->results[i].size() << " vs "
+        << delex_run->results[i].size() << " tuples)";
+  }
+}
+
+TEST_P(ProgramCorrectness, CyclexMatchesFromScratch) {
+  const std::string program_name = GetParam();
+  auto spec_or = MakeProgram(program_name);
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+
+  const int pages = program_name == "infobox" ? 8 : 15;
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), pages), 3, /*seed=*/11);
+
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto cyclex = MakeCyclexSolution(spec, TempWorkDir("cy-" + program_name));
+
+  auto baseline_run = RunSeries(no_reuse.get(), series, /*keep_results=*/true);
+  ASSERT_TRUE(baseline_run.ok()) << baseline_run.status().ToString();
+  auto cyclex_run = RunSeries(cyclex.get(), series, /*keep_results=*/true);
+  ASSERT_TRUE(cyclex_run.ok()) << cyclex_run.status().ToString();
+
+  for (size_t i = 0; i < baseline_run->results.size(); ++i) {
+    EXPECT_TRUE(SameResults(baseline_run->results[i], cyclex_run->results[i]))
+        << program_name << ": snapshot " << i + 2 << " differs";
+  }
+}
+
+TEST_P(ProgramCorrectness, ShortcutMatchesFromScratch) {
+  const std::string program_name = GetParam();
+  auto spec_or = MakeProgram(program_name);
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+
+  const int pages = program_name == "infobox" ? 8 : 15;
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), pages), 3, /*seed=*/13);
+
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto shortcut = MakeShortcutSolution(spec);
+
+  auto baseline_run = RunSeries(no_reuse.get(), series, /*keep_results=*/true);
+  ASSERT_TRUE(baseline_run.ok()) << baseline_run.status().ToString();
+  auto shortcut_run = RunSeries(shortcut.get(), series, /*keep_results=*/true);
+  ASSERT_TRUE(shortcut_run.ok()) << shortcut_run.status().ToString();
+
+  for (size_t i = 0; i < baseline_run->results.size(); ++i) {
+    EXPECT_TRUE(SameResults(baseline_run->results[i], shortcut_run->results[i]))
+        << program_name << ": snapshot " << i + 2 << " differs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ProgramCorrectness,
+                         ::testing::Values("talk", "chair", "advise",
+                                           "blockbuster", "play", "award",
+                                           "infobox"),
+                         [](const auto& info) { return info.param; });
+
+/// Every fixed matcher assignment must preserve correctness — the
+/// optimizer only affects speed, never results (§6).
+class AssignmentCorrectness : public ::testing::TestWithParam<MatcherKind> {};
+
+TEST_P(AssignmentCorrectness, UniformAssignmentPreservesResults) {
+  auto spec_or = MakeProgram("play");
+  ASSERT_TRUE(spec_or.ok());
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), 20), 3, /*seed=*/17);
+
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto baseline_run = RunSeries(no_reuse.get(), series, true);
+  ASSERT_TRUE(baseline_run.ok());
+
+  DelexSolutionOptions options;
+  options.forced_assignment = MatcherAssignment::Uniform(4, GetParam());
+  auto delex = MakeDelexSolution(
+      spec,
+      TempWorkDir(std::string("asg-") + MatcherKindName(GetParam())),
+      options);
+  auto delex_run = RunSeries(delex.get(), series, true);
+  ASSERT_TRUE(delex_run.ok()) << delex_run.status().ToString();
+
+  for (size_t i = 0; i < baseline_run->results.size(); ++i) {
+    EXPECT_TRUE(SameResults(baseline_run->results[i], delex_run->results[i]))
+        << "assignment " << MatcherKindName(GetParam()) << ", snapshot "
+        << i + 2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, AssignmentCorrectness,
+                         ::testing::Values(MatcherKind::kDN, MatcherKind::kUD,
+                                           MatcherKind::kST, MatcherKind::kRU),
+                         [](const auto& info) {
+                           return MatcherKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace delex

@@ -1,0 +1,322 @@
+// Engine-level tests: that Delex actually *reuses* (not just stays
+// correct), that page churn and ordering perturbations degrade gracefully,
+// that capture works across generations, and that the ablation switches
+// (exact path off, folding off) and randomized matcher assignments all
+// preserve Theorem 1.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "delex/engine.h"
+#include "harness/experiment.h"
+#include "harness/programs.h"
+
+namespace delex {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("delex-engine-" + tag)).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+DatasetProfile Small(DatasetProfile profile, int pages) {
+  profile.num_sources = pages;
+  return profile;
+}
+
+TEST(Engine, RequiresInitAndCaptureBeforeReuse) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  DelexEngine::Options options;
+  options.work_dir = FreshDir("init");
+  DelexEngine engine(spec.plan, options);
+
+  Snapshot snapshot;
+  snapshot.AddPage("u", "text\n\nmore");
+  MatcherAssignment none;
+  EXPECT_FALSE(engine.RunSnapshot(snapshot, nullptr, none, nullptr).ok());
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_FALSE(engine.Init().ok());  // double init rejected
+  // Reuse before any capture is rejected.
+  EXPECT_FALSE(engine.RunSnapshot(snapshot, &snapshot, none, nullptr).ok());
+  EXPECT_TRUE(engine.RunSnapshot(snapshot, nullptr, none, nullptr).ok());
+  EXPECT_EQ(engine.generation(), 1);
+}
+
+TEST(Engine, ReuseActuallyHappensOnStableCorpus) {
+  ProgramSpec spec = *MakeProgram("chair");
+  std::vector<Snapshot> series =
+      GenerateSeries(Small(spec.Profile(), 30), 3, 21);
+  DelexEngine::Options options;
+  options.work_dir = FreshDir("reuse");
+  DelexEngine engine(spec.plan, options);
+  ASSERT_TRUE(engine.Init().ok());
+  MatcherAssignment st =
+      MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kST);
+
+  RunStats first;
+  ASSERT_TRUE(engine.RunSnapshot(series[0], nullptr, st, &first).ok());
+  int64_t scratch_chars = 0;
+  for (const UnitRunStats& u : first.units) scratch_chars += u.chars_extracted;
+
+  RunStats second;
+  ASSERT_TRUE(engine.RunSnapshot(series[1], &series[0], st, &second).ok());
+  int64_t reused_chars = 0;
+  int64_t copied = 0;
+  for (const UnitRunStats& u : second.units) {
+    reused_chars += u.chars_extracted;
+    copied += u.copied_tuples;
+  }
+  EXPECT_GT(copied, 0);
+  // On a 97%-identical corpus, re-extraction must collapse.
+  EXPECT_LT(reused_chars, scratch_chars / 5);
+  EXPECT_GT(second.pages_with_previous, 0);
+}
+
+TEST(Engine, ExactFastPathHitsOnIdenticalPages) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  Snapshot snapshot;
+  snapshot.AddPage("u", "Movie paragraph about \"Silent Harbor\" here.\n\n"
+                        "Another paragraph entirely.");
+  DelexEngine::Options options;
+  options.work_dir = FreshDir("exact");
+  DelexEngine engine(spec.plan, options);
+  ASSERT_TRUE(engine.Init().ok());
+  MatcherAssignment dn =
+      MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kDN);
+  ASSERT_TRUE(engine.RunSnapshot(snapshot, nullptr, dn, nullptr).ok());
+  RunStats stats;
+  ASSERT_TRUE(engine.RunSnapshot(snapshot, &snapshot, dn, &stats).ok());
+  int64_t exact = 0;
+  int64_t extracted_chars = 0;
+  for (const UnitRunStats& u : stats.units) {
+    exact += u.exact_region_hits;
+    extracted_chars += u.chars_extracted;
+  }
+  EXPECT_GT(exact, 0);
+  EXPECT_EQ(extracted_chars, 0);  // everything copied, nothing re-run
+}
+
+TEST(Engine, PageChurnHandled) {
+  // Deleted, added, and renamed pages must all flow through.
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  Snapshot first;
+  std::string content =
+      "The film \"Glass Mountain\" grossed 500 million dollars worldwide.";
+  first.AddPage("a", content);
+  first.AddPage("b", content);
+  first.AddPage("c", content);
+  Snapshot second;
+  second.AddPage("a", content);      // unchanged
+  second.AddPage("d", content);      // new page
+  // "b" and "c" deleted.
+
+  DelexEngine::Options options;
+  options.work_dir = FreshDir("churn");
+  DelexEngine engine(spec.plan, options);
+  ASSERT_TRUE(engine.Init().ok());
+  MatcherAssignment ud =
+      MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kUD);
+  ASSERT_TRUE(engine.RunSnapshot(first, nullptr, ud, nullptr).ok());
+  auto result = engine.RunSnapshot(second, &first, ud, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Identical program output per page: 1 blockbuster row each.
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(Engine, ReuseFilesCleanedAfterConsumption) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  std::vector<Snapshot> series =
+      GenerateSeries(Small(spec.Profile(), 5), 3, 3);
+  std::string dir = FreshDir("cleanup");
+  DelexEngine::Options options;
+  options.work_dir = dir;
+  DelexEngine engine(spec.plan, options);
+  ASSERT_TRUE(engine.Init().ok());
+  MatcherAssignment dn =
+      MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kDN);
+  ASSERT_TRUE(engine.RunSnapshot(series[0], nullptr, dn, nullptr).ok());
+  ASSERT_TRUE(engine.RunSnapshot(series[1], &series[0], dn, nullptr).ok());
+  ASSERT_TRUE(engine.RunSnapshot(series[2], &series[1], dn, nullptr).ok());
+  // Only the latest generation remains on disk.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().string().find("gen2"), std::string::npos)
+        << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 2u * engine.NumUnits());
+}
+
+TEST(Engine, CapturedResultsSurviveAcrossGenerations) {
+  // Reuse in generation 3 still matches from-scratch (files round-trip
+  // across generations, tids/itids stay aligned).
+  ProgramSpec spec = *MakeProgram("chair");
+  std::vector<Snapshot> series =
+      GenerateSeries(Small(spec.Profile(), 15), 5, 77);
+  auto delex = MakeDelexSolution(spec, FreshDir("gen"));
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto delex_run = RunSeries(delex.get(), series, true);
+  auto base_run = RunSeries(no_reuse.get(), series, true);
+  ASSERT_TRUE(delex_run.ok());
+  ASSERT_TRUE(base_run.ok());
+  for (size_t i = 0; i < base_run->results.size(); ++i) {
+    EXPECT_TRUE(SameResults(base_run->results[i], delex_run->results[i]))
+        << "generation " << i + 1;
+  }
+}
+
+/// Property: random per-unit matcher assignments (mixing all four kinds)
+/// preserve Theorem 1 on a fast-changing corpus.
+class RandomAssignment : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomAssignment, MixedMatchersPreserveResults) {
+  ProgramSpec spec = *MakeProgram("play");
+  DatasetProfile profile = Small(spec.Profile(), 15);
+  std::vector<Snapshot> series = GenerateSeries(profile, 4, GetParam());
+
+  Rng rng(GetParam() * 17);
+  DelexSolutionOptions options;
+  options.forced_assignment.per_unit.resize(4);
+  for (auto& kind : options.forced_assignment.per_unit) {
+    kind = kAllMatcherKinds[rng.Uniform(4)];
+  }
+  auto delex = MakeDelexSolution(
+      spec, FreshDir("rand" + std::to_string(GetParam())), options);
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto delex_run = RunSeries(delex.get(), series, true);
+  auto base_run = RunSeries(no_reuse.get(), series, true);
+  ASSERT_TRUE(delex_run.ok());
+  ASSERT_TRUE(base_run.ok());
+  for (size_t i = 0; i < base_run->results.size(); ++i) {
+    EXPECT_TRUE(SameResults(base_run->results[i], delex_run->results[i]))
+        << "assignment " << options.forced_assignment.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssignment,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Engine, AblationSwitchesPreserveResults) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  std::vector<Snapshot> series =
+      GenerateSeries(Small(spec.Profile(), 15), 3, 55);
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto base_run = RunSeries(no_reuse.get(), series, true);
+  ASSERT_TRUE(base_run.ok());
+
+  for (int variant = 0; variant < 2; ++variant) {
+    DelexSolutionOptions options;
+    if (variant == 0) options.disable_exact_fast_path = true;
+    if (variant == 1) options.fold_unit_operators = false;
+    auto delex = MakeDelexSolution(
+        spec, FreshDir("abl" + std::to_string(variant)), options);
+    auto run = RunSeries(delex.get(), series, true);
+    ASSERT_TRUE(run.ok());
+    for (size_t i = 0; i < base_run->results.size(); ++i) {
+      EXPECT_TRUE(SameResults(base_run->results[i], run->results[i]))
+          << "variant " << variant;
+    }
+  }
+}
+
+TEST(Engine, FoldingShrinksCapturedOutputs) {
+  // σ folding captures post-selection tuples: the .out reuse files of the
+  // folded engine must be smaller (§4's storage argument).
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  std::vector<Snapshot> series =
+      GenerateSeries(Small(spec.Profile(), 20), 2, 31);
+
+  auto run_variant = [&](bool fold) {
+    DelexEngine::Options options;
+    options.work_dir = FreshDir(fold ? "foldon" : "foldoff");
+    options.fold_unit_operators = fold;
+    DelexEngine engine(spec.plan, options);
+    EXPECT_TRUE(engine.Init().ok());
+    MatcherAssignment dn =
+        MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kDN);
+    RunStats stats;
+    EXPECT_TRUE(engine.RunSnapshot(series[0], nullptr, dn, &stats).ok());
+    return stats.reuse_write_io.bytes_written;
+  };
+  int64_t folded_bytes = run_variant(true);
+  int64_t unfolded_bytes = run_variant(false);
+  EXPECT_LT(folded_bytes, unfolded_bytes);
+}
+
+TEST(Engine, ResumeContinuesAcrossProcessRestart) {
+  // Simulate a daily cron job: each snapshot is handled by a fresh engine
+  // instance that resumes from the reuse files the previous one left.
+  ProgramSpec spec = *MakeProgram("chair");
+  std::vector<Snapshot> series =
+      GenerateSeries(Small(spec.Profile(), 12), 3, 202);
+  std::string dir = FreshDir("resume");
+
+  auto no_reuse = MakeNoReuseSolution(spec);
+  auto base_run = RunSeries(no_reuse.get(), series, true);
+  ASSERT_TRUE(base_run.ok());
+
+  std::vector<std::vector<Tuple>> results;
+  for (size_t i = 0; i < series.size(); ++i) {
+    DelexEngine::Options options;
+    options.work_dir = dir;
+    DelexEngine engine(spec.plan, options);  // a fresh "process"
+    ASSERT_TRUE(engine.Init().ok());
+    if (i > 0) {
+      ASSERT_TRUE(engine.Resume(static_cast<int>(i)).ok());
+    }
+    MatcherAssignment ud =
+        MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kUD);
+    RunStats stats;
+    auto rows = engine.RunSnapshot(series[i], i > 0 ? &series[i - 1] : nullptr,
+                                   ud, &stats);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    if (i > 0) {
+      results.push_back(Canonicalize(std::move(rows).ValueOrDie()));
+      // The resumed engine must still reuse, not silently start over.
+      int64_t copied = 0;
+      for (const UnitRunStats& u : stats.units) copied += u.copied_tuples;
+      EXPECT_GT(copied, 0) << "generation " << i;
+    }
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(SameResults(base_run->results[i], results[i]));
+  }
+}
+
+TEST(Engine, ResumeValidatesPreconditions) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  DelexEngine::Options options;
+  options.work_dir = FreshDir("resume-bad");
+  DelexEngine engine(spec.plan, options);
+  EXPECT_FALSE(engine.Resume(1).ok());  // before Init
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_FALSE(engine.Resume(0).ok());  // nonsense generation
+  EXPECT_FALSE(engine.Resume(1).ok());  // no files on disk
+  Snapshot snapshot;
+  snapshot.AddPage("u", "x\n\ny");
+  MatcherAssignment dn =
+      MatcherAssignment::Uniform(engine.NumUnits(), MatcherKind::kDN);
+  ASSERT_TRUE(engine.RunSnapshot(snapshot, nullptr, dn, nullptr).ok());
+  EXPECT_FALSE(engine.Resume(1).ok());  // already ran in this process
+}
+
+TEST(Engine, AssignmentSizeValidated) {
+  ProgramSpec spec = *MakeProgram("blockbuster");
+  Snapshot snapshot;
+  snapshot.AddPage("u", "x\n\ny");
+  DelexEngine::Options options;
+  options.work_dir = FreshDir("size");
+  DelexEngine engine(spec.plan, options);
+  ASSERT_TRUE(engine.Init().ok());
+  MatcherAssignment dn = MatcherAssignment::Uniform(2, MatcherKind::kDN);
+  ASSERT_TRUE(engine.RunSnapshot(snapshot, nullptr, dn, nullptr).ok());
+  MatcherAssignment wrong = MatcherAssignment::Uniform(1, MatcherKind::kDN);
+  EXPECT_FALSE(engine.RunSnapshot(snapshot, &snapshot, wrong, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace delex

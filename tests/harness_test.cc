@@ -1,0 +1,137 @@
+// Tests for the harness layer: the seven benchmark program specs are
+// wired correctly (parse, translate, bind, and actually extract things
+// from their corpus profile), the experiment driver behaves, and the
+// table printer renders.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "harness/table.h"
+#include "xlog/plan.h"
+
+namespace delex {
+namespace {
+
+TEST(Programs, AllNamesBuild) {
+  for (const std::string& name : AllProgramNames()) {
+    auto spec = MakeProgram(name);
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.status().ToString();
+    EXPECT_EQ(spec->name, name);
+    EXPECT_NE(spec->plan, nullptr);
+    EXPECT_GT(spec->num_blackboxes, 0);
+    EXPECT_GT(spec->whole_alpha, 0);
+    EXPECT_FALSE(spec->description.empty());
+  }
+  EXPECT_FALSE(MakeProgram("nonsense").ok());
+}
+
+TEST(Programs, BlackboxCountsMatchFigure8b) {
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"talk", 1},  {"chair", 3}, {"advise", 5},
+      {"blockbuster", 2}, {"play", 4}, {"award", 5}, {"infobox", 5}};
+  for (const auto& [name, blackboxes] : expected) {
+    auto spec = MakeProgram(name);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec->num_blackboxes, blackboxes) << name;
+  }
+}
+
+class ProgramYield : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProgramYield, ExtractsMentionsFromItsProfile) {
+  auto spec = MakeProgram(GetParam());
+  ASSERT_TRUE(spec.ok());
+  DatasetProfile profile = spec->Profile();
+  profile.num_sources = GetParam() == "infobox" ? 10 : 25;
+  std::vector<Snapshot> series = GenerateSeries(profile, 1, 4242);
+  auto rows = xlog::ExecutePlanOnSnapshot(*spec->plan, series[0]);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT(rows->size(), 0u)
+      << GetParam() << " extracts nothing from its own corpus profile";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ProgramYield,
+                         ::testing::Values("talk", "chair", "advise",
+                                           "blockbuster", "play", "award",
+                                           "infobox"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Experiment, GenerateSeriesEvolvesIncrementally) {
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 10;
+  std::vector<Snapshot> series = GenerateSeries(profile, 4, 1);
+  ASSERT_EQ(series.size(), 4u);
+  // Consecutive snapshots share URLs.
+  int shared = 0;
+  for (const Page& page : series[1].pages()) {
+    if (series[0].FindByUrl(page.url)) ++shared;
+  }
+  EXPECT_GE(shared, 9);
+}
+
+TEST(Experiment, RunSeriesSkipsWarmupSnapshot) {
+  auto spec = MakeProgram("blockbuster");
+  ASSERT_TRUE(spec.ok());
+  DatasetProfile profile = spec->Profile();
+  profile.num_sources = 5;
+  std::vector<Snapshot> series = GenerateSeries(profile, 3, 2);
+  auto solution = MakeNoReuseSolution(*spec);
+  auto run = RunSeries(solution.get(), series, true);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->seconds.size(), 2u);   // snapshots 2..3 only
+  EXPECT_EQ(run->results.size(), 2u);
+  EXPECT_EQ(run->solution, "No-reuse");
+}
+
+TEST(Experiment, CanonicalizeSortsAndCompares) {
+  std::vector<Tuple> a = {{int64_t{2}}, {int64_t{1}}};
+  std::vector<Tuple> b = {{int64_t{1}}, {int64_t{2}}};
+  EXPECT_TRUE(SameResults(Canonicalize(a), Canonicalize(b)));
+  std::vector<Tuple> c = {{int64_t{1}}};
+  EXPECT_FALSE(SameResults(Canonicalize(a), Canonicalize(c)));
+  std::vector<Tuple> d = {{int64_t{1}}, {int64_t{3}}};
+  EXPECT_FALSE(SameResults(Canonicalize(b), Canonicalize(d)));
+}
+
+TEST(TableTest, RendersAlignedMarkdown) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"a-much-longer-name", "2.50"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| a-much-longer-name | 2.50  |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(10, 0), "10");
+}
+
+TEST(MatcherAssignmentTest, ToStringAndEquality) {
+  MatcherAssignment a = MatcherAssignment::Uniform(3, MatcherKind::kDN);
+  a.per_unit[1] = MatcherKind::kST;
+  EXPECT_EQ(a.ToString(), "DN,ST,DN");
+  MatcherAssignment b = a;
+  EXPECT_TRUE(a == b);
+  b.per_unit[2] = MatcherKind::kRU;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PhaseBreakdownTest, OthersIsResidualAndNonNegative) {
+  PhaseBreakdown phases;
+  phases.total_us = 100;
+  phases.match_us = 30;
+  phases.extract_us = 50;
+  EXPECT_EQ(phases.OthersUs(), 20);
+  phases.opt_us = 40;  // accounted > total (clock skew)
+  EXPECT_EQ(phases.OthersUs(), 0);
+  PhaseBreakdown other;
+  other.total_us = 10;
+  other.copy_us = 5;
+  phases += other;
+  EXPECT_EQ(phases.total_us, 110);
+  EXPECT_EQ(phases.copy_us, 5);
+}
+
+}  // namespace
+}  // namespace delex

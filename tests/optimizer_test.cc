@@ -1,0 +1,268 @@
+// Tests for the optimizer: chain structure, cost-model behaviour
+// (formulas (1)-(4)), Algorithm 1's restricted plan space and greedy
+// search, exhaustive enumeration, and statistics collection/averaging.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/search.h"
+#include "optimizer/stats_collector.h"
+
+namespace delex {
+namespace {
+
+/// A hand-built CostModelStats for a linear 3-unit chain where matching
+/// pays off: exact/ST find most overlap, extraction is expensive.
+CostModelStats SyntheticStats(size_t units, double f) {
+  CostModelStats stats;
+  stats.f = f;
+  stats.m = 1000;
+  stats.d_blocks = 2000;
+  stats.units.resize(units);
+  for (UnitCostStats& u : stats.units) {
+    u.a = 20;
+    u.l = 400;
+    u.extract_us_per_char = 0.5;
+    u.b_blocks = 10;
+    u.c_blocks = 15;
+    // DN: only exact matches help a bit.
+    u.g[MatcherIndex(MatcherKind::kDN)] = 0.8;
+    u.h[MatcherIndex(MatcherKind::kDN)] = 0.2;
+    u.s[MatcherIndex(MatcherKind::kDN)] = 0;
+    // UD: cheap, finds most overlap.
+    u.match_us_per_char[MatcherIndex(MatcherKind::kUD)] = 0.01;
+    u.g[MatcherIndex(MatcherKind::kUD)] = 0.2;
+    u.h[MatcherIndex(MatcherKind::kUD)] = 1.5;
+    u.s[MatcherIndex(MatcherKind::kUD)] = 1;
+    // ST: pricier, finds slightly more.
+    u.match_us_per_char[MatcherIndex(MatcherKind::kST)] = 0.12;
+    u.g[MatcherIndex(MatcherKind::kST)] = 0.15;
+    u.h[MatcherIndex(MatcherKind::kST)] = 1.8;
+    u.s[MatcherIndex(MatcherKind::kST)] = 1;
+    // RU selectivities resolve through the source at costing time.
+    u.g[MatcherIndex(MatcherKind::kRU)] = 1.0;
+  }
+  return stats;
+}
+
+ChainStructure LinearChains(const ProgramSpec& spec) {
+  auto analysis = AnalyzeUnits(spec.plan);
+  EXPECT_TRUE(analysis.ok());
+  return ChainStructure::Build(spec.plan, *analysis);
+}
+
+TEST(ChainStructureTest, PlayHasRawInputOnlyAtBottomUnit) {
+  ProgramSpec spec = *MakeProgram("play");
+  ChainStructure chains = LinearChains(spec);
+  int raw_count = 0;
+  for (bool raw : chains.raw_input) raw_count += raw ? 1 : 0;
+  EXPECT_EQ(raw_count, 1);  // only the paragraph unit reads the document
+  EXPECT_EQ(chains.chains.size(), 2u);
+}
+
+TEST(CostModel, ExtractionDominatesWhenNothingMatches) {
+  CostModelStats stats = SyntheticStats(1, 0.9);
+  double dn = EstimateUnitCost(stats, 0, MatcherKind::kDN, false);
+  double ud = EstimateUnitCost(stats, 0, MatcherKind::kUD, false);
+  // With g[UD] far below g[DN], UD should win despite its matching cost.
+  EXPECT_LT(ud, dn);
+}
+
+TEST(CostModel, NoPreviousVersionsMeansMatchersCannotHelp) {
+  CostModelStats stats = SyntheticStats(1, 0.0);  // f = 0
+  double dn = EstimateUnitCost(stats, 0, MatcherKind::kDN, false);
+  double ud = EstimateUnitCost(stats, 0, MatcherKind::kUD, false);
+  double st = EstimateUnitCost(stats, 0, MatcherKind::kST, false);
+  // All pay full extraction; DN is cheapest (no match I/O at all).
+  EXPECT_LE(dn, ud);
+  EXPECT_LE(dn, st);
+}
+
+TEST(CostModel, RuPricingDropsMatchCost) {
+  CostModelStats stats = SyntheticStats(1, 0.9);
+  double st_real = EstimateUnitCost(stats, 0, MatcherKind::kST, false);
+  double st_ru = EstimateUnitCost(stats, 0, MatcherKind::kST, true);
+  EXPECT_LT(st_ru, st_real);
+}
+
+TEST(CostModel, MonotoneInLeftoverFraction) {
+  CostModelStats stats = SyntheticStats(1, 0.9);
+  double cheap = EstimateUnitCost(stats, 0, MatcherKind::kUD, false);
+  stats.units[0].g[MatcherIndex(MatcherKind::kUD)] = 0.9;
+  double expensive = EstimateUnitCost(stats, 0, MatcherKind::kUD, false);
+  EXPECT_LT(cheap, expensive);
+}
+
+TEST(PlanCost, RuResolvesToChainSourceBelow) {
+  ProgramSpec spec = *MakeProgram("play");
+  ChainStructure chains = LinearChains(spec);
+  CostModelStats stats = SyntheticStats(4, 0.9);
+
+  // Bottom unit ST, everything above RU: the RU units are priced at their
+  // ST selectivity without matching cost — cheaper than all-DN.
+  MatcherAssignment layered = MatcherAssignment::Uniform(4, MatcherKind::kRU);
+  // Find the bottom (raw-input) unit.
+  for (size_t u = 0; u < 4; ++u) {
+    if (chains.raw_input[u]) layered.per_unit[u] = MatcherKind::kST;
+  }
+  MatcherAssignment all_dn = MatcherAssignment::Uniform(4, MatcherKind::kDN);
+  EXPECT_LT(EstimatePlanCost(stats, chains, layered),
+            EstimatePlanCost(stats, chains, all_dn));
+
+  // RU with no source anywhere degrades to DN pricing.
+  MatcherAssignment all_ru = MatcherAssignment::Uniform(4, MatcherKind::kRU);
+  EXPECT_DOUBLE_EQ(EstimatePlanCost(stats, chains, all_ru),
+                   EstimatePlanCost(stats, chains, all_dn));
+}
+
+TEST(PlanSearch, EnumerationCoversFullSpace) {
+  ProgramSpec spec = *MakeProgram("play");
+  ChainStructure chains = LinearChains(spec);
+  CostModelStats stats = SyntheticStats(4, 0.5);
+  PlanSearch search(stats, chains);
+  std::vector<MatcherAssignment> all = search.EnumerateAll();
+  EXPECT_EQ(all.size(), 256u);
+  std::set<std::string> unique;
+  for (const MatcherAssignment& a : all) unique.insert(a.ToString());
+  EXPECT_EQ(unique.size(), 256u);
+}
+
+TEST(PlanSearch, GreedyRespectsRestrictedSpace) {
+  // Algorithm 1 plans use at most one ST/UD per chain, RU only above it.
+  for (const std::string& name : {"play", "chair", "advise", "award"}) {
+    ProgramSpec spec = *MakeProgram(name);
+    auto analysis = AnalyzeUnits(spec.plan);
+    ASSERT_TRUE(analysis.ok());
+    ChainStructure chains = ChainStructure::Build(spec.plan, *analysis);
+    CostModelStats stats = SyntheticStats(analysis->units.size(), 0.9);
+    PlanSearch search(stats, chains);
+    MatcherAssignment plan = search.Greedy();
+
+    for (const IEChain& chain : chains.chains) {
+      int expensive = 0;
+      bool seen_expensive_from_bottom = false;
+      for (size_t pos = chain.units.size(); pos-- > 0;) {
+        MatcherKind kind =
+            plan.per_unit[static_cast<size_t>(chain.units[pos])];
+        if (kind == MatcherKind::kST || kind == MatcherKind::kUD) {
+          ++expensive;
+          seen_expensive_from_bottom = true;
+        }
+        if (kind == MatcherKind::kRU && !seen_expensive_from_bottom) {
+          // RU below any expensive matcher in its own chain must have a
+          // cross-chain source.
+          bool cross = false;
+          for (const IEChain& other : chains.chains) {
+            int bottom = other.units.back();
+            MatcherKind bk = plan.per_unit[static_cast<size_t>(bottom)];
+            if (chains.raw_input[static_cast<size_t>(bottom)] &&
+                (bk == MatcherKind::kST || bk == MatcherKind::kUD)) {
+              cross = true;
+            }
+          }
+          EXPECT_TRUE(cross) << name << ": plan " << plan.ToString();
+        }
+      }
+      EXPECT_LE(expensive, 1) << name << ": plan " << plan.ToString();
+    }
+  }
+}
+
+TEST(PlanSearch, GreedyChoosesDnWhenNoOverlapExists) {
+  ProgramSpec spec = *MakeProgram("play");
+  ChainStructure chains = LinearChains(spec);
+  CostModelStats stats = SyntheticStats(4, 0.0);  // no previous versions
+  PlanSearch search(stats, chains);
+  MatcherAssignment plan = search.Greedy();
+  for (MatcherKind kind : plan.per_unit) {
+    EXPECT_TRUE(kind == MatcherKind::kDN || kind == MatcherKind::kRU)
+        << plan.ToString();
+  }
+}
+
+TEST(PlanSearch, GreedyNeverWorseThanAllDnByItsOwnModel) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ProgramSpec spec = *MakeProgram("award");
+    auto analysis = AnalyzeUnits(spec.plan);
+    ASSERT_TRUE(analysis.ok());
+    ChainStructure chains = ChainStructure::Build(spec.plan, *analysis);
+    CostModelStats stats =
+        SyntheticStats(analysis->units.size(), 0.3 + 0.2 * seed);
+    PlanSearch search(stats, chains);
+    double greedy_cost = 0;
+    search.Greedy(&greedy_cost);
+    double dn_cost = search.Cost(
+        MatcherAssignment::Uniform(analysis->units.size(), MatcherKind::kDN));
+    EXPECT_LE(greedy_cost, dn_cost + 1e-9);
+  }
+}
+
+TEST(StatsCollector, MeasuresPlausibleParameters) {
+  // chair runs on the DBLife profile (97% identical pages), so trial
+  // matching should find most overlap.
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 20;
+  std::vector<Snapshot> series = GenerateSeries(profile, 2, 9);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  StatsCollectorOptions options;
+  options.sample_pages = 8;
+  auto stats = CollectStats(spec.plan, *analysis, series[1], series[0],
+                            options, 1);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NEAR(stats->f, 1.0, 0.1);  // no churn in two snapshots at rate .003
+  EXPECT_EQ(stats->m, 20);
+  ASSERT_EQ(stats->units.size(), 3u);
+  const UnitCostStats& para = stats->units[0];
+  EXPECT_GT(para.a, 0);
+  EXPECT_GT(para.l, 0);
+  EXPECT_GT(para.extract_us_per_char, 0);
+  for (MatcherKind kind : {MatcherKind::kUD, MatcherKind::kST}) {
+    double g = para.g[MatcherIndex(kind)];
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+  // On a mostly-identical corpus, matchers should find most content.
+  EXPECT_LT(para.g[MatcherIndex(MatcherKind::kST)], 0.5);
+}
+
+TEST(StatsCollector, AverageIsElementwiseMean) {
+  CostModelStats a = SyntheticStats(1, 0.4);
+  CostModelStats b = SyntheticStats(1, 0.8);
+  b.units[0].a = 40;
+  CostModelStats avg = AverageStats({a, b});
+  EXPECT_DOUBLE_EQ(avg.f, 0.6);
+  EXPECT_DOUBLE_EQ(avg.units[0].a, 30);
+}
+
+TEST(Optimizer, EndToEndChoosesReusefulPlanOnStableCorpus) {
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 40;
+  std::vector<Snapshot> series = GenerateSeries(profile, 3, 17);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  Optimizer optimizer(spec.plan, *analysis);
+  EXPECT_FALSE(optimizer.ChooseAssignment().ok());  // no stats yet
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[1], series[0], 1).ok());
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[2], series[1], 2).ok());
+  auto assignment = optimizer.ChooseAssignment();
+  ASSERT_TRUE(assignment.ok());
+  // On a 97%-identical corpus the chosen plan must exploit reuse somehow —
+  // all-DN still benefits from the exact fast path, but the estimate for a
+  // reuseful plan should not exceed the all-DN estimate.
+  auto chosen_cost = optimizer.EstimateCost(*assignment);
+  auto dn_cost = optimizer.EstimateCost(
+      MatcherAssignment::Uniform(analysis->units.size(), MatcherKind::kDN));
+  ASSERT_TRUE(chosen_cost.ok());
+  ASSERT_TRUE(dn_cost.ok());
+  EXPECT_LE(*chosen_cost, *dn_cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace delex

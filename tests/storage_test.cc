@@ -1,0 +1,252 @@
+// Tests for the storage substrate: block-buffered record files, snapshot
+// persistence, and the reuse files with their single-forward-scan page
+// seek semantics (§5.2).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/record_file.h"
+#include "storage/reuse_file.h"
+#include "storage/snapshot.h"
+
+namespace delex {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("delex-storage-" + name))
+      .string();
+}
+
+// ---------------------------------------------------------------------------
+// RecordWriter / RecordReader
+
+TEST(RecordFile, RoundTripsRecordsOfManySizes) {
+  std::string path = TempPath("roundtrip");
+  std::vector<std::string> records;
+  records.push_back("");
+  records.push_back("x");
+  records.push_back(std::string(100, 'a'));
+  records.push_back(std::string(kBlockSize - 1, 'b'));   // straddles a block
+  records.push_back(std::string(3 * kBlockSize, 'c'));   // multi-block
+  records.push_back("tail");
+
+  RecordWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (const std::string& r : records) ASSERT_TRUE(writer.Append(r).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(writer.stats().records_written, 6);
+
+  RecordReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  for (const std::string& expected : records) {
+    std::string got;
+    bool at_end = true;
+    ASSERT_TRUE(reader.Next(&got, &at_end).ok());
+    ASSERT_FALSE(at_end);
+    EXPECT_EQ(got, expected);
+  }
+  std::string extra;
+  bool at_end = false;
+  ASSERT_TRUE(reader.Next(&extra, &at_end).ok());
+  EXPECT_TRUE(at_end);
+  EXPECT_EQ(reader.stats().records_read, 6);
+}
+
+TEST(RecordFile, EmptyFileReadsAsEnd) {
+  std::string path = TempPath("empty");
+  RecordWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  RecordReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::string record;
+  bool at_end = false;
+  ASSERT_TRUE(reader.Next(&record, &at_end).ok());
+  EXPECT_TRUE(at_end);
+}
+
+TEST(RecordFile, TruncatedBodyReportsCorruption) {
+  std::string path = TempPath("corrupt");
+  {
+    RecordWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append(std::string(500, 'z')).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::filesystem::resize_file(path, 100);
+  RecordReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::string record;
+  bool at_end = false;
+  EXPECT_TRUE(reader.Next(&record, &at_end).IsCorruption());
+}
+
+TEST(RecordFile, OpenMissingFileFails) {
+  RecordReader reader;
+  EXPECT_TRUE(reader.Open("/nonexistent/dir/x").IsIOError());
+}
+
+TEST(RecordFile, StatsCountBlocks) {
+  std::string path = TempPath("blocks");
+  RecordWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append(std::string(2 * kBlockSize, 'q')).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_GE(writer.stats().BlocksWritten(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence
+
+TEST(Snapshot, AddAndFindByUrl) {
+  Snapshot snapshot;
+  snapshot.AddPage("http://a", "content a");
+  snapshot.AddPage("http://b", "content bb");
+  EXPECT_EQ(snapshot.NumPages(), 2u);
+  EXPECT_EQ(snapshot.TotalBytes(), 19);
+  ASSERT_TRUE(snapshot.FindByUrl("http://b").has_value());
+  EXPECT_EQ(*snapshot.FindByUrl("http://b"), 1u);
+  EXPECT_FALSE(snapshot.FindByUrl("http://c").has_value());
+  EXPECT_EQ(snapshot.pages()[0].did, 0);
+  EXPECT_EQ(snapshot.pages()[1].did, 1);
+}
+
+TEST(Snapshot, WriteReadRoundTrip) {
+  Snapshot snapshot;
+  snapshot.AddPage("http://x", "alpha\nbeta");
+  snapshot.AddPage("http://y", std::string(10000, 'k'));
+  std::string path = TempPath("snapshot");
+  ASSERT_TRUE(WriteSnapshot(snapshot, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->NumPages(), 2u);
+  EXPECT_EQ(loaded->pages()[0].url, "http://x");
+  EXPECT_EQ(loaded->pages()[0].content, "alpha\nbeta");
+  EXPECT_EQ(loaded->pages()[1].content.size(), 10000u);
+  EXPECT_TRUE(loaded->FindByUrl("http://y").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Reuse files
+
+TEST(ReuseFile, TupleCodecsRoundTrip) {
+  InputTupleRec in;
+  in.tid = 7;
+  in.did = 3;
+  in.region = TextSpan(100, 250);
+  in.region_hash = 0xDEADBEEFCAFEBABEULL;
+  in.context = {int64_t{9}, std::string("ctx")};
+  std::string buffer;
+  EncodeInputTuple(in, &buffer);
+  auto decoded = DecodeInputTuple(buffer);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tid, 7);
+  EXPECT_EQ(decoded->did, 3);
+  EXPECT_EQ(decoded->region, TextSpan(100, 250));
+  EXPECT_EQ(decoded->region_hash, 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(decoded->context.size(), 2u);
+
+  OutputTupleRec out;
+  out.tid = 1;
+  out.itid = 7;
+  out.did = 3;
+  out.payload = {TextSpan(120, 130), std::string("m")};
+  buffer.clear();
+  EncodeOutputTuple(out, &buffer);
+  auto decoded_out = DecodeOutputTuple(buffer);
+  ASSERT_TRUE(decoded_out.ok());
+  EXPECT_EQ(decoded_out->itid, 7);
+  EXPECT_EQ(std::get<TextSpan>(decoded_out->payload[0]), TextSpan(120, 130));
+}
+
+class ReuseFilesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = TempPath("reuse");
+    UnitReuseWriter writer;
+    ASSERT_TRUE(writer.Open(prefix_).ok());
+    // Page 0: two regions, outputs on the first.
+    int64_t tid = 0;
+    ASSERT_TRUE(writer.AppendInput(0, TextSpan(0, 50), 11, {}, &tid).ok());
+    ASSERT_TRUE(writer.AppendOutput(tid, 0, {TextSpan(5, 9)}).ok());
+    ASSERT_TRUE(writer.AppendOutput(tid, 0, {TextSpan(20, 30)}).ok());
+    ASSERT_TRUE(writer.AppendInput(0, TextSpan(50, 80), 12, {}, &tid).ok());
+    // Page 2 (page 1 has no tuples at all): one region, one output.
+    ASSERT_TRUE(writer.AppendInput(2, TextSpan(0, 40), 13, {}, &tid).ok());
+    ASSERT_TRUE(writer.AppendOutput(tid, 2, {TextSpan(1, 2)}).ok());
+    // Page 5.
+    ASSERT_TRUE(writer.AppendInput(5, TextSpan(0, 10), 14, {}, &tid).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  std::string prefix_;
+};
+
+TEST_F(ReuseFilesFixture, SequentialSeekReturnsPerPageGroups) {
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix_).ok());
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+
+  ASSERT_TRUE(reader.SeekPage(0, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(inputs[0].region, TextSpan(0, 50));
+  EXPECT_EQ(outputs[0].itid, inputs[0].tid);
+
+  ASSERT_TRUE(reader.SeekPage(1, &inputs, &outputs).ok());
+  EXPECT_TRUE(inputs.empty());
+  EXPECT_TRUE(outputs.empty());
+
+  ASSERT_TRUE(reader.SeekPage(2, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(outputs.size(), 1u);
+
+  ASSERT_TRUE(reader.SeekPage(5, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 1u);
+  EXPECT_TRUE(outputs.empty());
+}
+
+TEST_F(ReuseFilesFixture, SkippedGroupsAreConsumed) {
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix_).ok());
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+  // Jump straight to page 5; pages 0 and 2 are skipped irrecoverably.
+  ASSERT_TRUE(reader.SeekPage(5, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 1u);
+}
+
+TEST_F(ReuseFilesFixture, BackwardSeekDegradesToEmpty) {
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix_).ok());
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+  ASSERT_TRUE(reader.SeekPage(2, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 1u);
+  // Page 0's group was passed: an out-of-order request yields an empty
+  // group (reuse degrades, correctness doesn't).
+  ASSERT_TRUE(reader.SeekPage(0, &inputs, &outputs).ok());
+  EXPECT_TRUE(inputs.empty());
+  EXPECT_TRUE(outputs.empty());
+  // Forward progress is unaffected.
+  ASSERT_TRUE(reader.SeekPage(5, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 1u);
+}
+
+TEST(ReuseFile, WriterAssignsMonotonicTids) {
+  std::string prefix = TempPath("tids");
+  UnitReuseWriter writer;
+  ASSERT_TRUE(writer.Open(prefix).ok());
+  int64_t first = -1;
+  int64_t second = -1;
+  ASSERT_TRUE(writer.AppendInput(0, TextSpan(0, 1), 0, {}, &first).ok());
+  ASSERT_TRUE(writer.AppendInput(0, TextSpan(1, 2), 0, {}, &second).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace delex
