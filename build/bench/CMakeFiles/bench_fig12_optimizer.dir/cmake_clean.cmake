@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_optimizer.dir/bench_fig12_optimizer.cc.o"
+  "CMakeFiles/bench_fig12_optimizer.dir/bench_fig12_optimizer.cc.o.d"
+  "bench_fig12_optimizer"
+  "bench_fig12_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mentions.dir/bench_fig14_mentions.cc.o"
+  "CMakeFiles/bench_fig14_mentions.dir/bench_fig14_mentions.cc.o.d"
+  "bench_fig14_mentions"
+  "bench_fig14_mentions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mentions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

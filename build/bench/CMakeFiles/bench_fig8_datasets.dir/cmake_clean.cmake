@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_datasets.dir/bench_fig8_datasets.cc.o"
+  "CMakeFiles/bench_fig8_datasets.dir/bench_fig8_datasets.cc.o.d"
+  "bench_fig8_datasets"
+  "bench_fig8_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matchers_micro.dir/bench_matchers_micro.cc.o"
+  "CMakeFiles/bench_matchers_micro.dir/bench_matchers_micro.cc.o.d"
+  "bench_matchers_micro"
+  "bench_matchers_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matchers_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_debugging.dir/incremental_debugging.cpp.o"
+  "CMakeFiles/incremental_debugging.dir/incremental_debugging.cpp.o.d"
+  "incremental_debugging"
+  "incremental_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

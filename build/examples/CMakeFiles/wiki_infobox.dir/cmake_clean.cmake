@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_infobox.dir/wiki_infobox.cpp.o"
+  "CMakeFiles/wiki_infobox.dir/wiki_infobox.cpp.o.d"
+  "wiki_infobox"
+  "wiki_infobox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_infobox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

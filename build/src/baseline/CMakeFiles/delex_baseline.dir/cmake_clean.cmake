@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_baseline.dir/plan_extractor.cc.o"
+  "CMakeFiles/delex_baseline.dir/plan_extractor.cc.o.d"
+  "CMakeFiles/delex_baseline.dir/runners.cc.o"
+  "CMakeFiles/delex_baseline.dir/runners.cc.o.d"
+  "libdelex_baseline.a"
+  "libdelex_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_common.dir/status.cc.o"
+  "CMakeFiles/delex_common.dir/status.cc.o.d"
+  "CMakeFiles/delex_common.dir/value.cc.o"
+  "CMakeFiles/delex_common.dir/value.cc.o.d"
+  "libdelex_common.a"
+  "libdelex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelex_common.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/delex_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/delex_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/vocab.cc" "src/corpus/CMakeFiles/delex_corpus.dir/vocab.cc.o" "gcc" "src/corpus/CMakeFiles/delex_corpus.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/delex_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

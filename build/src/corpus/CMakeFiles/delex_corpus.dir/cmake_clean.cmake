@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_corpus.dir/generator.cc.o"
+  "CMakeFiles/delex_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/delex_corpus.dir/vocab.cc.o"
+  "CMakeFiles/delex_corpus.dir/vocab.cc.o.d"
+  "libdelex_corpus.a"
+  "libdelex_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delex/engine.cc" "src/delex/CMakeFiles/delex_core.dir/engine.cc.o" "gcc" "src/delex/CMakeFiles/delex_core.dir/engine.cc.o.d"
+  "/root/repo/src/delex/ie_unit.cc" "src/delex/CMakeFiles/delex_core.dir/ie_unit.cc.o" "gcc" "src/delex/CMakeFiles/delex_core.dir/ie_unit.cc.o.d"
+  "/root/repo/src/delex/region_derivation.cc" "src/delex/CMakeFiles/delex_core.dir/region_derivation.cc.o" "gcc" "src/delex/CMakeFiles/delex_core.dir/region_derivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/delex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/matcher/CMakeFiles/delex_matcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/delex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlog/CMakeFiles/delex_xlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/delex_extract.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

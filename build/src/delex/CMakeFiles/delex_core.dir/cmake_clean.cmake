@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_core.dir/engine.cc.o"
+  "CMakeFiles/delex_core.dir/engine.cc.o.d"
+  "CMakeFiles/delex_core.dir/ie_unit.cc.o"
+  "CMakeFiles/delex_core.dir/ie_unit.cc.o.d"
+  "CMakeFiles/delex_core.dir/region_derivation.cc.o"
+  "CMakeFiles/delex_core.dir/region_derivation.cc.o.d"
+  "libdelex_core.a"
+  "libdelex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/crf_extractor.cc" "src/extract/CMakeFiles/delex_extract.dir/crf_extractor.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/crf_extractor.cc.o.d"
+  "/root/repo/src/extract/dictionary_extractor.cc" "src/extract/CMakeFiles/delex_extract.dir/dictionary_extractor.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/dictionary_extractor.cc.o.d"
+  "/root/repo/src/extract/extractor.cc" "src/extract/CMakeFiles/delex_extract.dir/extractor.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/extractor.cc.o.d"
+  "/root/repo/src/extract/pair_extractor.cc" "src/extract/CMakeFiles/delex_extract.dir/pair_extractor.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/pair_extractor.cc.o.d"
+  "/root/repo/src/extract/regex_extractor.cc" "src/extract/CMakeFiles/delex_extract.dir/regex_extractor.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/regex_extractor.cc.o.d"
+  "/root/repo/src/extract/registry.cc" "src/extract/CMakeFiles/delex_extract.dir/registry.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/registry.cc.o.d"
+  "/root/repo/src/extract/segment_extractor.cc" "src/extract/CMakeFiles/delex_extract.dir/segment_extractor.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/segment_extractor.cc.o.d"
+  "/root/repo/src/extract/sentence_segmenter.cc" "src/extract/CMakeFiles/delex_extract.dir/sentence_segmenter.cc.o" "gcc" "src/extract/CMakeFiles/delex_extract.dir/sentence_segmenter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_extract.dir/crf_extractor.cc.o"
+  "CMakeFiles/delex_extract.dir/crf_extractor.cc.o.d"
+  "CMakeFiles/delex_extract.dir/dictionary_extractor.cc.o"
+  "CMakeFiles/delex_extract.dir/dictionary_extractor.cc.o.d"
+  "CMakeFiles/delex_extract.dir/extractor.cc.o"
+  "CMakeFiles/delex_extract.dir/extractor.cc.o.d"
+  "CMakeFiles/delex_extract.dir/pair_extractor.cc.o"
+  "CMakeFiles/delex_extract.dir/pair_extractor.cc.o.d"
+  "CMakeFiles/delex_extract.dir/regex_extractor.cc.o"
+  "CMakeFiles/delex_extract.dir/regex_extractor.cc.o.d"
+  "CMakeFiles/delex_extract.dir/registry.cc.o"
+  "CMakeFiles/delex_extract.dir/registry.cc.o.d"
+  "CMakeFiles/delex_extract.dir/segment_extractor.cc.o"
+  "CMakeFiles/delex_extract.dir/segment_extractor.cc.o.d"
+  "CMakeFiles/delex_extract.dir/sentence_segmenter.cc.o"
+  "CMakeFiles/delex_extract.dir/sentence_segmenter.cc.o.d"
+  "libdelex_extract.a"
+  "libdelex_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_harness.dir/experiment.cc.o"
+  "CMakeFiles/delex_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/delex_harness.dir/programs.cc.o"
+  "CMakeFiles/delex_harness.dir/programs.cc.o.d"
+  "CMakeFiles/delex_harness.dir/table.cc.o"
+  "CMakeFiles/delex_harness.dir/table.cc.o.d"
+  "libdelex_harness.a"
+  "libdelex_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_matcher.dir/matcher.cc.o"
+  "CMakeFiles/delex_matcher.dir/matcher.cc.o.d"
+  "libdelex_matcher.a"
+  "libdelex_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

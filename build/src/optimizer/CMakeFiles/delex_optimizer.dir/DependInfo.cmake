@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/delex_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/delex_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/delex_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/delex_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/search.cc" "src/optimizer/CMakeFiles/delex_optimizer.dir/search.cc.o" "gcc" "src/optimizer/CMakeFiles/delex_optimizer.dir/search.cc.o.d"
+  "/root/repo/src/optimizer/stats_collector.cc" "src/optimizer/CMakeFiles/delex_optimizer.dir/stats_collector.cc.o" "gcc" "src/optimizer/CMakeFiles/delex_optimizer.dir/stats_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/delex/CMakeFiles/delex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matcher/CMakeFiles/delex_matcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlog/CMakeFiles/delex_xlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/delex_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/delex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/delex_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/delex_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/delex_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/delex_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/delex_optimizer.dir/search.cc.o"
+  "CMakeFiles/delex_optimizer.dir/search.cc.o.d"
+  "CMakeFiles/delex_optimizer.dir/stats_collector.cc.o"
+  "CMakeFiles/delex_optimizer.dir/stats_collector.cc.o.d"
+  "libdelex_optimizer.a"
+  "libdelex_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

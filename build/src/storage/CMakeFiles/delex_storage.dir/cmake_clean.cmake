@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_storage.dir/record_file.cc.o"
+  "CMakeFiles/delex_storage.dir/record_file.cc.o.d"
+  "CMakeFiles/delex_storage.dir/reuse_file.cc.o"
+  "CMakeFiles/delex_storage.dir/reuse_file.cc.o.d"
+  "CMakeFiles/delex_storage.dir/snapshot.cc.o"
+  "CMakeFiles/delex_storage.dir/snapshot.cc.o.d"
+  "libdelex_storage.a"
+  "libdelex_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

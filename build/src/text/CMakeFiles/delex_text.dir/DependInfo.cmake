@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/diff.cc" "src/text/CMakeFiles/delex_text.dir/diff.cc.o" "gcc" "src/text/CMakeFiles/delex_text.dir/diff.cc.o.d"
+  "/root/repo/src/text/interval_set.cc" "src/text/CMakeFiles/delex_text.dir/interval_set.cc.o" "gcc" "src/text/CMakeFiles/delex_text.dir/interval_set.cc.o.d"
+  "/root/repo/src/text/suffix_matcher.cc" "src/text/CMakeFiles/delex_text.dir/suffix_matcher.cc.o" "gcc" "src/text/CMakeFiles/delex_text.dir/suffix_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_text.dir/diff.cc.o"
+  "CMakeFiles/delex_text.dir/diff.cc.o.d"
+  "CMakeFiles/delex_text.dir/interval_set.cc.o"
+  "CMakeFiles/delex_text.dir/interval_set.cc.o.d"
+  "CMakeFiles/delex_text.dir/suffix_matcher.cc.o"
+  "CMakeFiles/delex_text.dir/suffix_matcher.cc.o.d"
+  "libdelex_text.a"
+  "libdelex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

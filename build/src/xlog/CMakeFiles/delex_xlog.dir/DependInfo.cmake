@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xlog/builtins.cc" "src/xlog/CMakeFiles/delex_xlog.dir/builtins.cc.o" "gcc" "src/xlog/CMakeFiles/delex_xlog.dir/builtins.cc.o.d"
+  "/root/repo/src/xlog/parser.cc" "src/xlog/CMakeFiles/delex_xlog.dir/parser.cc.o" "gcc" "src/xlog/CMakeFiles/delex_xlog.dir/parser.cc.o.d"
+  "/root/repo/src/xlog/plan.cc" "src/xlog/CMakeFiles/delex_xlog.dir/plan.cc.o" "gcc" "src/xlog/CMakeFiles/delex_xlog.dir/plan.cc.o.d"
+  "/root/repo/src/xlog/translate.cc" "src/xlog/CMakeFiles/delex_xlog.dir/translate.cc.o" "gcc" "src/xlog/CMakeFiles/delex_xlog.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/delex_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/delex_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_xlog.dir/builtins.cc.o"
+  "CMakeFiles/delex_xlog.dir/builtins.cc.o.d"
+  "CMakeFiles/delex_xlog.dir/parser.cc.o"
+  "CMakeFiles/delex_xlog.dir/parser.cc.o.d"
+  "CMakeFiles/delex_xlog.dir/plan.cc.o"
+  "CMakeFiles/delex_xlog.dir/plan.cc.o.d"
+  "CMakeFiles/delex_xlog.dir/translate.cc.o"
+  "CMakeFiles/delex_xlog.dir/translate.cc.o.d"
+  "libdelex_xlog.a"
+  "libdelex_xlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_xlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

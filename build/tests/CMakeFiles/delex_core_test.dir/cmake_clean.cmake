@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delex_core_test.dir/delex_core_test.cc.o"
+  "CMakeFiles/delex_core_test.dir/delex_core_test.cc.o.d"
+  "delex_core_test"
+  "delex_core_test.pdb"
+  "delex_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delex_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
