@@ -9,6 +9,8 @@
 //   DELEX_PAGES_DBLIFE / DELEX_PAGES_WIKI   pages per snapshot
 //   DELEX_SNAPSHOTS                         snapshots per series
 //   DELEX_SEED                              corpus seed
+//   DELEX_THREADS                           engine worker threads
+//                                           (1 = serial, 0 = all cores)
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +42,9 @@ inline int Snapshots() {
 inline uint64_t Seed() {
   return static_cast<uint64_t>(EnvInt("DELEX_SEED", 20090629));  // SIGMOD'09
 }
+
+/// Engine worker threads; results are identical at any setting.
+inline int Threads() { return static_cast<int>(EnvInt("DELEX_THREADS", 1)); }
 
 /// Fresh scratch directory for reuse files.
 inline std::string WorkDir(const std::string& tag) {
@@ -99,8 +104,10 @@ inline Lineup MakeLineup(const ProgramSpec& spec, const std::string& tag) {
   lineup.no_reuse = MakeNoReuseSolution(spec);
   lineup.shortcut = MakeShortcutSolution(spec);
   std::string work = WorkDir(tag);
-  lineup.cyclex = MakeCyclexSolution(spec, work + "/cyclex");
-  lineup.delex = MakeDelexSolution(spec, work + "/delex");
+  lineup.cyclex = MakeCyclexSolution(spec, work + "/cyclex", Threads());
+  DelexSolutionOptions delex_options;
+  delex_options.num_threads = Threads();
+  lineup.delex = MakeDelexSolution(spec, work + "/delex", delex_options);
   return lineup;
 }
 

@@ -234,9 +234,10 @@ bench/CMakeFiles/bench_alpha_beta_sensitivity.dir/bench_alpha_beta_sensitivity.c
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/extract/registry.h \
- /root/repo/src/extract/extractor.h /root/repo/src/common/value.h \
- /root/repo/src/xlog/plan.h /root/repo/src/xlog/builtins.h \
- /root/repo/src/harness/table.h /root/repo/src/common/logging.h \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/value.h /root/repo/src/xlog/plan.h \
+ /root/repo/src/xlog/builtins.h /root/repo/src/harness/table.h \
+ /root/repo/src/common/logging.h \
  /root/repo/src/extract/bounds_override_extractor.h \
  /root/repo/src/xlog/parser.h /root/repo/src/xlog/ast.h \
  /root/repo/src/xlog/translate.h

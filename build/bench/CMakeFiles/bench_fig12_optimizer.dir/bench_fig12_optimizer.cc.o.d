@@ -237,10 +237,10 @@ bench/CMakeFiles/bench_fig12_optimizer.dir/bench_fig12_optimizer.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/extract/registry.h /root/repo/src/extract/extractor.h \
- /root/repo/src/common/value.h /root/repo/src/xlog/plan.h \
- /root/repo/src/xlog/builtins.h /root/repo/src/harness/table.h \
- /root/repo/src/delex/ie_unit.h /root/repo/src/optimizer/optimizer.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/optimizer/search.h \
- /root/repo/src/optimizer/cost_model.h /usr/include/c++/12/array \
- /root/repo/src/optimizer/stats_collector.h
+ /usr/include/c++/12/atomic /root/repo/src/common/value.h \
+ /root/repo/src/xlog/plan.h /root/repo/src/xlog/builtins.h \
+ /root/repo/src/harness/table.h /root/repo/src/delex/ie_unit.h \
+ /root/repo/src/optimizer/optimizer.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/optimizer/search.h /root/repo/src/optimizer/cost_model.h \
+ /usr/include/c++/12/array /root/repo/src/optimizer/stats_collector.h

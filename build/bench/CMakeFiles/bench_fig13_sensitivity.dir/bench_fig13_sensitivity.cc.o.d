@@ -233,6 +233,6 @@ bench/CMakeFiles/bench_fig13_sensitivity.dir/bench_fig13_sensitivity.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/extract/registry.h \
- /root/repo/src/extract/extractor.h /root/repo/src/common/value.h \
- /root/repo/src/xlog/plan.h /root/repo/src/xlog/builtins.h \
- /root/repo/src/harness/table.h
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/value.h /root/repo/src/xlog/plan.h \
+ /root/repo/src/xlog/builtins.h /root/repo/src/harness/table.h

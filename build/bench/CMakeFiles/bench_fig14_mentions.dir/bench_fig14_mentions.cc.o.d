@@ -233,8 +233,9 @@ bench/CMakeFiles/bench_fig14_mentions.dir/bench_fig14_mentions.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/extract/registry.h \
- /root/repo/src/extract/extractor.h /root/repo/src/common/value.h \
- /root/repo/src/xlog/plan.h /root/repo/src/xlog/builtins.h \
- /root/repo/src/harness/table.h /root/repo/src/common/logging.h \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/value.h /root/repo/src/xlog/plan.h \
+ /root/repo/src/xlog/builtins.h /root/repo/src/harness/table.h \
+ /root/repo/src/common/logging.h \
  /root/repo/src/extract/repeat_extractor.h /root/repo/src/xlog/parser.h \
  /root/repo/src/xlog/ast.h /root/repo/src/xlog/translate.h

@@ -215,14 +215,15 @@ examples/CMakeFiles/plan_explorer.dir/plan_explorer.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/extract/extractor.h /root/repo/src/storage/snapshot.h \
- /usr/include/c++/12/optional /root/repo/src/storage/io_stats.h \
- /root/repo/src/xlog/builtins.h /root/repo/src/harness/experiment.h \
- /root/repo/src/delex/run_stats.h /root/repo/src/matcher/matcher.h \
- /root/repo/src/text/match_segment.h /root/repo/src/harness/programs.h \
- /root/repo/src/corpus/generator.h /root/repo/src/common/random.h \
- /root/repo/src/extract/registry.h /root/repo/src/harness/table.h \
- /root/repo/src/optimizer/optimizer.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/optimizer/search.h /root/repo/src/optimizer/cost_model.h \
- /usr/include/c++/12/array /root/repo/src/optimizer/stats_collector.h
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/storage/snapshot.h /usr/include/c++/12/optional \
+ /root/repo/src/storage/io_stats.h /root/repo/src/xlog/builtins.h \
+ /root/repo/src/harness/experiment.h /root/repo/src/delex/run_stats.h \
+ /root/repo/src/matcher/matcher.h /root/repo/src/text/match_segment.h \
+ /root/repo/src/harness/programs.h /root/repo/src/corpus/generator.h \
+ /root/repo/src/common/random.h /root/repo/src/extract/registry.h \
+ /root/repo/src/harness/table.h /root/repo/src/optimizer/optimizer.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/optimizer/search.h \
+ /root/repo/src/optimizer/cost_model.h /usr/include/c++/12/array \
+ /root/repo/src/optimizer/stats_collector.h

@@ -218,10 +218,11 @@ src/baseline/CMakeFiles/delex_baseline.dir/runners.cc.o: \
  /root/repo/src/text/match_segment.h /root/repo/src/storage/io_stats.h \
  /root/repo/src/storage/snapshot.h /usr/include/c++/12/optional \
  /root/repo/src/xlog/plan.h /root/repo/src/common/value.h \
- /root/repo/src/extract/extractor.h /root/repo/src/xlog/builtins.h \
- /root/repo/src/common/hash.h /root/repo/src/common/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/xlog/builtins.h /root/repo/src/common/hash.h \
+ /root/repo/src/common/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

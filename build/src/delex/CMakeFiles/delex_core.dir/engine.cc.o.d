@@ -215,14 +215,22 @@ src/delex/CMakeFiles/delex_core.dir/engine.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/extract/extractor.h /root/repo/src/storage/snapshot.h \
- /usr/include/c++/12/optional /root/repo/src/storage/io_stats.h \
- /root/repo/src/xlog/builtins.h /root/repo/src/delex/run_stats.h \
- /root/repo/src/matcher/matcher.h /root/repo/src/text/match_segment.h \
- /root/repo/src/storage/reuse_file.h /root/repo/src/storage/record_file.h \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/storage/snapshot.h /usr/include/c++/12/optional \
+ /root/repo/src/storage/io_stats.h /root/repo/src/xlog/builtins.h \
+ /root/repo/src/delex/run_stats.h /root/repo/src/matcher/matcher.h \
+ /root/repo/src/text/match_segment.h /root/repo/src/storage/reuse_file.h \
+ /root/repo/src/storage/record_file.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
@@ -236,7 +244,12 @@ src/delex/CMakeFiles/delex_core.dir/engine.cc.o: \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/hash.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/common/hash.h \
  /root/repo/src/common/logging.h /root/repo/src/common/stopwatch.h \
- /usr/include/c++/12/chrono /root/repo/src/delex/region_derivation.h \
+ /usr/include/c++/12/chrono /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/delex/region_derivation.h \
  /root/repo/src/text/interval_set.h

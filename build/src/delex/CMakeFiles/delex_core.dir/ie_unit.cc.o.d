@@ -216,9 +216,9 @@ src/delex/CMakeFiles/delex_core.dir/ie_unit.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/extract/extractor.h /root/repo/src/storage/snapshot.h \
- /usr/include/c++/12/optional /root/repo/src/storage/io_stats.h \
- /root/repo/src/xlog/builtins.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/storage/snapshot.h /usr/include/c++/12/optional \
+ /root/repo/src/storage/io_stats.h /root/repo/src/xlog/builtins.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

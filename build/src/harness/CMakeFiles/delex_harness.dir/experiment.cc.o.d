@@ -220,9 +220,9 @@ src/harness/CMakeFiles/delex_harness.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/extract/registry.h \
- /root/repo/src/extract/extractor.h /root/repo/src/common/value.h \
- /root/repo/src/xlog/plan.h /root/repo/src/xlog/builtins.h \
- /root/repo/src/baseline/plan_extractor.h \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/common/value.h /root/repo/src/xlog/plan.h \
+ /root/repo/src/xlog/builtins.h /root/repo/src/baseline/plan_extractor.h \
  /root/repo/src/baseline/runners.h /root/repo/src/common/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

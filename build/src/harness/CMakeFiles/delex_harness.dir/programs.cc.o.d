@@ -210,8 +210,9 @@ src/harness/CMakeFiles/delex_harness.dir/programs.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/storage/io_stats.h \
  /root/repo/src/extract/registry.h /root/repo/src/extract/extractor.h \
- /root/repo/src/common/value.h /root/repo/src/common/span.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/value.h \
+ /root/repo/src/common/span.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -215,13 +215,13 @@ src/optimizer/CMakeFiles/delex_optimizer.dir/stats_collector.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/extract/extractor.h /root/repo/src/storage/snapshot.h \
- /usr/include/c++/12/optional /root/repo/src/storage/io_stats.h \
- /root/repo/src/xlog/builtins.h /root/repo/src/optimizer/cost_model.h \
- /usr/include/c++/12/array /root/repo/src/delex/run_stats.h \
- /root/repo/src/matcher/matcher.h /root/repo/src/text/match_segment.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/storage/snapshot.h /usr/include/c++/12/optional \
+ /root/repo/src/storage/io_stats.h /root/repo/src/xlog/builtins.h \
+ /root/repo/src/optimizer/cost_model.h /usr/include/c++/12/array \
+ /root/repo/src/delex/run_stats.h /root/repo/src/matcher/matcher.h \
+ /root/repo/src/text/match_segment.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/hash.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

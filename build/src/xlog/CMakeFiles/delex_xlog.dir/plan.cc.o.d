@@ -209,9 +209,9 @@ src/xlog/CMakeFiles/delex_xlog.dir/plan.cc.o: /root/repo/src/xlog/plan.cc \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/extract/extractor.h /root/repo/src/storage/snapshot.h \
- /usr/include/c++/12/optional /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/extract/extractor.h /usr/include/c++/12/atomic \
+ /root/repo/src/storage/snapshot.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_engine_test.cc" "tests/CMakeFiles/parallel_engine_test.dir/parallel_engine_test.cc.o" "gcc" "tests/CMakeFiles/parallel_engine_test.dir/parallel_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/delex_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/delex_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/delex_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/delex/CMakeFiles/delex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matcher/CMakeFiles/delex_matcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlog/CMakeFiles/delex_xlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/delex_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/delex_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/delex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/delex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/delex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/xlog_test[1]_include.cmake")
 include("/root/repo/build/tests/delex_core_test[1]_include.cmake")
 include("/root/repo/build/tests/corpus_test[1]_include.cmake")
 include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
 include("/root/repo/build/tests/baseline_test[1]_include.cmake")
 include("/root/repo/build/tests/harness_test[1]_include.cmake")

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate: Release build + full ctest, then a ThreadSanitizer build + full
+# ctest. TSan is the race gate for the parallel page pipeline — a clean
+# parallel_engine_test under TSan is a hard requirement for any change to
+# src/delex or src/common/thread_pool.h.
+#
+# Usage: ci/check.sh [jobs]          (default: nproc)
+#   DELEX_CI_TSAN_ONLY=1 ci/check.sh     # skip the Release leg
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_leg() {
+  local name="$1" build_dir="$2"; shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
+  run_leg "Release" build-release -DCMAKE_BUILD_TYPE=Release
+fi
+
+# TSan wants debug info and no sanitizer-hostile optimizations; O1 keeps
+# the suite fast enough while preserving every instrumented access.
+run_leg "TSan" build-tsan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDELEX_SANITIZE=thread
+
+echo "=== all checks passed ==="

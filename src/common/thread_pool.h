@@ -1,0 +1,122 @@
+#ifndef DELEX_COMMON_THREAD_POOL_H_
+#define DELEX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace delex {
+
+/// \brief Fixed-size FIFO thread pool for page-parallel execution.
+///
+/// Deliberately minimal — submit and wait, no futures, no work stealing:
+/// Delex's unit of work is one page's full plan walk, which is coarse
+/// enough that a single locked queue is nowhere near contention at any
+/// realistic thread count.
+///
+/// Error contract: tasks return Status; a task that throws has the
+/// exception converted to Status::Internal. The first non-OK status is
+/// remembered and surfaced by Wait(). Remaining tasks still run to
+/// completion — callers (the engine's ordered write-back stage) need every
+/// in-flight page to settle before tearing down shared state, so the pool
+/// never abandons queued work on error.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool() {
+    (void)Wait();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks on queue depth; callers that need
+  /// bounded memory throttle themselves (see DelexEngine's in-flight
+  /// window).
+  void Submit(std::function<Status()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished; returns the first
+  /// error any task produced (sticky until the next Wait()).
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    Status status = std::move(first_error_);
+    first_error_ = Status::OK();
+    return status;
+  }
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<Status()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      Status status = RunTask(task);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!status.ok() && first_error_.ok()) first_error_ = status;
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  static Status RunTask(const std::function<Status()>& task) {
+    try {
+      return task();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("task threw a non-std exception");
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<Status()>> queue_;
+  std::vector<std::thread> threads_;
+  int64_t pending_ = 0;
+  bool shutdown_ = false;
+  Status first_error_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_COMMON_THREAD_POOL_H_

@@ -1,13 +1,17 @@
 #include "delex/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <filesystem>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "delex/region_derivation.h"
 
 namespace delex {
@@ -16,11 +20,47 @@ using xlog::PlanKind;
 using xlog::PlanNode;
 using xlog::PlanNodePtr;
 
-/// Per-page evaluation state threaded through the tree walk.
+/// One IE unit's slice of the previous generation for one page pair,
+/// pre-fetched by the reader stage (which owns the strictly-forward §5.2
+/// scan) so workers never touch the readers.
+struct DelexEngine::PageReuse {
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+};
+
+/// Per-page evaluation state threaded through the tree walk. Everything a
+/// page mutates lives here (or in the structures it points to), which is
+/// what makes EvalPage const and pages safe to evaluate concurrently.
 struct DelexEngine::PageContext {
   const Page* page = nullptr;     // current page p
   const Page* q_page = nullptr;   // previous version q, or null
   MatchContext match_ctx;         // RU's shared match cache for this pair
+  const std::vector<PageReuse>* reuse = nullptr;  // per unit; null w/o q
+  std::vector<PageCapture>* captures = nullptr;   // per unit, page-private
+  RunStats* stats = nullptr;                      // per-page stats shard
+};
+
+/// One page's place in the pipeline: reader-stage prefetch in, worker
+/// results out, consumed by the ordered write-back stage and the final
+/// result/stats assembly.
+struct DelexEngine::PageSlot {
+  const Page* page = nullptr;
+  const Page* q_page = nullptr;
+  std::vector<PageReuse> reuse;       // filled by the reader stage
+  std::vector<PageCapture> captures;  // filled by the worker
+  RunStats stats;                     // per-page shard (incl. unit timers)
+  std::vector<Tuple> rows;            // did-prefixed result tuples
+  bool done = false;                  // guarded by RunState::mu
+};
+
+/// Shared coordination state of one parallel run.
+struct DelexEngine::RunState {
+  std::mutex mu;               // guards done flags, counters, error
+  std::condition_variable cv;  // completion / window-space signal
+  std::mutex commit_mu;        // serializes the ordered write-back stage
+  size_t next_commit = 0;      // first page index not yet committed
+  size_t in_flight = 0;        // submitted but not finished pages
+  Status error;                // first evaluation/commit failure
 };
 
 DelexEngine::DelexEngine(xlog::PlanNodePtr plan, Options options)
@@ -67,6 +107,145 @@ std::string DelexEngine::ReusePathPrefix(int unit_index, int generation) const {
          std::to_string(generation);
 }
 
+int DelexEngine::EffectiveThreads() const {
+  if (options_.num_threads > 0) return options_.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+Status DelexEngine::PrefetchPageReuse(int64_t q_did,
+                                      std::vector<PageReuse>* reuse) {
+  reuse->resize(analysis_.units.size());
+  for (size_t u = 0; u < analysis_.units.size(); ++u) {
+    DELEX_RETURN_NOT_OK(
+        readers_[u]->SeekPage(q_did, &(*reuse)[u].inputs, &(*reuse)[u].outputs));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> DelexEngine::EvalPage(PageContext* page_ctx) const {
+  const Page& page = *page_ctx->page;
+  DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> page_rows,
+                         EvalNode(*plan_, page_ctx));
+  std::vector<Tuple> rows;
+  rows.reserve(page_rows.size());
+  for (Tuple& row : page_rows) {
+    Tuple with_did;
+    with_did.reserve(row.size() + 1);
+    with_did.push_back(page.did);
+    for (Value& v : row) with_did.push_back(std::move(v));
+    rows.push_back(std::move(with_did));
+  }
+  return rows;
+}
+
+Status DelexEngine::CommitPage(PageSlot* slot) {
+  for (size_t u = 0; u < writers_.size(); ++u) {
+    ScopedTimer capture_timer(&slot->stats.units[u].capture_us);
+    DELEX_RETURN_NOT_OK(
+        writers_[u]->CommitPage(slot->page->did, slot->captures[u]));
+  }
+  slot->captures.clear();  // free buffered records as the pipeline drains
+  return Status::OK();
+}
+
+Status DelexEngine::RunPagesSerial(std::vector<PageSlot>* slots) {
+  for (PageSlot& slot : *slots) {
+    if (slot.q_page != nullptr) {
+      DELEX_RETURN_NOT_OK(PrefetchPageReuse(slot.q_page->did, &slot.reuse));
+    }
+    PageContext page_ctx;
+    page_ctx.page = slot.page;
+    page_ctx.q_page = slot.q_page;
+    page_ctx.reuse = slot.q_page != nullptr ? &slot.reuse : nullptr;
+    page_ctx.captures = &slot.captures;
+    page_ctx.stats = &slot.stats;
+    DELEX_ASSIGN_OR_RETURN(slot.rows, EvalPage(&page_ctx));
+    DELEX_RETURN_NOT_OK(CommitPage(&slot));
+  }
+  return Status::OK();
+}
+
+Status DelexEngine::RunPagesParallel(int num_threads,
+                                     std::vector<PageSlot>* slots) {
+  RunState state;
+  ThreadPool pool(num_threads);
+  // Bound on submitted-but-unfinished pages: keeps the reader stage a few
+  // pages ahead of the workers without prefetching the whole previous
+  // generation into memory.
+  const size_t window = static_cast<size_t>(num_threads) * 2 + 2;
+
+  // Commits every ready page at the front of the snapshot order. Any
+  // finishing worker may become the committer; commit_mu serializes the
+  // writers, mu orders the done-flag handoff.
+  auto drain_commits = [this, &state, slots]() -> Status {
+    std::lock_guard<std::mutex> commit_lock(state.commit_mu);
+    for (;;) {
+      PageSlot* slot = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error.ok() || state.next_commit >= slots->size() ||
+            !(*slots)[state.next_commit].done) {
+          return Status::OK();
+        }
+        slot = &(*slots)[state.next_commit];
+      }
+      Status st = CommitPage(slot);
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!st.ok()) {
+        if (state.error.ok()) state.error = st;
+        return st;
+      }
+      ++state.next_commit;
+    }
+  };
+
+  for (size_t i = 0; i < slots->size(); ++i) {
+    PageSlot* slot = &(*slots)[i];
+    // Reader stage: one strictly-forward scan per reuse file, kept on this
+    // thread and in snapshot page order (§5.2).
+    if (slot->q_page != nullptr) {
+      DELEX_RETURN_NOT_OK(PrefetchPageReuse(slot->q_page->did, &slot->reuse));
+    }
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.cv.wait(lock, [&state, window] {
+        return state.in_flight < window || !state.error.ok();
+      });
+      if (!state.error.ok()) break;
+      ++state.in_flight;
+    }
+    pool.Submit([this, slot, &state, &drain_commits]() -> Status {
+      PageContext page_ctx;
+      page_ctx.page = slot->page;
+      page_ctx.q_page = slot->q_page;
+      page_ctx.reuse = slot->q_page != nullptr ? &slot->reuse : nullptr;
+      page_ctx.captures = &slot->captures;
+      page_ctx.stats = &slot->stats;
+      Result<std::vector<Tuple>> rows = EvalPage(&page_ctx);
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        --state.in_flight;
+        if (rows.ok()) {
+          slot->rows = std::move(rows).ValueOrDie();
+          slot->done = true;
+        } else if (state.error.ok()) {
+          state.error = rows.status();
+        }
+      }
+      state.cv.notify_all();
+      if (!rows.ok()) return rows.status();
+      return drain_commits();
+    });
+  }
+  Status pool_status = pool.Wait();
+  DELEX_RETURN_NOT_OK(pool_status);
+  std::lock_guard<std::mutex> lock(state.mu);
+  DELEX_RETURN_NOT_OK(state.error);
+  DELEX_CHECK(state.next_commit == slots->size());
+  return Status::OK();
+}
+
 Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     const Snapshot& current, const Snapshot* previous,
     const MatcherAssignment& assignment, RunStats* stats) {
@@ -80,11 +259,11 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     return Status::InvalidArgument("assignment size != number of IE units");
   }
 
+  const size_t num_units = analysis_.units.size();
   RunStats local_stats;
-  local_stats.units.resize(analysis_.units.size());
-  stats_ = stats != nullptr ? stats : &local_stats;
-  *stats_ = RunStats();
-  stats_->units.resize(analysis_.units.size());
+  RunStats* out_stats = stats != nullptr ? stats : &local_stats;
+  *out_stats = RunStats();
+  out_stats->units.resize(num_units);
   assignment_ = &assignment;
 
   Stopwatch total_watch;
@@ -92,7 +271,7 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   // Open writers for this generation and readers over the previous one.
   writers_.clear();
   readers_.clear();
-  for (size_t u = 0; u < analysis_.units.size(); ++u) {
+  for (size_t u = 0; u < num_units; ++u) {
     auto writer = std::make_unique<UnitReuseWriter>();
     DELEX_RETURN_NOT_OK(
         writer->Open(ReusePathPrefix(static_cast<int>(u), generation_)));
@@ -105,41 +284,56 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     }
   }
 
-  std::vector<Tuple> results;
-  for (const Page& page : current.pages()) {
-    PageContext page_ctx;
-    page_ctx.page = &page;
+  // Stage 0: lay out one slot per page, resolving each page's previous
+  // version. Workers only ever touch their own slot.
+  std::vector<PageSlot> slots(current.pages().size());
+  for (size_t i = 0; i < current.pages().size(); ++i) {
+    const Page& page = current.pages()[i];
+    PageSlot& slot = slots[i];
+    slot.page = &page;
     if (previous != nullptr) {
       if (auto idx = previous->FindByUrl(page.url)) {
-        page_ctx.q_page = &previous->pages()[*idx];
-        ++stats_->pages_with_previous;
+        slot.q_page = &previous->pages()[*idx];
       }
     }
-    ++stats_->pages;
+    slot.captures.resize(num_units);
+    slot.stats.units.resize(num_units);
+    slot.stats.pages = 1;
+    if (slot.q_page != nullptr) slot.stats.pages_with_previous = 1;
+  }
 
-    DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> page_rows,
-                           EvalNode(*plan_, &page_ctx));
-    for (Tuple& row : page_rows) {
-      Tuple with_did;
-      with_did.reserve(row.size() + 1);
-      with_did.push_back(page.did);
-      for (Value& v : row) with_did.push_back(std::move(v));
-      results.push_back(std::move(with_did));
-    }
+  const int num_threads = EffectiveThreads();
+  Status run_status = num_threads <= 1 || slots.size() <= 1
+                          ? RunPagesSerial(&slots)
+                          : RunPagesParallel(num_threads, &slots);
+  if (!run_status.ok()) {
+    writers_.clear();
+    readers_.clear();
+    assignment_ = nullptr;
+    return run_status;
+  }
+
+  // Final assembly: results in snapshot page order, stats shards merged in
+  // the same order (counter totals are order-independent; the fixed order
+  // keeps the merge deterministic anyway).
+  std::vector<Tuple> results;
+  for (PageSlot& slot : slots) {
+    for (Tuple& row : slot.rows) results.push_back(std::move(row));
+    out_stats->MergeFrom(slot.stats);
   }
 
   for (auto& writer : writers_) {
     DELEX_RETURN_NOT_OK(writer->Close());
-    stats_->reuse_write_io += writer->CombinedStats();
+    out_stats->reuse_write_io += writer->CombinedStats();
   }
   for (auto& reader : readers_) {
     DELEX_RETURN_NOT_OK(reader->Close());
-    stats_->reuse_read_io += reader->CombinedStats();
+    out_stats->reuse_read_io += reader->CombinedStats();
   }
 
   // Drop the now-consumed previous generation.
   if (previous != nullptr) {
-    for (size_t u = 0; u < analysis_.units.size(); ++u) {
+    for (size_t u = 0; u < num_units; ++u) {
       std::string prefix = ReusePathPrefix(static_cast<int>(u), generation_ - 1);
       std::error_code ec;
       std::filesystem::remove(prefix + ".in", ec);
@@ -150,20 +344,23 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   writers_.clear();
   readers_.clear();
   ++generation_;
-  stats_->result_tuples = static_cast<int64_t>(results.size());
-  stats_->phases.total_us = total_watch.ElapsedMicros();
-  for (const UnitRunStats& u : stats_->units) {
-    stats_->phases.match_us += u.match_us;
-    stats_->phases.extract_us += u.extract_us;
-    stats_->phases.copy_us += u.copy_us;
+  out_stats->result_tuples = static_cast<int64_t>(results.size());
+  out_stats->phases.total_us = total_watch.ElapsedMicros();
+  // Phase totals are derived purely from the merged per-page shards
+  // (satisfying Fig 11's decomposition without any engine-global timer
+  // that per-page code would have to race on).
+  for (const UnitRunStats& u : out_stats->units) {
+    out_stats->phases.match_us += u.match_us;
+    out_stats->phases.extract_us += u.extract_us;
+    out_stats->phases.copy_us += u.copy_us;
+    out_stats->phases.capture_us += u.capture_us;
   }
   assignment_ = nullptr;
-  stats_ = nullptr;
   return results;
 }
 
 Result<std::vector<Tuple>> DelexEngine::EvalNode(const PlanNode& node,
-                                                 PageContext* page_ctx) {
+                                                 PageContext* page_ctx) const {
   auto unit_it = analysis_.unit_of_top.find(node.id);
   if (unit_it != analysis_.unit_of_top.end()) {
     return EvalUnit(analysis_.units[static_cast<size_t>(unit_it->second)],
@@ -223,7 +420,7 @@ Result<bool> DelexEngine::ReplayChain(const IEUnit& unit,
                                       const Tuple& input_tuple,
                                       const Tuple& blackbox_output,
                                       std::string_view page_text,
-                                      Tuple* final_tuple) {
+                                      Tuple* final_tuple) const {
   Tuple combined = input_tuple;
   combined.reserve(input_tuple.size() + blackbox_output.size());
   for (const Value& v : blackbox_output) combined.push_back(v);
@@ -251,23 +448,30 @@ Result<bool> DelexEngine::ReplayChain(const IEUnit& unit,
 }
 
 Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
-                                                 PageContext* page_ctx) {
+                                                 PageContext* page_ctx) const {
   const Page& page = *page_ctx->page;
   const Page* q_page = page_ctx->q_page;
-  UnitRunStats& ustats = stats_->units[static_cast<size_t>(unit.index)];
-  UnitReuseWriter& writer = *writers_[static_cast<size_t>(unit.index)];
+  UnitRunStats& ustats =
+      page_ctx->stats->units[static_cast<size_t>(unit.index)];
+  PageCapture& capture =
+      (*page_ctx->captures)[static_cast<size_t>(unit.index)];
 
   DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> inputs,
                          EvalNode(*unit.input, page_ctx));
 
-  // Pull this page's recorded tuples from the previous run (one forward
-  // seek per unit per page — §5.2's sequential-scan discipline).
-  std::vector<InputTupleRec> old_inputs;
-  std::vector<OutputTupleRec> old_outputs;
-  if (q_page != nullptr && !readers_.empty()) {
-    DELEX_RETURN_NOT_OK(readers_[static_cast<size_t>(unit.index)]->SeekPage(
-        q_page->did, &old_inputs, &old_outputs));
-  }
+  // This page's recorded tuples from the previous run, pre-fetched by the
+  // reader stage (one forward seek per unit per page — §5.2's
+  // sequential-scan discipline, kept on the reader thread).
+  const PageReuse* page_reuse =
+      (q_page != nullptr && page_ctx->reuse != nullptr)
+          ? &(*page_ctx->reuse)[static_cast<size_t>(unit.index)]
+          : nullptr;
+  static const std::vector<InputTupleRec> kNoInputs;
+  static const std::vector<OutputTupleRec> kNoOutputs;
+  const std::vector<InputTupleRec>& old_inputs =
+      page_reuse != nullptr ? page_reuse->inputs : kNoInputs;
+  const std::vector<OutputTupleRec>& old_outputs =
+      page_reuse != nullptr ? page_reuse->outputs : kNoOutputs;
   std::unordered_multimap<int64_t, const OutputTupleRec*> outputs_by_itid;
   for (const OutputTupleRec& rec : old_outputs) {
     outputs_by_itid.emplace(rec.itid, &rec);
@@ -280,14 +484,14 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
           ? assignment_->per_unit[static_cast<size_t>(unit.index)]
           : MatcherKind::kDN;
   const Matcher& matcher = GetMatcher(matcher_kind);
-  const TextSpan page_bounds(0, static_cast<int64_t>(page.content.size()));
-  (void)page_bounds;
 
   std::vector<Tuple> unit_results;
 
   // Index of old inputs by content hash (exact fast path) and by tid
-  // (copy-phase lookups). Old regions with a non-empty context are left
-  // out of the hash index and handled by the slow path.
+  // (copy-phase lookups). Per the region_hash contract (reuse_file.h),
+  // only empty-context records enter the hash index — context equality is
+  // part of reuse eligibility and the hash covers region bytes only;
+  // non-empty-context records are left to the matcher path.
   std::unordered_multimap<uint64_t, const InputTupleRec*> old_by_hash;
   std::unordered_map<int64_t, const InputTupleRec*> old_by_tid;
   if (q_page != nullptr && !old_inputs.empty()) {
@@ -310,7 +514,6 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
   struct RegionGroup {
     TextSpan region;
     size_t representative = 0;  // index of the first input tuple
-    int64_t tid = 0;
     std::vector<Tuple> produced;  // sigma-surviving blackbox outputs
   };
   std::vector<RegionGroup> groups;
@@ -335,6 +538,7 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
     group_of_input[i] = it->second;
   }
 
+  capture.groups.reserve(groups.size());
   int64_t group_ordinal = -1;
   for (RegionGroup& group : groups) {
     ++group_ordinal;
@@ -346,11 +550,12 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
                     .substr(static_cast<size_t>(region.start),
                             static_cast<size_t>(region.length())));
 
-    {
-      ScopedTimer capture_timer(&stats_->phases.capture_us);
-      DELEX_RETURN_NOT_OK(writer.AppendInput(page.did, region, region_hash,
-                                             context, &group.tid));
-    }
+    // Buffer the input record; the ordered write-back stage appends it
+    // (assigning the tid) once every earlier page has committed.
+    PageCapture::Group& capture_group = capture.groups.emplace_back();
+    capture_group.region = region;
+    capture_group.region_hash = region_hash;
+    capture_group.context = context;
 
     // ---- Matching: find reuse opportunities (§5.3). ----
     RegionDerivation derivation;
@@ -515,8 +720,8 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
           ReplayChain(unit, representative, o, page.content, &ignored));
       if (!keep) continue;
       {
-        ScopedTimer capture_timer(&stats_->phases.capture_us);
-        DELEX_RETURN_NOT_OK(writer.AppendOutput(group.tid, page.did, o));
+        ScopedTimer capture_timer(&ustats.capture_us);
+        capture_group.outputs.push_back(o);
       }
       group.produced.push_back(std::move(o));
     }

@@ -37,6 +37,16 @@ class DelexEngine {
     /// Directory for reuse files (created if absent).
     std::string work_dir = "/tmp/delex-work";
 
+    /// Worker threads for page evaluation. Pages are mutually independent
+    /// (each carries its own MatchContext), so the engine runs the
+    /// per-page plan walk on a fixed ThreadPool: a reader stage keeps each
+    /// reuse file's strictly-forward scan on the submitting thread, and an
+    /// ordered write-back stage commits captures in snapshot page order,
+    /// so results and next-generation reuse files are byte-identical at
+    /// every thread count. 1 = serial in-caller execution (the exact
+    /// legacy path, no pool); 0 = one worker per hardware thread.
+    int num_threads = 1;
+
     /// Maximum old input regions matched per new input region when no
     /// exact-content candidate exists (ŝ of the cost model).
     int max_match_candidates = 2;
@@ -81,17 +91,43 @@ class DelexEngine {
 
  private:
   struct PageContext;
+  struct PageReuse;
+  struct PageSlot;
+  struct RunState;
+
+  /// Effective worker count for this run (resolves num_threads == 0).
+  int EffectiveThreads() const;
+
+  /// Drains each unit's reuse reader for `q_did` into `*reuse` (one
+  /// forward seek per unit — §5.2). Must be called from the single reader
+  /// stage, in snapshot page order.
+  Status PrefetchPageReuse(int64_t q_did, std::vector<PageReuse>* reuse);
+
+  /// Evaluates one page end to end (match → copy → extract → chain
+  /// replay). Const: all mutable state — capture buffers, stats shard,
+  /// match cache — lives in the caller-owned PageContext, so any number
+  /// of pages can run concurrently.
+  Result<std::vector<Tuple>> EvalPage(PageContext* page_ctx) const;
+
+  /// Commits one evaluated page: per-unit capture buffers are appended to
+  /// the reuse writers. Caller must serialize commits in snapshot page
+  /// order (the ordered write-back stage).
+  Status CommitPage(PageSlot* slot);
 
   Result<std::vector<Tuple>> EvalNode(const xlog::PlanNode& node,
-                                      PageContext* page_ctx);
+                                      PageContext* page_ctx) const;
   Result<std::vector<Tuple>> EvalUnit(const IEUnit& unit,
-                                      PageContext* page_ctx);
+                                      PageContext* page_ctx) const;
 
   /// Applies the unit's folded σ/π chain to (input ++ blackbox output);
   /// returns false if a folded σ rejects.
   Result<bool> ReplayChain(const IEUnit& unit, const Tuple& input_tuple,
                            const Tuple& blackbox_output,
-                           std::string_view page_text, Tuple* final_tuple);
+                           std::string_view page_text,
+                           Tuple* final_tuple) const;
+
+  Status RunPagesSerial(std::vector<PageSlot>* slots);
+  Status RunPagesParallel(int num_threads, std::vector<PageSlot>* slots);
 
   std::string ReusePathPrefix(int unit_index, int generation) const;
 
@@ -101,11 +137,11 @@ class DelexEngine {
   bool initialized_ = false;
   int generation_ = 0;
 
-  // Per-run state.
+  // Per-run state. The writers/readers are touched only by the ordered
+  // write-back and reader stages respectively; workers see them never.
   std::vector<std::unique_ptr<UnitReuseWriter>> writers_;
   std::vector<std::unique_ptr<UnitReuseReader>> readers_;
   const MatcherAssignment* assignment_ = nullptr;
-  RunStats* stats_ = nullptr;
 };
 
 }  // namespace delex

@@ -59,6 +59,13 @@ struct PhaseBreakdown {
 };
 
 /// \brief Per-unit counters for one snapshot run.
+///
+/// Under parallel execution every page task accumulates into its own
+/// private shard (inside a per-page RunStats), merged into the run's
+/// stats by RunStats::MergeFrom once the page is done — per-page code
+/// never touches engine-global counters. All phase timers, including
+/// capture, live here; RunStats::PhaseBreakdown totals are derived from
+/// the merged shards.
 struct UnitRunStats {
   int64_t input_tuples = 0;
   int64_t output_tuples = 0;
@@ -70,6 +77,22 @@ struct UnitRunStats {
   int64_t match_us = 0;
   int64_t extract_us = 0;
   int64_t copy_us = 0;
+  int64_t capture_us = 0;  ///< reuse-record buffering + ordered write-back
+
+  UnitRunStats& operator+=(const UnitRunStats& other) {
+    input_tuples += other.input_tuples;
+    output_tuples += other.output_tuples;
+    copied_tuples += other.copied_tuples;
+    extracted_tuples += other.extracted_tuples;
+    matcher_calls += other.matcher_calls;
+    exact_region_hits += other.exact_region_hits;
+    chars_extracted += other.chars_extracted;
+    match_us += other.match_us;
+    extract_us += other.extract_us;
+    copy_us += other.copy_us;
+    capture_us += other.capture_us;
+    return *this;
+  }
 };
 
 /// \brief Aggregate statistics of one snapshot run.
@@ -81,6 +104,20 @@ struct RunStats {
   int64_t pages = 0;
   int64_t pages_with_previous = 0;
   int64_t result_tuples = 0;
+
+  /// Folds a per-page shard into this run's stats (unit counters summed
+  /// element-wise; `units` grows to cover the shard). Phase totals are
+  /// *not* touched — the engine derives them from the merged unit shards
+  /// at the end of the run.
+  void MergeFrom(const RunStats& other) {
+    if (units.size() < other.units.size()) units.resize(other.units.size());
+    for (size_t i = 0; i < other.units.size(); ++i) units[i] += other.units[i];
+    reuse_read_io += other.reuse_read_io;
+    reuse_write_io += other.reuse_write_io;
+    pages += other.pages;
+    pages_with_previous += other.pages_with_previous;
+    result_tuples += other.result_tuples;
+  }
 };
 
 }  // namespace delex

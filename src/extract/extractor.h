@@ -1,6 +1,7 @@
 #ifndef DELEX_EXTRACT_EXTRACTOR_H_
 #define DELEX_EXTRACT_EXTRACTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,10 +75,18 @@ class Extractor {
 
  protected:
   /// Subclasses call this once per Extract to account their work.
+  ///
+  /// One extractor instance is shared by every page-evaluation worker, so
+  /// the counters are bumped with relaxed atomics: exact totals without
+  /// serializing Extract. Readers (tests, the cost model's calibration)
+  /// only look at the counters while no extraction is in flight.
   void Account(int64_t chars, int64_t mentions) const {
-    ++stats_.calls;
-    stats_.chars_processed += chars;
-    stats_.mentions_emitted += mentions;
+    std::atomic_ref<int64_t>(stats_.calls)
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<int64_t>(stats_.chars_processed)
+        .fetch_add(chars, std::memory_order_relaxed);
+    std::atomic_ref<int64_t>(stats_.mentions_emitted)
+        .fetch_add(mentions, std::memory_order_relaxed);
   }
 
  private:

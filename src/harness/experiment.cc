@@ -72,6 +72,7 @@ class EngineSolution : public Solution {
       : name_(std::move(name)), options_(std::move(options)) {
     DelexEngine::Options engine_options;
     engine_options.work_dir = work_dir;
+    engine_options.num_threads = options_.num_threads;
     engine_options.disable_exact_fast_path = options_.disable_exact_fast_path;
     engine_options.fold_unit_operators = options_.fold_unit_operators;
     engine_ = std::make_unique<DelexEngine>(std::move(plan), engine_options);
@@ -141,12 +142,15 @@ std::unique_ptr<Solution> MakeShortcutSolution(const ProgramSpec& spec) {
 }
 
 std::unique_ptr<Solution> MakeCyclexSolution(const ProgramSpec& spec,
-                                             const std::string& work_dir) {
+                                             const std::string& work_dir,
+                                             int num_threads) {
   xlog::PlanNodePtr wrapped =
       WrapWholeProgram(spec.plan, "whole[" + spec.name + "]", spec.whole_alpha,
                        spec.whole_beta);
+  DelexSolutionOptions options;
+  options.num_threads = num_threads;
   auto solution = std::make_unique<EngineSolution>(
-      "Cyclex", std::move(wrapped), work_dir, DelexSolutionOptions());
+      "Cyclex", std::move(wrapped), work_dir, std::move(options));
   Status st = solution->Prepare();
   DELEX_CHECK_MSG(st.ok(), st.ToString());
   return solution;

@@ -44,11 +44,17 @@ std::unique_ptr<Solution> MakeShortcutSolution(const ProgramSpec& spec);
 /// \brief Treats the whole program as a single IE blackbox with the
 /// spec's program-level (α, β); optimizes the single matcher choice per
 /// snapshot with the §6 machinery (which degenerates to Cyclex's).
+/// `num_threads` follows DelexEngine::Options::num_threads semantics.
 std::unique_ptr<Solution> MakeCyclexSolution(const ProgramSpec& spec,
-                                             const std::string& work_dir);
+                                             const std::string& work_dir,
+                                             int num_threads = 1);
 
 /// \brief Options for the Delex solution.
 struct DelexSolutionOptions {
+  /// Worker threads for page evaluation (DelexEngine::Options::num_threads):
+  /// 1 = serial legacy path, 0 = one per hardware thread. Results and reuse
+  /// files are identical at every setting; only wall clock changes.
+  int num_threads = 1;
   /// Statistics sample size (Fig 13a).
   int sample_pages = 6;
   /// History window (Fig 13b).

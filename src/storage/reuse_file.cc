@@ -107,6 +107,18 @@ Status UnitReuseWriter::AppendOutput(int64_t itid, int64_t did,
   return output_writer_.Append(scratch_);
 }
 
+Status UnitReuseWriter::CommitPage(int64_t did, const PageCapture& capture) {
+  for (const PageCapture::Group& group : capture.groups) {
+    int64_t tid = 0;
+    DELEX_RETURN_NOT_OK(
+        AppendInput(did, group.region, group.region_hash, group.context, &tid));
+    for (const Tuple& payload : group.outputs) {
+      DELEX_RETURN_NOT_OK(AppendOutput(tid, did, payload));
+    }
+  }
+  return Status::OK();
+}
+
 Status UnitReuseWriter::Close() {
   DELEX_RETURN_NOT_OK(input_writer_.Close());
   return output_writer_.Close();

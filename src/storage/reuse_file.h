@@ -25,6 +25,14 @@ struct InputTupleRec {
   /// FNV-1a of the region's text, computed at capture time (the content is
   /// in memory then); spares the next run from re-hashing every old region
   /// for the exact-content fast path.
+  ///
+  /// Contract: `region_hash` covers the region's *bytes only* — never the
+  /// context. Matching may only reuse a tuple whose context equals the new
+  /// input's context (§4), so the exact-content fast path consults the
+  /// hash exclusively for tuples with an *empty* context on both sides;
+  /// tuples carrying a non-empty context must take the matcher path, where
+  /// context equality is checked explicitly. Consumers indexing old inputs
+  /// by hash must skip non-empty-context records for the same reason.
   uint64_t region_hash = 0;
   Tuple context;
 };
@@ -40,6 +48,28 @@ struct OutputTupleRec {
   int64_t itid = 0;
   int64_t did = 0;
   Tuple payload;
+};
+
+/// \brief Buffered capture of one page's reuse records for one IE unit.
+///
+/// Parallel page evaluation cannot append to the unit's reuse files
+/// mid-evaluation: appends must land in snapshot page order (dids
+/// monotone, tids monotone) or the next generation's strictly-forward
+/// §5.2 scan would skip groups. Workers therefore record each page's
+/// capture into a PageCapture — one Group per distinct input region, in
+/// processing order, with the group's σ-surviving outputs attached — and
+/// an ordered write-back stage commits whole pages in snapshot order via
+/// UnitReuseWriter::CommitPage. Tids are assigned at commit time, so the
+/// files a buffered run produces are byte-identical to mid-evaluation
+/// appends.
+struct PageCapture {
+  struct Group {
+    TextSpan region;
+    uint64_t region_hash = 0;
+    Tuple context;
+    std::vector<Tuple> outputs;  ///< σ-surviving payloads for this region
+  };
+  std::vector<Group> groups;
 };
 
 /// \brief Writer for one IE unit's pair of reuse files (I_U, O_U).
@@ -60,6 +90,12 @@ class UnitReuseWriter {
 
   /// Appends an output tuple produced from input tuple `itid`.
   Status AppendOutput(int64_t itid, int64_t did, const Tuple& payload);
+
+  /// Appends one page's buffered capture: for each group in order, the
+  /// input tuple (tid assigned here) followed by its outputs (itid = that
+  /// tid). Record-for-record identical to interleaved AppendInput /
+  /// AppendOutput calls during evaluation.
+  Status CommitPage(int64_t did, const PageCapture& capture);
 
   Status Close();
 
