@@ -65,6 +65,15 @@ int main() {
         SeriesFor(spec, /*snapshots=*/5,
                   static_cast<int>(EnvInt("DELEX_FIG14_PAGES", 120)));
     Lineup lineup = MakeLineup(spec, "fig14-r" + std::to_string(repeat));
+    // The exhibit counts mentions as copied + extracted tuples; pages the
+    // whole-page fast path absorbs contribute neither, which would deflate
+    // the mention axis. Pin it off so the mention accounting stays §8's.
+    DelexSolutionOptions no_fast_path;
+    no_fast_path.num_threads = Threads();
+    no_fast_path.disable_page_fast_path = true;
+    lineup.delex = MakeDelexSolution(
+        spec, WorkDir("fig14-delex-r" + std::to_string(repeat)),
+        no_fast_path);
 
     double totals[4];
     SeriesRun delex_run;

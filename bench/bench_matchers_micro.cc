@@ -100,7 +100,23 @@ void BM_SuffixAutomatonBuild(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(pair.q.size()));
 }
-BENCHMARK(BM_SuffixAutomatonBuild)->Arg(4 << 10)->Arg(16 << 10);
+BENCHMARK(BM_SuffixAutomatonBuild)->Arg(4 << 10)->Arg(16 << 10)->Arg(64 << 10);
+
+// ST's other half: streaming the new region through an already-built
+// automaton. Construction and streaming are reported separately so edge
+// layout changes (sorted edges, dense root table) can be attributed to the
+// phase they affect.
+void BM_SuffixAutomatonStream(benchmark::State& state) {
+  PagePair pair = MakePair(state.range(0));
+  SuffixAutomaton automaton(pair.q);
+  for (auto _ : state) {
+    int64_t best = automaton.LongestCommonSubstring(pair.p);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.p.size()));
+}
+BENCHMARK(BM_SuffixAutomatonStream)->Arg(4 << 10)->Arg(16 << 10)->Arg(64 << 10);
 
 void BM_LineDiff(benchmark::State& state) {
   PagePair pair = MakePair(state.range(0));

@@ -11,6 +11,8 @@
 //   DELEX_SEED                              corpus seed
 //   DELEX_THREADS                           engine worker threads
 //                                           (1 = serial, 0 = all cores)
+//   DELEX_FAST_PATH                         identical-page fast path
+//                                           (1 = on, default; 0 = off)
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +47,9 @@ inline uint64_t Seed() {
 
 /// Engine worker threads; results are identical at any setting.
 inline int Threads() { return static_cast<int>(EnvInt("DELEX_THREADS", 1)); }
+
+/// Identical-page fast path; results are identical either way.
+inline bool FastPath() { return EnvInt("DELEX_FAST_PATH", 1) != 0; }
 
 /// Fresh scratch directory for reuse files.
 inline std::string WorkDir(const std::string& tag) {
@@ -107,6 +112,7 @@ inline Lineup MakeLineup(const ProgramSpec& spec, const std::string& tag) {
   lineup.cyclex = MakeCyclexSolution(spec, work + "/cyclex", Threads());
   DelexSolutionOptions delex_options;
   delex_options.num_threads = Threads();
+  delex_options.disable_page_fast_path = !FastPath();
   lineup.delex = MakeDelexSolution(spec, work + "/delex", delex_options);
   return lineup;
 }

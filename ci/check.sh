@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: Release build + full ctest, then a ThreadSanitizer build + full
-# ctest. TSan is the race gate for the parallel page pipeline — a clean
-# parallel_engine_test under TSan is a hard requirement for any change to
-# src/delex or src/common/thread_pool.h.
+# CI gate: Release build + full ctest + a quick identical-fraction bench
+# smoke, an AddressSanitizer build + full ctest (the memory gate for the
+# raw byte-passthrough in the reuse files), then a ThreadSanitizer build +
+# full ctest. TSan is the race gate for the parallel page pipeline — a
+# clean parallel_engine_test under TSan is a hard requirement for any
+# change to src/delex or src/common/thread_pool.h.
 #
 # Usage: ci/check.sh [jobs]          (default: nproc)
-#   DELEX_CI_TSAN_ONLY=1 ci/check.sh     # skip the Release leg
+#   DELEX_CI_TSAN_ONLY=1 ci/check.sh     # skip the Release and ASan legs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +25,24 @@ run_leg() {
 
 if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
   run_leg "Release" build-release -DCMAKE_BUILD_TYPE=Release
+
+  # Quick-mode smoke of the identical-page fast path: tiny corpus, but the
+  # bench still runs fast-on vs fast-off end to end and self-checks
+  # Theorem-1 equivalence per fraction.
+  echo "=== Release: bench_identical_fraction smoke ==="
+  smoke_json="$(DELEX_PAGES_DBLIFE=24 DELEX_SNAPSHOTS=3 \
+    ./build-release/bench/bench_identical_fraction)"
+  echo "${smoke_json}"
+  if grep -q '"results_match": false' <<<"${smoke_json}"; then
+    echo "FAIL: fast path changed extraction results" >&2
+    exit 1
+  fi
+
+  # ASan guards the raw record passthrough (framed-byte copies, sidecar
+  # index offsets) against out-of-bounds reads and leaks.
+  run_leg "ASan" build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDELEX_SANITIZE=address
 fi
 
 # TSan wants debug info and no sanitizer-hostile optimizations; O1 keeps

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <condition_variable>
 #include <filesystem>
-#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -51,6 +50,17 @@ struct DelexEngine::PageSlot {
   RunStats stats;                     // per-page shard (incl. unit timers)
   std::vector<Tuple> rows;            // did-prefixed result tuples
   bool done = false;                  // guarded by RunState::mu
+
+  // Whole-page fast path (content byte-identical to q_page): set at slot
+  // layout, cleared by PrefetchSlot if any required previous-generation
+  // piece is missing. Fast-path slots never reach EvalPage — rows are
+  // recovered from the result cache and reuse records relocate as raw
+  // slices (or, per unit, as decode-copied captures when the unit's index
+  // entry failed validation).
+  bool identical = false;
+  std::vector<RawPageSlice> raw_slices;  // per unit; meaningful when valid
+  std::vector<char> raw_valid;           // per unit: commit slice raw?
+  ResultPageSlice result_slice;          // cached rows, still encoded
 };
 
 /// Shared coordination state of one parallel run.
@@ -107,6 +117,10 @@ std::string DelexEngine::ReusePathPrefix(int unit_index, int generation) const {
          std::to_string(generation);
 }
 
+std::string DelexEngine::ResultCachePath(int generation) const {
+  return options_.work_dir + "/results.gen" + std::to_string(generation);
+}
+
 int DelexEngine::EffectiveThreads() const {
   if (options_.num_threads > 0) return options_.num_threads;
   unsigned hw = std::thread::hardware_concurrency();
@@ -119,6 +133,62 @@ Status DelexEngine::PrefetchPageReuse(int64_t q_did,
   for (size_t u = 0; u < analysis_.units.size(); ++u) {
     DELEX_RETURN_NOT_OK(
         readers_[u]->SeekPage(q_did, &(*reuse)[u].inputs, &(*reuse)[u].outputs));
+  }
+  return Status::OK();
+}
+
+Status DelexEngine::PrefetchSlot(PageSlot* slot) {
+  const size_t num_units = analysis_.units.size();
+  if (slot->identical) {
+    // Result rows first: without them the page must fully evaluate, and
+    // demoting before any unit reader has advanced keeps every unit's
+    // group available to the normal decoded prefetch below.
+    bool found = false;
+    DELEX_RETURN_NOT_OK(result_reader_->ReadPage(slot->q_page->did,
+                                                 &slot->result_slice, &found));
+    if (found) {
+      Status decoded =
+          DecodeResultSlice(slot->result_slice, slot->page->did, &slot->rows);
+      if (!decoded.ok()) found = false;
+    }
+    if (!found) {
+      slot->identical = false;
+      slot->rows.clear();
+    }
+  }
+  if (slot->identical) {
+    slot->raw_slices.resize(num_units);
+    slot->raw_valid.assign(num_units, 0);
+    for (size_t u = 0; u < num_units; ++u) {
+      bool found = false;
+      bool index_valid = false;
+      DELEX_RETURN_NOT_OK(readers_[u]->ReadPageRaw(
+          slot->q_page->did, slot->q_page->content_hash, &slot->raw_slices[u],
+          &found, &index_valid));
+      if (!found) {
+        // The old generation has no group for this page (work dir out of
+        // step with the corpus). Demote to full evaluation; units whose
+        // groups were already consumed above simply extract from scratch.
+        slot->identical = false;
+        slot->rows.clear();
+        slot->raw_valid.assign(num_units, 0);
+        for (PageCapture& capture : slot->captures) capture.groups.clear();
+        break;
+      }
+      if (index_valid) {
+        slot->raw_valid[u] = 1;
+      } else {
+        // Decode-copy tier: the index entry was missing or failed
+        // validation, so the slice can't be trusted for a byte-range copy
+        // — but its records decode fine, and an identical page's capture
+        // IS its old records.
+        DELEX_RETURN_NOT_OK(
+            CaptureFromRawSlice(slot->raw_slices[u], &slot->captures[u]));
+      }
+    }
+  }
+  if (!slot->identical && slot->q_page != nullptr) {
+    DELEX_RETURN_NOT_OK(PrefetchPageReuse(slot->q_page->did, &slot->reuse));
   }
   return Status::OK();
 }
@@ -140,27 +210,47 @@ Result<std::vector<Tuple>> DelexEngine::EvalPage(PageContext* page_ctx) const {
 }
 
 Status DelexEngine::CommitPage(PageSlot* slot) {
+  const int64_t did = slot->page->did;
   for (size_t u = 0; u < writers_.size(); ++u) {
     ScopedTimer capture_timer(&slot->stats.units[u].capture_us);
-    DELEX_RETURN_NOT_OK(
-        writers_[u]->CommitPage(slot->page->did, slot->captures[u]));
+    if (slot->identical && slot->raw_valid[u] != 0) {
+      const RawPageSlice& raw = slot->raw_slices[u];
+      DELEX_RETURN_NOT_OK(writers_[u]->CommitPageRaw(did, raw));
+      slot->stats.raw_bytes_copied += raw.TotalBytes();
+      slot->stats.records_decoded_skipped += raw.n_inputs + raw.n_outputs;
+    } else {
+      DELEX_RETURN_NOT_OK(writers_[u]->CommitPage(
+          did, slot->page->content_hash, slot->captures[u]));
+    }
+  }
+  if (slot->identical) {
+    slot->stats.pages_identical = 1;
+    // The cached rows were decoded once to recover this page's results;
+    // their bytes still relocate verbatim into the new cache.
+    DELEX_RETURN_NOT_OK(result_writer_->CommitPageRaw(did, slot->result_slice));
+    slot->stats.raw_bytes_copied +=
+        static_cast<int64_t>(slot->result_slice.bytes.size());
+  } else {
+    DELEX_RETURN_NOT_OK(result_writer_->CommitPage(did, slot->rows));
   }
   slot->captures.clear();  // free buffered records as the pipeline drains
+  slot->raw_slices.clear();
+  slot->result_slice.bytes.clear();
   return Status::OK();
 }
 
 Status DelexEngine::RunPagesSerial(std::vector<PageSlot>* slots) {
   for (PageSlot& slot : *slots) {
-    if (slot.q_page != nullptr) {
-      DELEX_RETURN_NOT_OK(PrefetchPageReuse(slot.q_page->did, &slot.reuse));
+    DELEX_RETURN_NOT_OK(PrefetchSlot(&slot));
+    if (!slot.identical) {
+      PageContext page_ctx;
+      page_ctx.page = slot.page;
+      page_ctx.q_page = slot.q_page;
+      page_ctx.reuse = slot.q_page != nullptr ? &slot.reuse : nullptr;
+      page_ctx.captures = &slot.captures;
+      page_ctx.stats = &slot.stats;
+      DELEX_ASSIGN_OR_RETURN(slot.rows, EvalPage(&page_ctx));
     }
-    PageContext page_ctx;
-    page_ctx.page = slot.page;
-    page_ctx.q_page = slot.q_page;
-    page_ctx.reuse = slot.q_page != nullptr ? &slot.reuse : nullptr;
-    page_ctx.captures = &slot.captures;
-    page_ctx.stats = &slot.stats;
-    DELEX_ASSIGN_OR_RETURN(slot.rows, EvalPage(&page_ctx));
     DELEX_RETURN_NOT_OK(CommitPage(&slot));
   }
   return Status::OK();
@@ -204,8 +294,20 @@ Status DelexEngine::RunPagesParallel(int num_threads,
     PageSlot* slot = &(*slots)[i];
     // Reader stage: one strictly-forward scan per reuse file, kept on this
     // thread and in snapshot page order (§5.2).
-    if (slot->q_page != nullptr) {
-      DELEX_RETURN_NOT_OK(PrefetchPageReuse(slot->q_page->did, &slot->reuse));
+    DELEX_RETURN_NOT_OK(PrefetchSlot(slot));
+    if (slot->identical) {
+      // Fast-path pages bypass the worker stage: rows are already
+      // recovered and nothing needs evaluating, but the commit still must
+      // land in snapshot order, so mark the slot done and drain from here
+      // (the reader thread). in_flight is untouched — the slot never
+      // occupied a worker.
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error.ok()) break;
+        slot->done = true;
+      }
+      if (!drain_commits().ok()) break;  // error lands in state.error
+      continue;
     }
     {
       std::unique_lock<std::mutex> lock(state.mu);
@@ -283,6 +385,17 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
       readers_.push_back(std::move(reader));
     }
   }
+  result_writer_ = std::make_unique<ResultCacheWriter>();
+  DELEX_RETURN_NOT_OK(result_writer_->Open(ResultCachePath(generation_)));
+  result_reader_.reset();
+  if (previous != nullptr && !options_.disable_page_fast_path) {
+    auto reader = std::make_unique<ResultCacheReader>();
+    // A missing or corrupt previous cache (e.g. a resumed work dir from an
+    // older layout) just disables the fast path for this run.
+    if (reader->Open(ResultCachePath(generation_ - 1)).ok()) {
+      result_reader_ = std::move(reader);
+    }
+  }
 
   // Stage 0: lay out one slot per page, resolving each page's previous
   // version. Workers only ever touch their own slot.
@@ -300,6 +413,13 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     slot.stats.units.resize(num_units);
     slot.stats.pages = 1;
     if (slot.q_page != nullptr) slot.stats.pages_with_previous = 1;
+    // Whole-page fast path: digests first (O(1) per pair), then a byte
+    // compare so a digest collision can never relocate wrong records.
+    if (slot.q_page != nullptr && result_reader_ != nullptr &&
+        slot.q_page->content_hash == page.content_hash &&
+        slot.q_page->content == page.content) {
+      slot.identical = true;
+    }
   }
 
   const int num_threads = EffectiveThreads();
@@ -309,6 +429,8 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   if (!run_status.ok()) {
     writers_.clear();
     readers_.clear();
+    result_writer_.reset();
+    result_reader_.reset();
     assignment_ = nullptr;
     return run_status;
   }
@@ -330,6 +452,12 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     DELEX_RETURN_NOT_OK(reader->Close());
     out_stats->reuse_read_io += reader->CombinedStats();
   }
+  DELEX_RETURN_NOT_OK(result_writer_->Close());
+  out_stats->reuse_write_io += result_writer_->stats();
+  if (result_reader_ != nullptr) {
+    DELEX_RETURN_NOT_OK(result_reader_->Close());
+    out_stats->reuse_read_io += result_reader_->stats();
+  }
 
   // Drop the now-consumed previous generation.
   if (previous != nullptr) {
@@ -338,11 +466,16 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
       std::error_code ec;
       std::filesystem::remove(prefix + ".in", ec);
       std::filesystem::remove(prefix + ".out", ec);
+      std::filesystem::remove(prefix + ".idx", ec);
     }
+    std::error_code ec;
+    std::filesystem::remove(ResultCachePath(generation_ - 1), ec);
   }
 
   writers_.clear();
   readers_.clear();
+  result_writer_.reset();
+  result_reader_.reset();
   ++generation_;
   out_stats->result_tuples = static_cast<int64_t>(results.size());
   out_stats->phases.total_us = total_watch.ElapsedMicros();
@@ -473,8 +606,11 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
   const std::vector<OutputTupleRec>& old_outputs =
       page_reuse != nullptr ? page_reuse->outputs : kNoOutputs;
   std::unordered_multimap<int64_t, const OutputTupleRec*> outputs_by_itid;
-  for (const OutputTupleRec& rec : old_outputs) {
-    outputs_by_itid.emplace(rec.itid, &rec);
+  if (!old_outputs.empty()) {
+    outputs_by_itid.reserve(old_outputs.size());
+    for (const OutputTupleRec& rec : old_outputs) {
+      outputs_by_itid.emplace(rec.itid, &rec);
+    }
   }
 
   const Extractor& extractor = *unit.ie_node->extractor;
@@ -517,7 +653,12 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
     std::vector<Tuple> produced;  // sigma-surviving blackbox outputs
   };
   std::vector<RegionGroup> groups;
-  std::map<std::pair<int64_t, int64_t>, size_t> group_index;
+  // Span endpoints are offsets into the in-memory page, so they fit 32
+  // bits each (guarded below) and (start, end) packs into one 64-bit hash
+  // key — a flat O(1) probe instead of the ordered-map walk this loop used
+  // to pay per input tuple.
+  std::unordered_map<uint64_t, size_t> group_index;
+  group_index.reserve(inputs.size());
   std::vector<size_t> group_of_input(inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
     const Value& region_value =
@@ -526,7 +667,12 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
       return Status::InvalidArgument("IE input column is not a span");
     }
     TextSpan region = std::get<TextSpan>(region_value);
-    auto key = std::make_pair(region.start, region.end);
+    if (region.start < 0 || region.end < 0 || (region.start >> 32) != 0 ||
+        (region.end >> 32) != 0) {
+      return Status::InvalidArgument("IE input span exceeds 32-bit offsets");
+    }
+    const uint64_t key = (static_cast<uint64_t>(region.start) << 32) |
+                         static_cast<uint64_t>(region.end);
     auto it = group_index.find(key);
     if (it == group_index.end()) {
       it = group_index.emplace(key, groups.size()).first;

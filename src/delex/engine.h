@@ -9,6 +9,7 @@
 #include "delex/ie_unit.h"
 #include "delex/run_stats.h"
 #include "matcher/matcher.h"
+#include "storage/result_cache.h"
 #include "storage/reuse_file.h"
 #include "storage/snapshot.h"
 #include "xlog/plan.h"
@@ -54,6 +55,19 @@ class DelexEngine {
     /// Disable the exact-content fast path (forces the assigned matcher to
     /// run even on unchanged regions; used by ablation benches).
     bool disable_exact_fast_path = false;
+
+    /// Disable the whole-page identical fast path: byte-identical pages
+    /// are then evaluated like any other (region-level reuse still
+    /// applies). The fast path short-circuits evaluation entirely for
+    /// pages whose content digest and bytes match their previous version —
+    /// reuse records relocate raw (zero decode / zero re-encode) and final
+    /// rows come from the per-generation page result cache. Used by
+    /// equivalence tests and the identical-fraction bench. Like
+    /// disable_exact_fast_path, this gates only the *consuming* side:
+    /// digests and the result cache are still captured, so a later run
+    /// (e.g. after Resume) can enable the fast path against this
+    /// generation's files.
+    bool disable_page_fast_path = false;
 
     /// Disable σ/π folding: reuse at bare-blackbox level instead of IE-unit
     /// level (the §4 ablation).
@@ -103,15 +117,25 @@ class DelexEngine {
   /// stage, in snapshot page order.
   Status PrefetchPageReuse(int64_t q_did, std::vector<PageReuse>* reuse);
 
+  /// Reader-stage entry point for one slot, called in snapshot page order.
+  /// For a fast-path slot (`slot->identical`), recovers the page's result
+  /// rows from the previous generation's result cache and lifts each
+  /// unit's reuse records as raw slices; any missing piece demotes the
+  /// slot tier by tier (raw copy → decode-copy → full evaluation) so
+  /// degradation never miscomputes. For every other slot, prefetches the
+  /// decoded per-unit reuse tuples.
+  Status PrefetchSlot(PageSlot* slot);
+
   /// Evaluates one page end to end (match → copy → extract → chain
   /// replay). Const: all mutable state — capture buffers, stats shard,
   /// match cache — lives in the caller-owned PageContext, so any number
   /// of pages can run concurrently.
   Result<std::vector<Tuple>> EvalPage(PageContext* page_ctx) const;
 
-  /// Commits one evaluated page: per-unit capture buffers are appended to
-  /// the reuse writers. Caller must serialize commits in snapshot page
-  /// order (the ordered write-back stage).
+  /// Commits one page: per-unit capture buffers (or raw slices, for
+  /// fast-path pages) are appended to the reuse writers, and the page's
+  /// result rows to this generation's result cache. Caller must serialize
+  /// commits in snapshot page order (the ordered write-back stage).
   Status CommitPage(PageSlot* slot);
 
   Result<std::vector<Tuple>> EvalNode(const xlog::PlanNode& node,
@@ -130,6 +154,7 @@ class DelexEngine {
   Status RunPagesParallel(int num_threads, std::vector<PageSlot>* slots);
 
   std::string ReusePathPrefix(int unit_index, int generation) const;
+  std::string ResultCachePath(int generation) const;
 
   xlog::PlanNodePtr plan_;
   Options options_;
@@ -141,6 +166,13 @@ class DelexEngine {
   // write-back and reader stages respectively; workers see them never.
   std::vector<std::unique_ptr<UnitReuseWriter>> writers_;
   std::vector<std::unique_ptr<UnitReuseReader>> readers_;
+  // Page result cache: written for every page each run; the previous
+  // generation's cache is read by the fast path. `result_reader_` is null
+  // when the fast path is disabled, on the first generation, or when the
+  // previous cache is missing/corrupt (all identical pages then evaluate
+  // normally — degrade, never miscompute).
+  std::unique_ptr<ResultCacheWriter> result_writer_;
+  std::unique_ptr<ResultCacheReader> result_reader_;
   const MatcherAssignment* assignment_ = nullptr;
 };
 

@@ -105,6 +105,17 @@ struct RunStats {
   int64_t pages_with_previous = 0;
   int64_t result_tuples = 0;
 
+  /// Pages whose content was byte-identical to their previous version and
+  /// whose reuse records + result rows were taken wholesale from the last
+  /// generation (the whole-page fast path — no EvalPage).
+  int64_t pages_identical = 0;
+  /// Framed reuse/result bytes relocated verbatim (zero decode, zero
+  /// re-encode) by the fast path's raw passthrough.
+  int64_t raw_bytes_copied = 0;
+  /// Previous-generation reuse records (inputs + outputs) the fast path
+  /// relocated without ever decoding them.
+  int64_t records_decoded_skipped = 0;
+
   /// Folds a per-page shard into this run's stats (unit counters summed
   /// element-wise; `units` grows to cover the shard). Phase totals are
   /// *not* touched — the engine derives them from the merged unit shards
@@ -117,6 +128,9 @@ struct RunStats {
     pages += other.pages;
     pages_with_previous += other.pages_with_previous;
     result_tuples += other.result_tuples;
+    pages_identical += other.pages_identical;
+    raw_bytes_copied += other.raw_bytes_copied;
+    records_decoded_skipped += other.records_decoded_skipped;
   }
 };
 

@@ -74,6 +74,7 @@ class EngineSolution : public Solution {
     engine_options.work_dir = work_dir;
     engine_options.num_threads = options_.num_threads;
     engine_options.disable_exact_fast_path = options_.disable_exact_fast_path;
+    engine_options.disable_page_fast_path = options_.disable_page_fast_path;
     engine_options.fold_unit_operators = options_.fold_unit_operators;
     engine_ = std::make_unique<DelexEngine>(std::move(plan), engine_options);
   }

@@ -64,6 +64,9 @@ struct DelexSolutionOptions {
   MatcherAssignment forced_assignment;
   /// Disable the exact-region fast path (ablation).
   bool disable_exact_fast_path = false;
+  /// Disable the whole-page identical fast path (byte-identical pages then
+  /// evaluate normally; equivalence tests and ablations).
+  bool disable_page_fast_path = false;
   /// Disable σ/π folding — reuse at bare-blackbox level (ablation, §4).
   bool fold_unit_operators = true;
 };

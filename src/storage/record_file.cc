@@ -32,6 +32,7 @@ Status RecordWriter::Open(const std::string& path) {
   path_ = path;
   buffer_.clear();
   buffer_.reserve(static_cast<size_t>(kBlockSize) * 2);
+  logical_size_ = 0;
   stats_ = IoStats();
   return Status::OK();
 }
@@ -40,7 +41,19 @@ Status RecordWriter::Append(std::string_view record) {
   if (file_ == nullptr) return Status::InvalidArgument("writer not open");
   PutLength(record.size(), &buffer_);
   buffer_.append(record);
+  logical_size_ += 8 + static_cast<int64_t>(record.size());
   ++stats_.records_written;
+  if (buffer_.size() >= static_cast<size_t>(kBlockSize)) {
+    return FlushBuffer();
+  }
+  return Status::OK();
+}
+
+Status RecordWriter::AppendRaw(std::string_view framed, int64_t record_count) {
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  buffer_.append(framed);
+  logical_size_ += static_cast<int64_t>(framed.size());
+  stats_.records_written += record_count;
   if (buffer_.size() >= static_cast<size_t>(kBlockSize)) {
     return FlushBuffer();
   }

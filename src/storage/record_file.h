@@ -30,11 +30,22 @@ class RecordWriter {
   /// Buffers one record; flushes whole blocks as the buffer fills.
   Status Append(std::string_view record);
 
+  /// Buffers `record_count` already-framed records (each 8-byte length
+  /// prefix + payload, exactly as this writer lays them out). This is the
+  /// zero-re-encode passthrough used by the reuse-file raw page copy: the
+  /// bytes land in the file verbatim, indistinguishable from the same
+  /// records appended one by one through Append.
+  Status AppendRaw(std::string_view framed, int64_t record_count);
+
   /// Flushes the partial tail block and closes the file.
   Status Close();
 
   bool IsOpen() const { return file_ != nullptr; }
   const IoStats& stats() const { return stats_; }
+
+  /// Total framed bytes appended since Open (flushed + still buffered).
+  /// Reuse-file page indexes record byte ranges in this coordinate.
+  int64_t logical_size() const { return logical_size_; }
 
  private:
   Status FlushBuffer();
@@ -42,6 +53,7 @@ class RecordWriter {
   std::FILE* file_ = nullptr;
   std::string path_;
   std::string buffer_;
+  int64_t logical_size_ = 0;
   IoStats stats_;
 };
 

@@ -1,0 +1,155 @@
+#include "storage/result_cache.h"
+
+namespace delex {
+
+namespace {
+
+constexpr std::string_view kResultMagic = "DLXRV2RS";
+
+void PutFixed(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+bool GetFixed(std::string_view data, size_t* offset, int64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(
+               data[*offset + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  *offset += 8;
+  *v = static_cast<int64_t>(out);
+  return true;
+}
+
+}  // namespace
+
+Status ResultCacheWriter::Open(const std::string& path) {
+  DELEX_RETURN_NOT_OK(writer_.Open(path));
+  return writer_.Append(kResultMagic);
+}
+
+Status ResultCacheWriter::CommitPage(int64_t did,
+                                     const std::vector<Tuple>& rows_with_did) {
+  scratch_.clear();
+  PutFixed(static_cast<uint64_t>(did), &scratch_);
+  PutFixed(rows_with_did.size(), &scratch_);
+  DELEX_RETURN_NOT_OK(writer_.Append(scratch_));
+  Tuple stripped;
+  for (const Tuple& row : rows_with_did) {
+    if (row.empty() || !std::holds_alternative<int64_t>(row[0]) ||
+        std::get<int64_t>(row[0]) != did) {
+      return Status::InvalidArgument("result row does not start with its did");
+    }
+    stripped.assign(row.begin() + 1, row.end());
+    scratch_.clear();
+    EncodeTuple(stripped, &scratch_);
+    DELEX_RETURN_NOT_OK(writer_.Append(scratch_));
+  }
+  return Status::OK();
+}
+
+Status ResultCacheWriter::CommitPageRaw(int64_t did,
+                                        const ResultPageSlice& raw) {
+  scratch_.clear();
+  PutFixed(static_cast<uint64_t>(did), &scratch_);
+  PutFixed(static_cast<uint64_t>(raw.n_rows), &scratch_);
+  DELEX_RETURN_NOT_OK(writer_.Append(scratch_));
+  return writer_.AppendRaw(raw.bytes, raw.n_rows);
+}
+
+Status ResultCacheWriter::Close() { return writer_.Close(); }
+
+Status ResultCacheReader::Open(const std::string& path) {
+  DELEX_RETURN_NOT_OK(reader_.Open(path));
+  bool at_end = false;
+  DELEX_RETURN_NOT_OK(reader_.Next(&scratch_, &at_end));
+  if (at_end || scratch_ != kResultMagic) {
+    return Status::Corruption("bad result cache magic " + path);
+  }
+  return Status::OK();
+}
+
+Status ResultCacheReader::ReadPage(int64_t did, ResultPageSlice* slice,
+                                   bool* found) {
+  *found = false;
+  slice->bytes.clear();
+  slice->n_rows = 0;
+  while (!done_) {
+    if (!header_pending_) {
+      bool at_end = false;
+      DELEX_RETURN_NOT_OK(reader_.Next(&scratch_, &at_end));
+      if (at_end) {
+        done_ = true;
+        return Status::OK();
+      }
+      size_t offset = 0;
+      if (!GetFixed(scratch_, &offset, &pending_did_) ||
+          !GetFixed(scratch_, &offset, &pending_count_) ||
+          offset != scratch_.size()) {
+        return Status::Corruption("bad result cache page header");
+      }
+      header_pending_ = true;
+    }
+    if (pending_did_ < did) {
+      for (int64_t i = 0; i < pending_count_; ++i) {
+        bool at_end = false;
+        DELEX_RETURN_NOT_OK(reader_.Next(&scratch_, &at_end));
+        if (at_end) return Status::Corruption("truncated result cache page");
+      }
+      header_pending_ = false;
+      continue;
+    }
+    if (pending_did_ > did) return Status::OK();  // header stays pending
+    slice->n_rows = pending_count_;
+    for (int64_t i = 0; i < pending_count_; ++i) {
+      bool at_end = false;
+      DELEX_RETURN_NOT_OK(reader_.Next(&scratch_, &at_end));
+      if (at_end) return Status::Corruption("truncated result cache page");
+      PutFixed(scratch_.size(), &slice->bytes);
+      slice->bytes.append(scratch_);
+    }
+    header_pending_ = false;
+    *found = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status ResultCacheReader::Close() { return reader_.Close(); }
+
+Status DecodeResultSlice(const ResultPageSlice& slice, int64_t did,
+                         std::vector<Tuple>* rows) {
+  rows->clear();
+  rows->reserve(static_cast<size_t>(slice.n_rows));
+  size_t offset = 0;
+  const std::string_view data = slice.bytes;
+  while (offset < data.size()) {
+    int64_t length = 0;
+    if (!GetFixed(data, &offset, &length) || length < 0 ||
+        offset + static_cast<size_t>(length) > data.size()) {
+      return Status::Corruption("bad result slice framing");
+    }
+    size_t body = 0;
+    std::string_view record = data.substr(offset, static_cast<size_t>(length));
+    DELEX_ASSIGN_OR_RETURN(Tuple stripped, DecodeTuple(record, &body));
+    if (body != record.size()) {
+      return Status::Corruption("trailing bytes in result row");
+    }
+    Tuple row;
+    row.reserve(stripped.size() + 1);
+    row.push_back(did);
+    for (Value& v : stripped) row.push_back(std::move(v));
+    rows->push_back(std::move(row));
+    offset += static_cast<size_t>(length);
+  }
+  if (static_cast<int64_t>(rows->size()) != slice.n_rows) {
+    return Status::Corruption("result slice row count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace delex

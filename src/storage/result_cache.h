@@ -1,0 +1,101 @@
+#ifndef DELEX_STORAGE_RESULT_CACHE_H_
+#define DELEX_STORAGE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/io_stats.h"
+#include "storage/record_file.h"
+
+namespace delex {
+
+/// \brief One page's cached final result rows, framed but not decoded.
+///
+/// `bytes` holds whole framed records (8-byte length prefix + encoded
+/// did-stripped row each), exactly as they sit in the cache file — the
+/// unit of the zero-re-encode passthrough between generations.
+struct ResultPageSlice {
+  std::string bytes;
+  int64_t n_rows = 0;
+};
+
+/// \brief Writer for the per-generation page result cache
+/// (`results.gen<N>`).
+///
+/// The identical-page fast path skips plan evaluation entirely, so the
+/// final result rows a page contributed must themselves be recoverable
+/// from the previous generation. This file stores, per page in snapshot
+/// order, the page's final rows with the leading did stripped: rows are
+/// did-free (spans are page-local already), so a byte-identical page's
+/// cached rows are valid verbatim in the next generation — copied raw and
+/// re-prefixed with the new did on decode.
+///
+/// Layout mirrors the reuse files (format v2): magic record, then per page
+/// a header record {did, n_rows} followed by n_rows encoded rows. Every
+/// page gets a header even with zero rows, so a forward scan can tell
+/// "page produced nothing" from "page group missing".
+class ResultCacheWriter {
+ public:
+  ResultCacheWriter() = default;
+
+  Status Open(const std::string& path);
+
+  /// Appends one page's rows. Each row must carry the page's did as its
+  /// first value (the shape RunSnapshot returns); the did is stripped on
+  /// encode to keep the stored bytes relocatable.
+  Status CommitPage(int64_t did, const std::vector<Tuple>& rows_with_did);
+
+  /// Appends one page's rows verbatim from a slice read off the previous
+  /// generation — no decode, no re-encode; only the header is fresh.
+  Status CommitPageRaw(int64_t did, const ResultPageSlice& raw);
+
+  Status Close();
+
+  const IoStats& stats() const { return writer_.stats(); }
+
+ private:
+  RecordWriter writer_;
+  std::string scratch_;
+};
+
+/// \brief Forward-scan reader over a ResultCacheWriter file.
+///
+/// Same discipline as UnitReuseReader: pages are requested in snapshot
+/// order, the scan never rewinds, and a passed or absent page simply
+/// reports `*found = false` (callers then fall back to full evaluation —
+/// degrade, never miscompute).
+class ResultCacheReader {
+ public:
+  ResultCacheReader() = default;
+
+  /// Opens the cache and checks its magic record.
+  Status Open(const std::string& path);
+
+  /// Scans forward to page `did`, capturing its framed rows undecoded.
+  Status ReadPage(int64_t did, ResultPageSlice* slice, bool* found);
+
+  Status Close();
+
+  const IoStats& stats() const { return reader_.stats(); }
+
+ private:
+  RecordReader reader_;
+  bool done_ = false;
+  bool header_pending_ = false;
+  int64_t pending_did_ = 0;
+  int64_t pending_count_ = 0;
+  std::string scratch_;
+};
+
+/// \brief Decodes a slice into result rows, prefixing each with `did` —
+/// the recovery step that turns a previous generation's cached bytes into
+/// this generation's result tuples.
+Status DecodeResultSlice(const ResultPageSlice& slice, int64_t did,
+                         std::vector<Tuple>* rows);
+
+}  // namespace delex
+
+#endif  // DELEX_STORAGE_RESULT_CACHE_H_

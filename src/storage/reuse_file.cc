@@ -4,6 +4,13 @@ namespace delex {
 
 namespace {
 
+// File magics double as format-version stamps: a v1 work dir (no magic,
+// different record shapes) fails the magic check loudly instead of being
+// misread as page groups.
+constexpr std::string_view kInputMagic = "DLXRV2IN";
+constexpr std::string_view kOutputMagic = "DLXRV2OU";
+constexpr std::string_view kIndexMagic = "DLXRV2IX";
+
 // Fixed-width little-endian header fields; the hot path decodes one record
 // per region group per page, so this codec avoids tuple-machinery allocs.
 void PutFixed(uint64_t v, std::string* out) {
@@ -25,11 +32,28 @@ bool GetFixed(std::string_view data, size_t* offset, int64_t* v) {
   return true;
 }
 
+// Page header record shared by .in and .out: {did, record count}.
+void EncodePageHeader(int64_t did, int64_t count, std::string* out) {
+  PutFixed(static_cast<uint64_t>(did), out);
+  PutFixed(static_cast<uint64_t>(count), out);
+}
+
+bool DecodePageHeader(std::string_view data, int64_t* did, int64_t* count) {
+  size_t offset = 0;
+  return GetFixed(data, &offset, did) && GetFixed(data, &offset, count) &&
+         offset == data.size();
+}
+
+// Re-frames one record exactly as RecordWriter::Append lays it out, so a
+// RawPageSlice can be replayed through AppendRaw byte for byte.
+void AppendFramed(std::string_view record, std::string* out) {
+  PutFixed(record.size(), out);
+  out->append(record);
+}
+
 }  // namespace
 
 void EncodeInputTuple(const InputTupleRec& rec, std::string* out) {
-  PutFixed(static_cast<uint64_t>(rec.tid), out);
-  PutFixed(static_cast<uint64_t>(rec.did), out);
   PutFixed(static_cast<uint64_t>(rec.region.start), out);
   PutFixed(static_cast<uint64_t>(rec.region.end), out);
   PutFixed(rec.region_hash, out);
@@ -37,9 +61,7 @@ void EncodeInputTuple(const InputTupleRec& rec, std::string* out) {
 }
 
 void EncodeOutputTuple(const OutputTupleRec& rec, std::string* out) {
-  PutFixed(static_cast<uint64_t>(rec.tid), out);
   PutFixed(static_cast<uint64_t>(rec.itid), out);
-  PutFixed(static_cast<uint64_t>(rec.did), out);
   EncodeTuple(rec.payload, out);
 }
 
@@ -47,9 +69,7 @@ Result<InputTupleRec> DecodeInputTuple(std::string_view data) {
   size_t offset = 0;
   InputTupleRec rec;
   int64_t hash_bits = 0;
-  if (!GetFixed(data, &offset, &rec.tid) ||
-      !GetFixed(data, &offset, &rec.did) ||
-      !GetFixed(data, &offset, &rec.region.start) ||
+  if (!GetFixed(data, &offset, &rec.region.start) ||
       !GetFixed(data, &offset, &rec.region.end) ||
       !GetFixed(data, &offset, &hash_bits)) {
     return Status::Corruption("bad input tuple header");
@@ -62,162 +82,416 @@ Result<InputTupleRec> DecodeInputTuple(std::string_view data) {
 Result<OutputTupleRec> DecodeOutputTuple(std::string_view data) {
   size_t offset = 0;
   OutputTupleRec rec;
-  if (!GetFixed(data, &offset, &rec.tid) ||
-      !GetFixed(data, &offset, &rec.itid) ||
-      !GetFixed(data, &offset, &rec.did)) {
+  if (!GetFixed(data, &offset, &rec.itid)) {
     return Status::Corruption("bad output tuple header");
   }
   DELEX_ASSIGN_OR_RETURN(rec.payload, DecodeTuple(data, &offset));
   return rec;
 }
 
+void EncodePageIndexEntry(const PageIndexEntry& entry, std::string* out) {
+  PutFixed(static_cast<uint64_t>(entry.did), out);
+  PutFixed(entry.page_digest, out);
+  PutFixed(static_cast<uint64_t>(entry.in_offset), out);
+  PutFixed(static_cast<uint64_t>(entry.in_bytes), out);
+  PutFixed(static_cast<uint64_t>(entry.n_inputs), out);
+  PutFixed(static_cast<uint64_t>(entry.out_offset), out);
+  PutFixed(static_cast<uint64_t>(entry.out_bytes), out);
+  PutFixed(static_cast<uint64_t>(entry.n_outputs), out);
+}
+
+Result<PageIndexEntry> DecodePageIndexEntry(std::string_view data) {
+  size_t offset = 0;
+  PageIndexEntry entry;
+  int64_t digest_bits = 0;
+  if (!GetFixed(data, &offset, &entry.did) ||
+      !GetFixed(data, &offset, &digest_bits) ||
+      !GetFixed(data, &offset, &entry.in_offset) ||
+      !GetFixed(data, &offset, &entry.in_bytes) ||
+      !GetFixed(data, &offset, &entry.n_inputs) ||
+      !GetFixed(data, &offset, &entry.out_offset) ||
+      !GetFixed(data, &offset, &entry.out_bytes) ||
+      !GetFixed(data, &offset, &entry.n_outputs) || offset != data.size()) {
+    return Status::Corruption("bad page index entry");
+  }
+  entry.page_digest = static_cast<uint64_t>(digest_bits);
+  return entry;
+}
+
 Status UnitReuseWriter::Open(const std::string& path_prefix) {
   DELEX_RETURN_NOT_OK(input_writer_.Open(path_prefix + ".in"));
   DELEX_RETURN_NOT_OK(output_writer_.Open(path_prefix + ".out"));
-  next_input_tid_ = 0;
-  next_output_tid_ = 0;
-  return Status::OK();
+  DELEX_RETURN_NOT_OK(index_writer_.Open(path_prefix + ".idx"));
+  DELEX_RETURN_NOT_OK(input_writer_.Append(kInputMagic));
+  DELEX_RETURN_NOT_OK(output_writer_.Append(kOutputMagic));
+  return index_writer_.Append(kIndexMagic);
 }
 
-Status UnitReuseWriter::AppendInput(int64_t did, const TextSpan& region,
-                                    uint64_t region_hash, const Tuple& context,
-                                    int64_t* tid) {
-  InputTupleRec rec;
-  rec.tid = next_input_tid_++;
-  rec.did = did;
-  rec.region = region;
-  rec.region_hash = region_hash;
-  rec.context = context;
-  scratch_.clear();
-  EncodeInputTuple(rec, &scratch_);
-  DELEX_RETURN_NOT_OK(input_writer_.Append(scratch_));
-  if (tid != nullptr) *tid = rec.tid;
-  return Status::OK();
-}
-
-Status UnitReuseWriter::AppendOutput(int64_t itid, int64_t did,
-                                     const Tuple& payload) {
-  OutputTupleRec rec;
-  rec.tid = next_output_tid_++;
-  rec.itid = itid;
-  rec.did = did;
-  rec.payload = payload;
-  scratch_.clear();
-  EncodeOutputTuple(rec, &scratch_);
-  return output_writer_.Append(scratch_);
-}
-
-Status UnitReuseWriter::CommitPage(int64_t did, const PageCapture& capture) {
+Status UnitReuseWriter::CommitPage(int64_t did, uint64_t page_digest,
+                                   const PageCapture& capture) {
+  PageIndexEntry entry;
+  entry.did = did;
+  entry.page_digest = page_digest;
+  entry.n_inputs = static_cast<int64_t>(capture.groups.size());
   for (const PageCapture::Group& group : capture.groups) {
-    int64_t tid = 0;
-    DELEX_RETURN_NOT_OK(
-        AppendInput(did, group.region, group.region_hash, group.context, &tid));
-    for (const Tuple& payload : group.outputs) {
-      DELEX_RETURN_NOT_OK(AppendOutput(tid, did, payload));
+    entry.n_outputs += static_cast<int64_t>(group.outputs.size());
+  }
+
+  scratch_.clear();
+  EncodePageHeader(did, entry.n_inputs, &scratch_);
+  DELEX_RETURN_NOT_OK(input_writer_.Append(scratch_));
+  entry.in_offset = input_writer_.logical_size();
+  for (const PageCapture::Group& group : capture.groups) {
+    InputTupleRec rec;
+    rec.region = group.region;
+    rec.region_hash = group.region_hash;
+    rec.context = group.context;
+    scratch_.clear();
+    EncodeInputTuple(rec, &scratch_);
+    DELEX_RETURN_NOT_OK(input_writer_.Append(scratch_));
+  }
+  entry.in_bytes = input_writer_.logical_size() - entry.in_offset;
+
+  scratch_.clear();
+  EncodePageHeader(did, entry.n_outputs, &scratch_);
+  DELEX_RETURN_NOT_OK(output_writer_.Append(scratch_));
+  entry.out_offset = output_writer_.logical_size();
+  for (size_t iord = 0; iord < capture.groups.size(); ++iord) {
+    for (const Tuple& payload : capture.groups[iord].outputs) {
+      OutputTupleRec rec;
+      rec.itid = static_cast<int64_t>(iord);
+      rec.payload = payload;
+      scratch_.clear();
+      EncodeOutputTuple(rec, &scratch_);
+      DELEX_RETURN_NOT_OK(output_writer_.Append(scratch_));
     }
   }
-  return Status::OK();
+  entry.out_bytes = output_writer_.logical_size() - entry.out_offset;
+
+  scratch_.clear();
+  EncodePageIndexEntry(entry, &scratch_);
+  return index_writer_.Append(scratch_);
+}
+
+Status UnitReuseWriter::CommitPageRaw(int64_t did, const RawPageSlice& raw) {
+  PageIndexEntry entry;
+  entry.did = did;
+  entry.page_digest = raw.page_digest;
+  entry.n_inputs = raw.n_inputs;
+  entry.n_outputs = raw.n_outputs;
+
+  scratch_.clear();
+  EncodePageHeader(did, raw.n_inputs, &scratch_);
+  DELEX_RETURN_NOT_OK(input_writer_.Append(scratch_));
+  entry.in_offset = input_writer_.logical_size();
+  DELEX_RETURN_NOT_OK(input_writer_.AppendRaw(raw.in_bytes, raw.n_inputs));
+  entry.in_bytes = input_writer_.logical_size() - entry.in_offset;
+
+  scratch_.clear();
+  EncodePageHeader(did, raw.n_outputs, &scratch_);
+  DELEX_RETURN_NOT_OK(output_writer_.Append(scratch_));
+  entry.out_offset = output_writer_.logical_size();
+  DELEX_RETURN_NOT_OK(output_writer_.AppendRaw(raw.out_bytes, raw.n_outputs));
+  entry.out_bytes = output_writer_.logical_size() - entry.out_offset;
+
+  scratch_.clear();
+  EncodePageIndexEntry(entry, &scratch_);
+  return index_writer_.Append(scratch_);
 }
 
 Status UnitReuseWriter::Close() {
-  DELEX_RETURN_NOT_OK(input_writer_.Close());
-  return output_writer_.Close();
+  Status st = input_writer_.Close();
+  Status st_out = output_writer_.Close();
+  Status st_idx = index_writer_.Close();
+  if (!st.ok()) return st;
+  if (!st_out.ok()) return st_out;
+  return st_idx;
 }
 
 IoStats UnitReuseWriter::CombinedStats() const {
   IoStats stats = input_writer_.stats();
   stats += output_writer_.stats();
+  stats += index_writer_.stats();
   return stats;
 }
 
 Status UnitReuseReader::Open(const std::string& path_prefix) {
-  DELEX_RETURN_NOT_OK(input_reader_.Open(path_prefix + ".in"));
-  DELEX_RETURN_NOT_OK(output_reader_.Open(path_prefix + ".out"));
-  input_pending_ = input_done_ = false;
-  output_pending_ = output_done_ = false;
+  DELEX_RETURN_NOT_OK(input_.reader.Open(path_prefix + ".in"));
+  DELEX_RETURN_NOT_OK(output_.reader.Open(path_prefix + ".out"));
+  DELEX_RETURN_NOT_OK(CheckMagic(&input_, kInputMagic));
+  DELEX_RETURN_NOT_OK(CheckMagic(&output_, kOutputMagic));
+  LoadIndex(path_prefix + ".idx").ok();  // failure just disables the index
   return Status::OK();
 }
 
-Status UnitReuseReader::NextInput(bool* at_end) {
-  bool eof = false;
-  DELEX_RETURN_NOT_OK(input_reader_.Next(&scratch_, &eof));
-  if (eof) {
-    *at_end = true;
-    return Status::OK();
+Status UnitReuseReader::NextRecord(PageCursor* cursor, bool* at_end) {
+  DELEX_RETURN_NOT_OK(cursor->reader.Next(&scratch_, at_end));
+  if (!*at_end) cursor->pos += 8 + static_cast<int64_t>(scratch_.size());
+  return Status::OK();
+}
+
+Status UnitReuseReader::CheckMagic(PageCursor* cursor, std::string_view magic) {
+  bool at_end = false;
+  DELEX_RETURN_NOT_OK(NextRecord(cursor, &at_end));
+  if (at_end || scratch_ != magic) {
+    return Status::Corruption("bad reuse file magic (expected format v2)");
   }
-  DELEX_ASSIGN_OR_RETURN(pending_input_, DecodeInputTuple(scratch_));
-  *at_end = false;
   return Status::OK();
 }
 
-Status UnitReuseReader::NextOutput(bool* at_end) {
-  bool eof = false;
-  DELEX_RETURN_NOT_OK(output_reader_.Next(&scratch_, &eof));
-  if (eof) {
-    *at_end = true;
-    return Status::OK();
+Status UnitReuseReader::LoadIndex(const std::string& path) {
+  index_.clear();
+  index_ok_ = false;
+  RecordReader reader;
+  Status st = reader.Open(path);
+  if (!st.ok()) return st;
+  std::string record;
+  bool at_end = false;
+  st = reader.Next(&record, &at_end);
+  bool ok = st.ok() && !at_end && record == kIndexMagic;
+  while (ok) {
+    st = reader.Next(&record, &at_end);
+    if (!st.ok()) {
+      ok = false;
+      break;
+    }
+    if (at_end) break;
+    Result<PageIndexEntry> entry = DecodePageIndexEntry(record);
+    if (!entry.ok()) {
+      ok = false;
+      break;
+    }
+    index_.emplace(entry->did, *entry);
   }
-  DELEX_ASSIGN_OR_RETURN(pending_output_, DecodeOutputTuple(scratch_));
-  *at_end = false;
+  index_io_ += reader.stats();
+  reader.Close().ok();
+  if (!ok) {
+    index_.clear();
+    return st.ok() ? Status::Corruption("bad page index " + path) : st;
+  }
+  index_ok_ = true;
   return Status::OK();
 }
 
-Status UnitReuseReader::SeekPage(int64_t did, std::vector<InputTupleRec>* inputs,
+const PageIndexEntry* UnitReuseReader::FindIndexEntry(int64_t did) const {
+  if (!index_ok_) return nullptr;
+  auto it = index_.find(did);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+Status UnitReuseReader::AdvanceTo(PageCursor* cursor, int64_t did,
+                                  bool* found) {
+  *found = false;
+  while (!cursor->done) {
+    if (!cursor->header_pending) {
+      bool at_end = false;
+      DELEX_RETURN_NOT_OK(NextRecord(cursor, &at_end));
+      if (at_end) {
+        cursor->done = true;
+        return Status::OK();
+      }
+      if (!DecodePageHeader(scratch_, &cursor->pending_did,
+                            &cursor->pending_count)) {
+        return Status::Corruption("bad reuse page header");
+      }
+      cursor->header_pending = true;
+    }
+    if (cursor->pending_did < did) {
+      // Skip a passed group (deleted page / no matching page in the new
+      // snapshot) without decoding its records.
+      for (int64_t i = 0; i < cursor->pending_count; ++i) {
+        bool at_end = false;
+        DELEX_RETURN_NOT_OK(NextRecord(cursor, &at_end));
+        if (at_end) return Status::Corruption("truncated reuse page group");
+      }
+      cursor->header_pending = false;
+      continue;
+    }
+    if (cursor->pending_did == did) *found = true;
+    return Status::OK();  // header for did (or a later page) stays pending
+  }
+  return Status::OK();
+}
+
+Status UnitReuseReader::SeekPage(int64_t did,
+                                 std::vector<InputTupleRec>* inputs,
                                  std::vector<OutputTupleRec>* outputs) {
   inputs->clear();
   outputs->clear();
 
-  // Advance the input cursor to did's group, skipping earlier groups
-  // (pages that were deleted or had no matching page in the new snapshot).
-  while (!input_done_) {
-    if (!input_pending_) {
+  bool found = false;
+  DELEX_RETURN_NOT_OK(AdvanceTo(&input_, did, &found));
+  if (found) {
+    inputs->reserve(static_cast<size_t>(input_.pending_count));
+    for (int64_t ord = 0; ord < input_.pending_count; ++ord) {
       bool at_end = false;
-      DELEX_RETURN_NOT_OK(NextInput(&at_end));
-      if (at_end) {
-        input_done_ = true;
-        break;
-      }
-      input_pending_ = true;
+      DELEX_RETURN_NOT_OK(NextRecord(&input_, &at_end));
+      if (at_end) return Status::Corruption("truncated reuse page group");
+      DELEX_ASSIGN_OR_RETURN(InputTupleRec rec, DecodeInputTuple(scratch_));
+      rec.tid = ord;
+      rec.did = did;
+      inputs->push_back(std::move(rec));
     }
-    if (pending_input_.did < did) {
-      input_pending_ = false;  // skip a passed group
-      continue;
-    }
-    if (pending_input_.did > did) break;  // group absent
-    inputs->push_back(std::move(pending_input_));
-    input_pending_ = false;
+    input_.header_pending = false;
   }
 
-  while (!output_done_) {
-    if (!output_pending_) {
+  DELEX_RETURN_NOT_OK(AdvanceTo(&output_, did, &found));
+  if (found) {
+    outputs->reserve(static_cast<size_t>(output_.pending_count));
+    for (int64_t ord = 0; ord < output_.pending_count; ++ord) {
       bool at_end = false;
-      DELEX_RETURN_NOT_OK(NextOutput(&at_end));
-      if (at_end) {
-        output_done_ = true;
-        break;
-      }
-      output_pending_ = true;
+      DELEX_RETURN_NOT_OK(NextRecord(&output_, &at_end));
+      if (at_end) return Status::Corruption("truncated reuse page group");
+      DELEX_ASSIGN_OR_RETURN(OutputTupleRec rec, DecodeOutputTuple(scratch_));
+      rec.tid = ord;
+      rec.did = did;
+      outputs->push_back(std::move(rec));
     }
-    if (pending_output_.did < did) {
-      output_pending_ = false;
-      continue;
-    }
-    if (pending_output_.did > did) break;
-    outputs->push_back(std::move(pending_output_));
-    output_pending_ = false;
+    output_.header_pending = false;
+  }
+  return Status::OK();
+}
+
+Status UnitReuseReader::ReadPageRaw(int64_t did, uint64_t expected_digest,
+                                    RawPageSlice* slice, bool* found,
+                                    bool* index_valid) {
+  *found = false;
+  *index_valid = false;
+  slice->page_digest = 0;
+  slice->in_bytes.clear();
+  slice->out_bytes.clear();
+  slice->n_inputs = 0;
+  slice->n_outputs = 0;
+
+  bool found_in = false;
+  bool found_out = false;
+  DELEX_RETURN_NOT_OK(AdvanceTo(&input_, did, &found_in));
+  DELEX_RETURN_NOT_OK(AdvanceTo(&output_, did, &found_out));
+  if (found_in != found_out) {
+    return Status::Corruption("reuse files out of sync at page group");
+  }
+  if (!found_in) return Status::OK();
+
+  int64_t in_start = input_.pos;
+  slice->n_inputs = input_.pending_count;
+  for (int64_t i = 0; i < slice->n_inputs; ++i) {
+    bool at_end = false;
+    DELEX_RETURN_NOT_OK(NextRecord(&input_, &at_end));
+    if (at_end) return Status::Corruption("truncated reuse page group");
+    AppendFramed(scratch_, &slice->in_bytes);
+  }
+  input_.header_pending = false;
+  int64_t in_len = input_.pos - in_start;
+
+  int64_t out_start = output_.pos;
+  slice->n_outputs = output_.pending_count;
+  for (int64_t i = 0; i < slice->n_outputs; ++i) {
+    bool at_end = false;
+    DELEX_RETURN_NOT_OK(NextRecord(&output_, &at_end));
+    if (at_end) return Status::Corruption("truncated reuse page group");
+    AppendFramed(scratch_, &slice->out_bytes);
+  }
+  output_.header_pending = false;
+  int64_t out_len = output_.pos - out_start;
+
+  *found = true;
+
+  const PageIndexEntry* entry = FindIndexEntry(did);
+  if (entry != nullptr && entry->page_digest == expected_digest &&
+      entry->in_offset == in_start && entry->in_bytes == in_len &&
+      entry->n_inputs == slice->n_inputs && entry->out_offset == out_start &&
+      entry->out_bytes == out_len && entry->n_outputs == slice->n_outputs) {
+    slice->page_digest = entry->page_digest;
+    *index_valid = true;
   }
   return Status::OK();
 }
 
 Status UnitReuseReader::Close() {
-  DELEX_RETURN_NOT_OK(input_reader_.Close());
-  return output_reader_.Close();
+  Status st = input_.reader.Close();
+  Status st_out = output_.reader.Close();
+  if (!st.ok()) return st;
+  return st_out;
 }
 
 IoStats UnitReuseReader::CombinedStats() const {
-  IoStats stats = input_reader_.stats();
-  stats += output_reader_.stats();
+  IoStats stats = input_.reader.stats();
+  stats += output_.reader.stats();
+  stats += index_io_;
   return stats;
+}
+
+Status DecodeRawPageSlice(const RawPageSlice& slice, int64_t did,
+                          std::vector<InputTupleRec>* inputs,
+                          std::vector<OutputTupleRec>* outputs) {
+  inputs->clear();
+  outputs->clear();
+
+  auto walk = [](const std::string& framed, int64_t expect_count,
+                 auto&& per_record) -> Status {
+    size_t offset = 0;
+    int64_t count = 0;
+    while (offset < framed.size()) {
+      int64_t length = 0;
+      if (!GetFixed(framed, &offset, &length) || length < 0 ||
+          offset + static_cast<size_t>(length) > framed.size()) {
+        return Status::Corruption("bad raw page slice framing");
+      }
+      DELEX_RETURN_NOT_OK(per_record(
+          std::string_view(framed.data() + offset,
+                           static_cast<size_t>(length)),
+          count));
+      offset += static_cast<size_t>(length);
+      ++count;
+    }
+    if (count != expect_count) {
+      return Status::Corruption("raw page slice record count mismatch");
+    }
+    return Status::OK();
+  };
+
+  DELEX_RETURN_NOT_OK(walk(
+      slice.in_bytes, slice.n_inputs,
+      [&](std::string_view record, int64_t ord) -> Status {
+        DELEX_ASSIGN_OR_RETURN(InputTupleRec rec, DecodeInputTuple(record));
+        rec.tid = ord;
+        rec.did = did;
+        inputs->push_back(std::move(rec));
+        return Status::OK();
+      }));
+  return walk(slice.out_bytes, slice.n_outputs,
+              [&](std::string_view record, int64_t ord) -> Status {
+                DELEX_ASSIGN_OR_RETURN(OutputTupleRec rec,
+                                       DecodeOutputTuple(record));
+                rec.tid = ord;
+                rec.did = did;
+                outputs->push_back(std::move(rec));
+                return Status::OK();
+              });
+}
+
+Status CaptureFromRawSlice(const RawPageSlice& slice, PageCapture* capture) {
+  capture->groups.clear();
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+  DELEX_RETURN_NOT_OK(DecodeRawPageSlice(slice, /*did=*/0, &inputs, &outputs));
+  capture->groups.reserve(inputs.size());
+  for (InputTupleRec& in : inputs) {
+    PageCapture::Group group;
+    group.region = in.region;
+    group.region_hash = in.region_hash;
+    group.context = std::move(in.context);
+    capture->groups.push_back(std::move(group));
+  }
+  for (OutputTupleRec& out : outputs) {
+    if (out.itid < 0 ||
+        out.itid >= static_cast<int64_t>(capture->groups.size())) {
+      return Status::Corruption("raw page slice output orphaned");
+    }
+    capture->groups[static_cast<size_t>(out.itid)].outputs.push_back(
+        std::move(out.payload));
+  }
+  return Status::OK();
 }
 
 }  // namespace delex

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/span.h"
@@ -18,9 +19,19 @@ namespace delex {
 /// (tid, did, s, e, c) of §4 — `context` carries the "rest of the input
 /// parameter values" c; matching only reuses tuples whose context equals
 /// the new input's context.
+///
+/// Reuse format v2 stores *page-local ordinals* instead of the v1
+/// file-global monotone tids: on disk an input record carries no tid and
+/// no did at all — its ordinal is its position inside the page group, and
+/// the group's did lives in the page header record. The reader synthesizes
+/// `tid` (= ordinal) and `did` (= the sought page) on decode, so engine
+/// code sees the same shape as before. This is the relocatability
+/// invariant: a page group's record bytes mention nothing outside the
+/// page, so an identical page's bytes can be copied raw into the next
+/// generation under a fresh did without decode or re-encode.
 struct InputTupleRec {
-  int64_t tid = 0;
-  int64_t did = 0;
+  int64_t tid = 0;  ///< page-local ordinal (synthesized on decode)
+  int64_t did = 0;  ///< synthesized on decode from the page header
   TextSpan region;
   /// FNV-1a of the region's text, computed at capture time (the content is
   /// in memory then); spares the next run from re-hashing every old region
@@ -42,11 +53,13 @@ struct InputTupleRec {
 ///
 /// (tid, itid, m, c') of §4 — `payload` is the full output tuple; its span
 /// values are the mention m (plus any extra span attributes), everything
-/// else is c'. `did` is stored redundantly for per-page grouping.
+/// else is c'. In format v2 `itid` is the page-local ordinal of the input
+/// group that produced the output; `tid`/`did` are synthesized on decode
+/// like InputTupleRec's.
 struct OutputTupleRec {
-  int64_t tid = 0;
-  int64_t itid = 0;
-  int64_t did = 0;
+  int64_t tid = 0;   ///< page-local ordinal (synthesized on decode)
+  int64_t itid = 0;  ///< page-local ordinal of the producing input
+  int64_t did = 0;   ///< synthesized on decode from the page header
   Tuple payload;
 };
 
@@ -54,14 +67,13 @@ struct OutputTupleRec {
 ///
 /// Parallel page evaluation cannot append to the unit's reuse files
 /// mid-evaluation: appends must land in snapshot page order (dids
-/// monotone, tids monotone) or the next generation's strictly-forward
-/// §5.2 scan would skip groups. Workers therefore record each page's
-/// capture into a PageCapture — one Group per distinct input region, in
-/// processing order, with the group's σ-surviving outputs attached — and
-/// an ordered write-back stage commits whole pages in snapshot order via
-/// UnitReuseWriter::CommitPage. Tids are assigned at commit time, so the
-/// files a buffered run produces are byte-identical to mid-evaluation
-/// appends.
+/// monotone) or the next generation's strictly-forward §5.2 scan would
+/// skip groups. Workers therefore record each page's capture into a
+/// PageCapture — one Group per distinct input region, in processing
+/// order, with the group's σ-surviving outputs attached — and an ordered
+/// write-back stage commits whole pages in snapshot order via
+/// UnitReuseWriter::CommitPage. Ordinals are positional, so the files a
+/// buffered run produces are byte-identical to serial execution.
 struct PageCapture {
   struct Group {
     TextSpan region;
@@ -72,30 +84,81 @@ struct PageCapture {
   std::vector<Group> groups;
 };
 
-/// \brief Writer for one IE unit's pair of reuse files (I_U, O_U).
+/// \brief One page group lifted out of a unit's reuse files *without*
+/// decoding: the framed record bytes plus their counts and the digest of
+/// the page they were captured over.
 ///
-/// Appends are buffered one block per file (§4). Tuple ids are assigned
-/// monotonically by the writer.
+/// Produced by UnitReuseReader::ReadPageRaw, consumed by
+/// UnitReuseWriter::CommitPageRaw — the zero-decode passthrough for
+/// byte-identical pages. `in_bytes`/`out_bytes` hold whole framed records
+/// (8-byte length prefix + payload each), exactly as they sit in the
+/// files.
+struct RawPageSlice {
+  uint64_t page_digest = 0;
+  std::string in_bytes;
+  int64_t n_inputs = 0;
+  std::string out_bytes;
+  int64_t n_outputs = 0;
+
+  int64_t TotalBytes() const {
+    return static_cast<int64_t>(in_bytes.size() + out_bytes.size());
+  }
+};
+
+/// \brief One page's entry in the per-unit sidecar page index (`.idx`).
+///
+/// Byte ranges are logical file offsets (RecordWriter::logical_size
+/// coordinates) of the page's framed group records, *excluding* the page
+/// header record. `page_digest` is the FNV-1a of the page content the
+/// records were captured over: the raw passthrough only fires when the
+/// digest equals the new run's old-page digest, so a work dir that drifted
+/// out of sync with the corpus degrades to the decode path instead of
+/// relocating stale records.
+struct PageIndexEntry {
+  int64_t did = 0;
+  uint64_t page_digest = 0;
+  int64_t in_offset = 0;
+  int64_t in_bytes = 0;
+  int64_t n_inputs = 0;
+  int64_t out_offset = 0;
+  int64_t out_bytes = 0;
+  int64_t n_outputs = 0;
+};
+
+/// \brief Writer for one IE unit's reuse file triple (I_U, O_U, index).
+///
+/// Format v2, per file:
+///   <prefix>.in   magic record, then per page: header record {did,
+///                 n_groups} followed by n_groups input records
+///                 {region, region_hash, context}
+///   <prefix>.out  magic record, then per page: header record {did,
+///                 n_outputs} followed by n_outputs records {iord,
+///                 payload} — iord is the producing input's ordinal
+///   <prefix>.idx  magic record, then one PageIndexEntry record per page
+///
+/// Every page gets a header (and an index entry) even when it produced no
+/// tuples, so the reader's forward scan can distinguish "page had nothing"
+/// from "page group missing". Appends are buffered one block per file
+/// (§4). Commits must arrive in snapshot page order.
 class UnitReuseWriter {
  public:
   UnitReuseWriter() = default;
 
-  /// Creates `<path_prefix>.in` and `<path_prefix>.out`.
+  /// Creates `<path_prefix>.in`, `<path_prefix>.out`, `<path_prefix>.idx`.
   Status Open(const std::string& path_prefix);
 
-  /// Appends an input tuple; `region_hash` is the FNV-1a of the region's
-  /// text. Returns the assigned tid via `*tid`.
-  Status AppendInput(int64_t did, const TextSpan& region, uint64_t region_hash,
-                     const Tuple& context, int64_t* tid);
+  /// Appends one page's buffered capture: page headers, then one input
+  /// record per group in order (ordinal = position), then each group's
+  /// outputs tagged with the group ordinal. `page_digest` is the FNV-1a of
+  /// the page content the capture was taken over (recorded in the index).
+  Status CommitPage(int64_t did, uint64_t page_digest,
+                    const PageCapture& capture);
 
-  /// Appends an output tuple produced from input tuple `itid`.
-  Status AppendOutput(int64_t itid, int64_t did, const Tuple& payload);
-
-  /// Appends one page's buffered capture: for each group in order, the
-  /// input tuple (tid assigned here) followed by its outputs (itid = that
-  /// tid). Record-for-record identical to interleaved AppendInput /
-  /// AppendOutput calls during evaluation.
-  Status CommitPage(int64_t did, const PageCapture& capture);
+  /// Appends one page's records verbatim from `raw` (no decode, no
+  /// re-encode): fresh page headers under the new `did`, then the framed
+  /// bytes. Given a RawPageSlice read from an equivalent capture, the
+  /// resulting files are byte-identical to CommitPage's output.
+  Status CommitPageRaw(int64_t did, const RawPageSlice& raw);
 
   Status Close();
 
@@ -104,55 +167,109 @@ class UnitReuseWriter {
  private:
   RecordWriter input_writer_;
   RecordWriter output_writer_;
-  int64_t next_input_tid_ = 0;
-  int64_t next_output_tid_ = 0;
+  RecordWriter index_writer_;
   std::string scratch_;
 };
 
 /// \brief Sequential reader over one IE unit's reuse files.
 ///
 /// §5.2 guarantees per-page tuple groups appear in processing order, so a
-/// single forward scan serves all pages; SeekPage never rewinds. A did
-/// whose group has already been passed (possible only if the snapshot
-/// order was perturbed) yields an empty group, which degrades reuse but
-/// never correctness.
+/// single forward scan serves all pages; SeekPage/ReadPageRaw never
+/// rewind. A did whose group has already been passed (possible only if the
+/// snapshot order was perturbed) yields an empty group, which degrades
+/// reuse but never correctness.
+///
+/// The sidecar index is loaded wholesale at Open. A missing, truncated, or
+/// corrupt index never fails Open: `has_page_index()` turns false and
+/// ReadPageRaw reports `index_valid = false`, pushing callers onto the
+/// decode path — degrade, never miscompute.
 class UnitReuseReader {
  public:
   UnitReuseReader() = default;
 
-  /// Opens `<path_prefix>.in` and `<path_prefix>.out`.
+  /// Opens `<path_prefix>.in` / `.out` (failure here is an error) and
+  /// `<path_prefix>.idx` (failure here just disables the index).
   Status Open(const std::string& path_prefix);
 
+  /// True when the sidecar page index loaded cleanly.
+  bool has_page_index() const { return index_ok_; }
+
+  /// Index entry for `did`, or nullptr (also when the index is disabled).
+  const PageIndexEntry* FindIndexEntry(int64_t did) const;
+
   /// Scans forward to page `did`, filling that page's input and output
-  /// tuples (empty if the page has none or was already passed).
+  /// tuples (empty if the page has none or was already passed). Decoded
+  /// records carry synthesized page-local ordinals as tids.
   Status SeekPage(int64_t did, std::vector<InputTupleRec>* inputs,
                   std::vector<OutputTupleRec>* outputs);
+
+  /// Scans forward to page `did`, capturing the page's framed record bytes
+  /// without decoding them. `*found` reports whether the page group was
+  /// reached. `*index_valid` is true only when the sidecar index has an
+  /// entry for `did` whose digest equals `expected_digest` and whose
+  /// offsets/lengths/counts agree with the scan — the precondition for
+  /// committing the slice raw. On `found && !index_valid` callers can
+  /// still decode the slice (DecodeRawPageSlice) instead of re-seeking.
+  Status ReadPageRaw(int64_t did, uint64_t expected_digest,
+                     RawPageSlice* slice, bool* found, bool* index_valid);
 
   Status Close();
 
   IoStats CombinedStats() const;
 
  private:
-  Status NextInput(bool* at_end);
-  Status NextOutput(bool* at_end);
+  /// Forward-scan cursor over one record file of page groups.
+  struct PageCursor {
+    RecordReader reader;
+    bool done = false;
+    bool header_pending = false;
+    int64_t pending_did = 0;
+    int64_t pending_count = 0;
+    int64_t pos = 0;  ///< logical byte offset just past the last record read
+  };
 
-  RecordReader input_reader_;
-  RecordReader output_reader_;
-  // One-record lookahead per file.
-  bool input_pending_ = false;
-  bool input_done_ = false;
-  InputTupleRec pending_input_;
-  bool output_pending_ = false;
-  bool output_done_ = false;
-  OutputTupleRec pending_output_;
+  /// Reads the next record into scratch_, advancing cursor.pos. Sets
+  /// *at_end at EOF.
+  Status NextRecord(PageCursor* cursor, bool* at_end);
+
+  /// Advances `cursor` to page `did`'s header, skipping earlier groups
+  /// without decoding them. On return *found tells whether the header for
+  /// `did` is pending (its records not yet consumed).
+  Status AdvanceTo(PageCursor* cursor, int64_t did, bool* found);
+
+  Status CheckMagic(PageCursor* cursor, std::string_view magic);
+  Status LoadIndex(const std::string& path);
+
+  PageCursor input_;
+  PageCursor output_;
+  std::unordered_map<int64_t, PageIndexEntry> index_;
+  bool index_ok_ = false;
+  IoStats index_io_;
   std::string scratch_;
 };
 
-/// Encoding helpers (exposed for tests).
+/// Encoding helpers (exposed for tests). Format v2: input/output records
+/// carry no tid/did — DecodeInputTuple/DecodeOutputTuple leave those
+/// fields zero for the caller to synthesize.
 void EncodeInputTuple(const InputTupleRec& rec, std::string* out);
 void EncodeOutputTuple(const OutputTupleRec& rec, std::string* out);
 Result<InputTupleRec> DecodeInputTuple(std::string_view data);
 Result<OutputTupleRec> DecodeOutputTuple(std::string_view data);
+void EncodePageIndexEntry(const PageIndexEntry& entry, std::string* out);
+Result<PageIndexEntry> DecodePageIndexEntry(std::string_view data);
+
+/// \brief Decodes a RawPageSlice into the records SeekPage would have
+/// produced for page `did` — the fallback when a slice was captured but
+/// its index entry failed validation.
+Status DecodeRawPageSlice(const RawPageSlice& slice, int64_t did,
+                          std::vector<InputTupleRec>* inputs,
+                          std::vector<OutputTupleRec>* outputs);
+
+/// \brief Rebuilds the PageCapture whose CommitPage would reproduce
+/// `slice` byte for byte. Used for the decode-copy tier of the
+/// identical-page fast path: the page didn't change, so its new capture
+/// *is* its old records.
+Status CaptureFromRawSlice(const RawPageSlice& slice, PageCapture* capture);
 
 }  // namespace delex
 

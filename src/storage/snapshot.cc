@@ -1,5 +1,6 @@
 #include "storage/snapshot.h"
 
+#include "common/hash.h"
 #include "common/value.h"
 #include "storage/record_file.h"
 
@@ -10,6 +11,7 @@ Page& Snapshot::AddPage(std::string url, std::string content) {
   page.did = static_cast<int64_t>(pages_.size());
   page.url = std::move(url);
   page.content = std::move(content);
+  page.content_hash = Fnv1a64(page.content);
   by_url_[page.url] = pages_.size();
   pages_.push_back(std::move(page));
   return pages_.back();
@@ -29,7 +31,10 @@ std::optional<size_t> Snapshot::FindByUrl(const std::string& url) const {
 
 void Snapshot::ReindexUrls() {
   by_url_.clear();
-  for (size_t i = 0; i < pages_.size(); ++i) by_url_[pages_[i].url] = i;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    by_url_[pages_[i].url] = i;
+    pages_[i].content_hash = Fnv1a64(pages_[i].content);
+  }
 }
 
 Status WriteSnapshot(const Snapshot& snapshot, const std::string& path,

@@ -16,10 +16,18 @@ namespace delex {
 ///
 /// `did` is the document id, unique within a snapshot; pages at the same
 /// URL in different snapshots generally have different dids.
+///
+/// `content_hash` is the FNV-1a digest of `content`, computed once when
+/// the page enters a Snapshot (AddPage / ReadSnapshot). The engine's
+/// whole-page fast path compares digests of consecutive versions of a URL
+/// before falling back to a byte compare, so the 96–98 % of DBLife pages
+/// that are byte-identical between snapshots are detected in O(1) per
+/// page pair instead of O(page) hashing on every run.
 struct Page {
   int64_t did = 0;
   std::string url;
   std::string content;
+  uint64_t content_hash = 0;
 };
 
 /// \brief One corpus snapshot P_i: the ordered set of pages retrieved at
@@ -46,7 +54,8 @@ class Snapshot {
   /// Index of the page at `url`, if present.
   std::optional<size_t> FindByUrl(const std::string& url) const;
 
-  /// Rebuilds the url index (call after mutating pages in place).
+  /// Rebuilds the url index and page content digests (call after mutating
+  /// pages in place).
   void ReindexUrls();
 
  private:

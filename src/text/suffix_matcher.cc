@@ -10,6 +10,7 @@ namespace delex {
 SuffixAutomaton::SuffixAutomaton(std::string_view text) {
   states_.reserve(2 * text.size() + 2);
   states_.emplace_back();  // root
+  root_next_.fill(-1);
   int32_t last = 0;
   for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
     unsigned char c = static_cast<unsigned char>(text[static_cast<size_t>(i)]);
@@ -49,21 +50,34 @@ SuffixAutomaton::SuffixAutomaton(std::string_view text) {
 }
 
 int32_t SuffixAutomaton::Transition(int32_t state, unsigned char c) const {
-  for (const auto& [ch, to] : states_[static_cast<size_t>(state)].next) {
-    if (ch == c) return to;
-  }
+  if (state == 0) return root_next_[c];
+  const auto& next = states_[static_cast<size_t>(state)].next;
+  auto it = std::lower_bound(
+      next.begin(), next.end(), c,
+      [](const std::pair<unsigned char, int32_t>& edge, unsigned char key) {
+        return edge.first < key;
+      });
+  if (it != next.end() && it->first == c) return it->second;
   return -1;
 }
 
 void SuffixAutomaton::SetTransition(int32_t state, unsigned char c,
                                     int32_t to) {
-  for (auto& [ch, dest] : states_[static_cast<size_t>(state)].next) {
-    if (ch == c) {
-      dest = to;
-      return;
-    }
+  if (state == 0) {
+    root_next_[c] = to;
+    return;
   }
-  states_[static_cast<size_t>(state)].next.emplace_back(c, to);
+  auto& next = states_[static_cast<size_t>(state)].next;
+  auto it = std::lower_bound(
+      next.begin(), next.end(), c,
+      [](const std::pair<unsigned char, int32_t>& edge, unsigned char key) {
+        return edge.first < key;
+      });
+  if (it != next.end() && it->first == c) {
+    it->second = to;
+    return;
+  }
+  next.emplace(it, c, to);
 }
 
 int64_t SuffixAutomaton::LongestCommonSubstring(std::string_view query) const {

@@ -1,6 +1,7 @@
 #ifndef DELEX_TEXT_SUFFIX_MATCHER_H_
 #define DELEX_TEXT_SUFFIX_MATCHER_H_
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -58,6 +59,10 @@ class SuffixAutomaton {
     int32_t len = 0;
     int32_t link = -1;
     int32_t first_end = -1;  // minimal end position (inclusive) in the text
+    // Edges sorted by byte so Transition is a binary search; non-root
+    // states have few edges (amortized O(1) per construction step), while
+    // the root — which can fan out to all 256 bytes and is re-entered on
+    // every match reset — uses the dense table below instead.
     std::vector<std::pair<unsigned char, int32_t>> next;
   };
 
@@ -65,6 +70,7 @@ class SuffixAutomaton {
   void SetTransition(int32_t state, unsigned char c, int32_t to);
 
   std::vector<State> states_;
+  std::array<int32_t, 256> root_next_;  // state 0's edges, O(1) lookup
 };
 
 template <typename Sink>

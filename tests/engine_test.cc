@@ -52,6 +52,9 @@ TEST(Engine, ReuseActuallyHappensOnStableCorpus) {
       GenerateSeries(Small(spec.Profile(), 30), 3, 21);
   DelexEngine::Options options;
   options.work_dir = FreshDir("reuse");
+  // This test is about *region-level* reuse (copied_tuples); the whole-page
+  // fast path would skip evaluation of identical pages entirely and hide it.
+  options.disable_page_fast_path = true;
   DelexEngine engine(spec.plan, options);
   ASSERT_TRUE(engine.Init().ok());
   MatcherAssignment st =
@@ -83,6 +86,9 @@ TEST(Engine, ExactFastPathHitsOnIdenticalPages) {
                         "Another paragraph entirely.");
   DelexEngine::Options options;
   options.work_dir = FreshDir("exact");
+  // Exercise the exact-*region* path: with the whole-page fast path on, an
+  // identical page never reaches region matching at all.
+  options.disable_page_fast_path = true;
   DelexEngine engine(spec.plan, options);
   ASSERT_TRUE(engine.Init().ok());
   MatcherAssignment dn =
@@ -141,14 +147,15 @@ TEST(Engine, ReuseFilesCleanedAfterConsumption) {
   ASSERT_TRUE(engine.RunSnapshot(series[0], nullptr, dn, nullptr).ok());
   ASSERT_TRUE(engine.RunSnapshot(series[1], &series[0], dn, nullptr).ok());
   ASSERT_TRUE(engine.RunSnapshot(series[2], &series[1], dn, nullptr).ok());
-  // Only the latest generation remains on disk.
+  // Only the latest generation remains on disk: per unit .in/.out/.idx,
+  // plus the page result cache.
   size_t files = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     EXPECT_NE(entry.path().string().find("gen2"), std::string::npos)
         << entry.path();
     ++files;
   }
-  EXPECT_EQ(files, 2u * engine.NumUnits());
+  EXPECT_EQ(files, 3u * engine.NumUnits() + 1u);
 }
 
 TEST(Engine, CapturedResultsSurviveAcrossGenerations) {
@@ -276,10 +283,11 @@ TEST(Engine, ResumeContinuesAcrossProcessRestart) {
     ASSERT_TRUE(rows.ok()) << rows.status().ToString();
     if (i > 0) {
       results.push_back(Canonicalize(std::move(rows).ValueOrDie()));
-      // The resumed engine must still reuse, not silently start over.
+      // The resumed engine must still reuse, not silently start over —
+      // either region-level copies or whole-page fast-path hits.
       int64_t copied = 0;
       for (const UnitRunStats& u : stats.units) copied += u.copied_tuples;
-      EXPECT_GT(copied, 0) << "generation " << i;
+      EXPECT_GT(copied + stats.pages_identical, 0) << "generation " << i;
     }
   }
   for (size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,462 @@
+// Tests for reuse format v2's sidecar page index and the zero-decode raw
+// passthrough: ReadPageRaw/CommitPageRaw must reproduce CommitPage's bytes
+// exactly, and a missing/truncated/corrupt index must degrade to the
+// decode path — never miscompute.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "storage/result_cache.h"
+#include "storage/reuse_file.h"
+
+namespace delex {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("delex-reusev2-" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+PageCapture MakeCapture() {
+  PageCapture capture;
+  PageCapture::Group& a = capture.groups.emplace_back();
+  a.region = TextSpan(10, 90);
+  a.region_hash = 777;
+  a.outputs.push_back({TextSpan(12, 20), std::string("alpha")});
+  a.outputs.push_back({TextSpan(40, 55), std::string("beta")});
+  PageCapture::Group& b = capture.groups.emplace_back();
+  b.region = TextSpan(90, 160);
+  b.region_hash = 778;
+  b.context = {int64_t{3}, std::string("ctx")};
+  PageCapture::Group& c = capture.groups.emplace_back();
+  c.region = TextSpan(160, 200);
+  c.region_hash = 779;
+  c.outputs.push_back({TextSpan(161, 170), std::string("gamma")});
+  return capture;
+}
+
+constexpr uint64_t kDigest0 = 0xAAAA0000;
+constexpr uint64_t kDigest1 = 0xBBBB1111;
+constexpr uint64_t kDigest2 = 0xCCCC2222;
+
+// Writes pages 0 (the rich capture), 1 (empty), 2 (one plain group).
+void WriteFixture(const std::string& prefix) {
+  UnitReuseWriter writer;
+  ASSERT_TRUE(writer.Open(prefix).ok());
+  ASSERT_TRUE(writer.CommitPage(0, kDigest0, MakeCapture()).ok());
+  ASSERT_TRUE(writer.CommitPage(1, kDigest1, PageCapture()).ok());
+  PageCapture last;
+  PageCapture::Group& g = last.groups.emplace_back();
+  g.region = TextSpan(0, 30);
+  g.region_hash = 900;
+  ASSERT_TRUE(writer.CommitPage(2, kDigest2, last).ok());
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST(ReuseV2Index, IndexEntriesDescribeEveryPage) {
+  std::string prefix = TempDir("index") + "/unit0";
+  WriteFixture(prefix);
+
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix).ok());
+  EXPECT_TRUE(reader.has_page_index());
+
+  const PageIndexEntry* e0 = reader.FindIndexEntry(0);
+  ASSERT_NE(e0, nullptr);
+  EXPECT_EQ(e0->did, 0);
+  EXPECT_EQ(e0->page_digest, kDigest0);
+  EXPECT_EQ(e0->n_inputs, 3);
+  EXPECT_EQ(e0->n_outputs, 3);
+  EXPECT_GT(e0->in_bytes, 0);
+  EXPECT_GT(e0->out_bytes, 0);
+
+  // Empty pages still get an entry — "page had nothing", not "missing".
+  const PageIndexEntry* e1 = reader.FindIndexEntry(1);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->page_digest, kDigest1);
+  EXPECT_EQ(e1->n_inputs, 0);
+  EXPECT_EQ(e1->n_outputs, 0);
+  EXPECT_EQ(e1->in_bytes, 0);
+
+  const PageIndexEntry* e2 = reader.FindIndexEntry(2);
+  ASSERT_NE(e2, nullptr);
+  // Page 2's records sit right after page 0's (headers excluded from the
+  // byte ranges, so offsets are strictly increasing but not contiguous).
+  EXPECT_GT(e2->in_offset, e0->in_offset);
+  EXPECT_EQ(reader.FindIndexEntry(99), nullptr);
+  ASSERT_TRUE(reader.Close().ok());
+}
+
+TEST(ReuseV2Index, RawPassthroughReproducesCommitPageBytes) {
+  std::string dir = TempDir("raw");
+  std::string prefix = dir + "/unit0";
+  WriteFixture(prefix);
+
+  // Relocate all three pages raw under shifted dids...
+  std::string raw_prefix = dir + "/raw";
+  {
+    UnitReuseReader reader;
+    ASSERT_TRUE(reader.Open(prefix).ok());
+    UnitReuseWriter writer;
+    ASSERT_TRUE(writer.Open(raw_prefix).ok());
+    const uint64_t digests[] = {kDigest0, kDigest1, kDigest2};
+    for (int64_t did = 0; did < 3; ++did) {
+      RawPageSlice slice;
+      bool found = false;
+      bool index_valid = false;
+      ASSERT_TRUE(reader.ReadPageRaw(did, digests[did], &slice, &found,
+                                     &index_valid)
+                      .ok());
+      ASSERT_TRUE(found);
+      ASSERT_TRUE(index_valid);
+      EXPECT_EQ(slice.page_digest, digests[did]);
+      ASSERT_TRUE(writer.CommitPageRaw(did + 10, slice).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    ASSERT_TRUE(reader.Close().ok());
+  }
+
+  // ...and re-capture the same pages through the decode path under the
+  // same shifted dids. Both routes must produce byte-identical files.
+  std::string dec_prefix = dir + "/dec";
+  {
+    UnitReuseReader reader;
+    ASSERT_TRUE(reader.Open(prefix).ok());
+    UnitReuseWriter writer;
+    ASSERT_TRUE(writer.Open(dec_prefix).ok());
+    const uint64_t digests[] = {kDigest0, kDigest1, kDigest2};
+    for (int64_t did = 0; did < 3; ++did) {
+      RawPageSlice slice;
+      bool found = false;
+      bool index_valid = false;
+      ASSERT_TRUE(reader.ReadPageRaw(did, digests[did], &slice, &found,
+                                     &index_valid)
+                      .ok());
+      ASSERT_TRUE(found);
+      PageCapture capture;
+      ASSERT_TRUE(CaptureFromRawSlice(slice, &capture).ok());
+      ASSERT_TRUE(writer.CommitPage(did + 10, digests[did], capture).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    ASSERT_TRUE(reader.Close().ok());
+  }
+
+  for (const char* suffix : {".in", ".out", ".idx"}) {
+    EXPECT_EQ(ReadFileBytes(raw_prefix + suffix),
+              ReadFileBytes(dec_prefix + suffix))
+        << suffix;
+  }
+
+  // The relocated files decode exactly like the originals, page for page.
+  UnitReuseReader original;
+  ASSERT_TRUE(original.Open(prefix).ok());
+  UnitReuseReader relocated;
+  ASSERT_TRUE(relocated.Open(raw_prefix).ok());
+  for (int64_t did = 0; did < 3; ++did) {
+    std::vector<InputTupleRec> in_a, in_b;
+    std::vector<OutputTupleRec> out_a, out_b;
+    ASSERT_TRUE(original.SeekPage(did, &in_a, &out_a).ok());
+    ASSERT_TRUE(relocated.SeekPage(did + 10, &in_b, &out_b).ok());
+    ASSERT_EQ(in_a.size(), in_b.size());
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (size_t i = 0; i < in_a.size(); ++i) {
+      EXPECT_EQ(in_a[i].tid, in_b[i].tid);
+      EXPECT_EQ(in_a[i].region, in_b[i].region);
+      EXPECT_EQ(in_a[i].region_hash, in_b[i].region_hash);
+      EXPECT_EQ(in_a[i].context, in_b[i].context);
+      EXPECT_EQ(in_b[i].did, did + 10);  // did re-stamped, nothing else
+    }
+    for (size_t i = 0; i < out_a.size(); ++i) {
+      EXPECT_EQ(out_a[i].itid, out_b[i].itid);
+      EXPECT_EQ(out_a[i].payload, out_b[i].payload);
+    }
+  }
+}
+
+TEST(ReuseV2Index, DigestMismatchInvalidatesIndexButSliceStillDecodes) {
+  std::string prefix = TempDir("digest") + "/unit0";
+  WriteFixture(prefix);
+
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix).ok());
+  RawPageSlice slice;
+  bool found = false;
+  bool index_valid = true;
+  // Expected digest disagrees with the recorded one → no raw relocation.
+  ASSERT_TRUE(
+      reader.ReadPageRaw(0, kDigest0 + 1, &slice, &found, &index_valid).ok());
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(index_valid);
+
+  // The slice itself is still sound: the decode fallback recovers the page.
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+  ASSERT_TRUE(DecodeRawPageSlice(slice, 0, &inputs, &outputs).ok());
+  ASSERT_EQ(inputs.size(), 3u);
+  EXPECT_EQ(inputs[0].region, TextSpan(10, 90));
+  EXPECT_EQ(inputs[0].did, 0);
+  ASSERT_EQ(outputs.size(), 3u);
+  EXPECT_EQ(outputs[0].itid, 0);
+  EXPECT_EQ(outputs[2].itid, 2);
+}
+
+struct IndexDamage {
+  const char* name;
+  void (*inflict)(const std::string& idx_path);
+};
+
+class ReuseV2IndexDamageTest : public ::testing::TestWithParam<IndexDamage> {};
+
+TEST_P(ReuseV2IndexDamageTest, DamagedIndexDegradesToDecodePath) {
+  std::string prefix = TempDir(std::string("damage-") + GetParam().name) +
+                       "/unit0";
+  WriteFixture(prefix);
+  GetParam().inflict(prefix + ".idx");
+
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix).ok());  // never fails on index damage
+  EXPECT_FALSE(reader.has_page_index());
+  EXPECT_EQ(reader.FindIndexEntry(0), nullptr);
+
+  // Raw relocation is off...
+  RawPageSlice slice;
+  bool found = false;
+  bool index_valid = true;
+  ASSERT_TRUE(
+      reader.ReadPageRaw(0, kDigest0, &slice, &found, &index_valid).ok());
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(index_valid);
+
+  // ...but every record is still recoverable from the captured slice.
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+  ASSERT_TRUE(DecodeRawPageSlice(slice, 0, &inputs, &outputs).ok());
+  EXPECT_EQ(inputs.size(), 3u);
+  EXPECT_EQ(outputs.size(), 3u);
+
+  // And the decode-path seek on a fresh reader sees the full fixture.
+  UnitReuseReader seek_reader;
+  ASSERT_TRUE(seek_reader.Open(prefix).ok());
+  ASSERT_TRUE(seek_reader.SeekPage(2, &inputs, &outputs).ok());
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0].region, TextSpan(0, 30));
+  EXPECT_TRUE(outputs.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Damage, ReuseV2IndexDamageTest,
+    ::testing::Values(
+        IndexDamage{"missing",
+                    [](const std::string& path) {
+                      std::filesystem::remove(path);
+                    }},
+        IndexDamage{"truncated",
+                    [](const std::string& path) {
+                      std::filesystem::resize_file(
+                          path, std::filesystem::file_size(path) / 2);
+                    }},
+        IndexDamage{"badmagic",
+                    [](const std::string& path) {
+                      std::fstream f(path, std::ios::in | std::ios::out |
+                                               std::ios::binary);
+                      // Clobber the magic record's payload.
+                      f.seekp(8);
+                      f.write("XXXXXXXX", 8);
+                    }},
+        IndexDamage{"garbage",
+                    [](const std::string& path) {
+                      // Valid magic, then a record too short to be an entry.
+                      std::fstream f(path, std::ios::in | std::ios::out |
+                                               std::ios::binary);
+                      f.seekp(16);
+                      const char len[8] = {2, 0, 0, 0, 0, 0, 0, 0};
+                      f.write(len, 8);
+                    }}),
+    [](const ::testing::TestParamInfo<IndexDamage>& info) {
+      return info.param.name;
+    });
+
+TEST(ReuseV2Index, BackwardRawReadReportsNotFound) {
+  std::string prefix = TempDir("backward") + "/unit0";
+  WriteFixture(prefix);
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix).ok());
+  RawPageSlice slice;
+  bool found = false;
+  bool index_valid = false;
+  ASSERT_TRUE(
+      reader.ReadPageRaw(2, kDigest2, &slice, &found, &index_valid).ok());
+  ASSERT_TRUE(found);
+  // Page 0 was passed by the forward scan: not found, never invented.
+  ASSERT_TRUE(
+      reader.ReadPageRaw(0, kDigest0, &slice, &found, &index_valid).ok());
+  EXPECT_FALSE(found);
+  EXPECT_FALSE(index_valid);
+}
+
+TEST(ReuseV2Index, CaptureFromRawSliceRejectsOrphanedOutputs) {
+  std::string prefix = TempDir("orphan") + "/unit0";
+  // An output referencing input ordinal 5 in a page with one input.
+  UnitReuseWriter writer;
+  ASSERT_TRUE(writer.Open(prefix).ok());
+  PageCapture capture = MakeCapture();
+  ASSERT_TRUE(writer.CommitPage(0, kDigest0, capture).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix).ok());
+  RawPageSlice slice;
+  bool found = false;
+  bool index_valid = false;
+  ASSERT_TRUE(
+      reader.ReadPageRaw(0, kDigest0, &slice, &found, &index_valid).ok());
+  ASSERT_TRUE(found);
+  // Keep only the first input record (length-prefixed framing): the output
+  // produced by input ordinal 2 is now orphaned.
+  uint64_t first_len = 0;
+  for (int i = 7; i >= 0; --i) {
+    first_len = (first_len << 8) |
+                static_cast<unsigned char>(slice.in_bytes[i]);
+  }
+  slice.in_bytes.resize(8 + first_len);
+  slice.n_inputs = 1;
+  PageCapture rebuilt;
+  EXPECT_FALSE(CaptureFromRawSlice(slice, &rebuilt).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+TEST(ResultCache, RoundTripsRowsAndStripsDids) {
+  std::string path = TempDir("results") + "/results.gen1";
+  ResultCacheWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  std::vector<Tuple> rows;
+  rows.push_back({int64_t{0}, TextSpan(3, 9), std::string("m1")});
+  rows.push_back({int64_t{0}, TextSpan(14, 20), std::string("m2")});
+  ASSERT_TRUE(writer.CommitPage(0, rows).ok());
+  ASSERT_TRUE(writer.CommitPage(1, {}).ok());
+  std::vector<Tuple> rows2;
+  rows2.push_back({int64_t{2}, std::string("solo")});
+  ASSERT_TRUE(writer.CommitPage(2, rows2).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  ResultCacheReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ResultPageSlice slice;
+  bool found = false;
+  ASSERT_TRUE(reader.ReadPage(0, &slice, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(slice.n_rows, 2);
+
+  // Re-prefix under a new did — the fast path's row recovery.
+  std::vector<Tuple> decoded;
+  ASSERT_TRUE(DecodeResultSlice(slice, 42, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(decoded[0][0]), 42);
+  EXPECT_EQ(std::get<TextSpan>(decoded[0][1]), TextSpan(3, 9));
+  EXPECT_EQ(std::get<std::string>(decoded[1][2]), "m2");
+
+  ASSERT_TRUE(reader.ReadPage(1, &slice, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(slice.n_rows, 0);
+
+  ASSERT_TRUE(reader.ReadPage(2, &slice, &found).ok());
+  ASSERT_TRUE(found);
+  decoded.clear();
+  ASSERT_TRUE(DecodeResultSlice(slice, 7, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(decoded[0][0]), 7);
+
+  // Absent page: found=false, never an error.
+  ASSERT_TRUE(reader.ReadPage(9, &slice, &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(reader.Close().ok());
+}
+
+TEST(ResultCache, CommitRejectsRowsWithoutLeadingDid) {
+  std::string path = TempDir("results-bad") + "/results.gen1";
+  ResultCacheWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  std::vector<Tuple> rows;
+  rows.push_back({std::string("no did here")});
+  EXPECT_FALSE(writer.CommitPage(0, rows).ok());
+}
+
+TEST(ResultCache, RawRecommitReproducesBytes) {
+  std::string dir = TempDir("results-raw");
+  std::string gen1 = dir + "/results.gen1";
+  {
+    ResultCacheWriter writer;
+    ASSERT_TRUE(writer.Open(gen1).ok());
+    std::vector<Tuple> rows;
+    rows.push_back({int64_t{0}, std::string("r")});
+    ASSERT_TRUE(writer.CommitPage(0, rows).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Relocate page 0 raw into gen2, and rebuild it via decode into gen2b.
+  std::string gen2 = dir + "/results.gen2";
+  std::string gen2b = dir + "/results.gen2b";
+  ResultPageSlice slice;
+  bool found = false;
+  {
+    ResultCacheReader reader;
+    ASSERT_TRUE(reader.Open(gen1).ok());
+    ASSERT_TRUE(reader.ReadPage(0, &slice, &found).ok());
+    ASSERT_TRUE(found);
+    ASSERT_TRUE(reader.Close().ok());
+  }
+  {
+    ResultCacheWriter writer;
+    ASSERT_TRUE(writer.Open(gen2).ok());
+    ASSERT_TRUE(writer.CommitPageRaw(5, slice).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    std::vector<Tuple> rows;
+    ASSERT_TRUE(DecodeResultSlice(slice, 5, &rows).ok());
+    ResultCacheWriter writer;
+    ASSERT_TRUE(writer.Open(gen2b).ok());
+    ASSERT_TRUE(writer.CommitPage(5, rows).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_EQ(ReadFileBytes(gen2), ReadFileBytes(gen2b));
+}
+
+TEST(ResultCache, TruncatedFileReportsCorruptionOnRead) {
+  std::string path = TempDir("results-trunc") + "/results.gen1";
+  {
+    ResultCacheWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    std::vector<Tuple> rows;
+    rows.push_back({int64_t{0}, std::string(600, 'x')});
+    ASSERT_TRUE(writer.CommitPage(0, rows).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 10);
+  ResultCacheReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ResultPageSlice slice;
+  bool found = false;
+  EXPECT_FALSE(reader.ReadPage(0, &slice, &found).ok());
+}
+
+}  // namespace
+}  // namespace delex

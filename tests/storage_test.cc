@@ -131,9 +131,9 @@ TEST(Snapshot, WriteReadRoundTrip) {
 // Reuse files
 
 TEST(ReuseFile, TupleCodecsRoundTrip) {
+  // Format v2 records carry no tid/did — the decoder leaves them zero for
+  // the reader to synthesize from the page header.
   InputTupleRec in;
-  in.tid = 7;
-  in.did = 3;
   in.region = TextSpan(100, 250);
   in.region_hash = 0xDEADBEEFCAFEBABEULL;
   in.context = {int64_t{9}, std::string("ctx")};
@@ -141,16 +141,14 @@ TEST(ReuseFile, TupleCodecsRoundTrip) {
   EncodeInputTuple(in, &buffer);
   auto decoded = DecodeInputTuple(buffer);
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->tid, 7);
-  EXPECT_EQ(decoded->did, 3);
+  EXPECT_EQ(decoded->tid, 0);
+  EXPECT_EQ(decoded->did, 0);
   EXPECT_EQ(decoded->region, TextSpan(100, 250));
   EXPECT_EQ(decoded->region_hash, 0xDEADBEEFCAFEBABEULL);
   EXPECT_EQ(decoded->context.size(), 2u);
 
   OutputTupleRec out;
-  out.tid = 1;
   out.itid = 7;
-  out.did = 3;
   out.payload = {TextSpan(120, 130), std::string("m")};
   buffer.clear();
   EncodeOutputTuple(out, &buffer);
@@ -160,6 +158,48 @@ TEST(ReuseFile, TupleCodecsRoundTrip) {
   EXPECT_EQ(std::get<TextSpan>(decoded_out->payload[0]), TextSpan(120, 130));
 }
 
+TEST(ReuseFile, PageIndexEntryCodecRoundTrips) {
+  PageIndexEntry entry;
+  entry.did = 42;
+  entry.page_digest = 0x0123456789ABCDEFULL;
+  entry.in_offset = 100;
+  entry.in_bytes = 250;
+  entry.n_inputs = 3;
+  entry.out_offset = 64;
+  entry.out_bytes = 90;
+  entry.n_outputs = 2;
+  std::string buffer;
+  EncodePageIndexEntry(entry, &buffer);
+  auto decoded = DecodePageIndexEntry(buffer);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->did, 42);
+  EXPECT_EQ(decoded->page_digest, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(decoded->in_offset, 100);
+  EXPECT_EQ(decoded->in_bytes, 250);
+  EXPECT_EQ(decoded->n_inputs, 3);
+  EXPECT_EQ(decoded->out_offset, 64);
+  EXPECT_EQ(decoded->out_bytes, 90);
+  EXPECT_EQ(decoded->n_outputs, 2);
+  // Truncated entries are corruption, not garbage.
+  EXPECT_TRUE(DecodePageIndexEntry(
+                  std::string_view(buffer).substr(0, buffer.size() - 1))
+                  .status()
+                  .IsCorruption());
+}
+
+PageCapture MakeCapture(
+    std::vector<std::pair<TextSpan, std::vector<Tuple>>> groups,
+    uint64_t base_hash) {
+  PageCapture capture;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    PageCapture::Group& g = capture.groups.emplace_back();
+    g.region = groups[i].first;
+    g.region_hash = base_hash + i;
+    g.outputs = std::move(groups[i].second);
+  }
+  return capture;
+}
+
 class ReuseFilesFixture : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -167,16 +207,29 @@ class ReuseFilesFixture : public ::testing::Test {
     UnitReuseWriter writer;
     ASSERT_TRUE(writer.Open(prefix_).ok());
     // Page 0: two regions, outputs on the first.
-    int64_t tid = 0;
-    ASSERT_TRUE(writer.AppendInput(0, TextSpan(0, 50), 11, {}, &tid).ok());
-    ASSERT_TRUE(writer.AppendOutput(tid, 0, {TextSpan(5, 9)}).ok());
-    ASSERT_TRUE(writer.AppendOutput(tid, 0, {TextSpan(20, 30)}).ok());
-    ASSERT_TRUE(writer.AppendInput(0, TextSpan(50, 80), 12, {}, &tid).ok());
-    // Page 2 (page 1 has no tuples at all): one region, one output.
-    ASSERT_TRUE(writer.AppendInput(2, TextSpan(0, 40), 13, {}, &tid).ok());
-    ASSERT_TRUE(writer.AppendOutput(tid, 2, {TextSpan(1, 2)}).ok());
-    // Page 5.
-    ASSERT_TRUE(writer.AppendInput(5, TextSpan(0, 10), 14, {}, &tid).ok());
+    ASSERT_TRUE(
+        writer
+            .CommitPage(0, /*page_digest=*/1000,
+                        MakeCapture({{TextSpan(0, 50),
+                                      {{TextSpan(5, 9)}, {TextSpan(20, 30)}}},
+                                     {TextSpan(50, 80), {}}},
+                                    11))
+            .ok());
+    // Page 1 has no tuples at all (but still gets a header + index entry).
+    ASSERT_TRUE(writer.CommitPage(1, 1001, PageCapture()).ok());
+    // Page 2: one region, one output.
+    ASSERT_TRUE(writer
+                    .CommitPage(2, 1002,
+                                MakeCapture({{TextSpan(0, 40),
+                                              {{TextSpan(1, 2)}}}},
+                                            13))
+                    .ok());
+    ASSERT_TRUE(writer.CommitPage(3, 1003, PageCapture()).ok());
+    ASSERT_TRUE(writer.CommitPage(4, 1004, PageCapture()).ok());
+    // Page 5: one region, no outputs.
+    ASSERT_TRUE(
+        writer.CommitPage(5, 1005, MakeCapture({{TextSpan(0, 10), {}}}, 14))
+            .ok());
     ASSERT_TRUE(writer.Close().ok());
   }
 
@@ -235,17 +288,46 @@ TEST_F(ReuseFilesFixture, BackwardSeekDegradesToEmpty) {
   EXPECT_EQ(inputs.size(), 1u);
 }
 
-TEST(ReuseFile, WriterAssignsMonotonicTids) {
-  std::string prefix = TempPath("tids");
-  UnitReuseWriter writer;
-  ASSERT_TRUE(writer.Open(prefix).ok());
-  int64_t first = -1;
-  int64_t second = -1;
-  ASSERT_TRUE(writer.AppendInput(0, TextSpan(0, 1), 0, {}, &first).ok());
-  ASSERT_TRUE(writer.AppendInput(0, TextSpan(1, 2), 0, {}, &second).ok());
-  ASSERT_TRUE(writer.Close().ok());
-  EXPECT_EQ(first, 0);
-  EXPECT_EQ(second, 1);
+TEST_F(ReuseFilesFixture, ReaderSynthesizesPageLocalOrdinals) {
+  // v2 records carry no tid/did on disk; the reader stamps did from the
+  // page header and tid as the ordinal within the page, restarting at 0
+  // for every page (that restart is what makes raw page copies legal).
+  UnitReuseReader reader;
+  ASSERT_TRUE(reader.Open(prefix_).ok());
+  std::vector<InputTupleRec> inputs;
+  std::vector<OutputTupleRec> outputs;
+
+  ASSERT_TRUE(reader.SeekPage(0, &inputs, &outputs).ok());
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0].tid, 0);
+  EXPECT_EQ(inputs[1].tid, 1);
+  EXPECT_EQ(inputs[0].did, 0);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].itid, 0);
+  EXPECT_EQ(outputs[1].itid, 0);
+  EXPECT_EQ(outputs[0].did, 0);
+
+  ASSERT_TRUE(reader.SeekPage(2, &inputs, &outputs).ok());
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0].tid, 0);  // ordinals restart per page
+  EXPECT_EQ(inputs[0].did, 2);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].itid, 0);
+  EXPECT_EQ(outputs[0].did, 2);
+}
+
+TEST_F(ReuseFilesFixture, VersionOneFilesAreRejected) {
+  // A file without the v2 magic record must fail loudly at Open, not
+  // misparse its first record as a page header.
+  std::string prefix = TempPath("reuse-v1");
+  for (const char* suffix : {".in", ".out"}) {
+    RecordWriter writer;
+    ASSERT_TRUE(writer.Open(prefix + suffix).ok());
+    ASSERT_TRUE(writer.Append("not a magic record").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  UnitReuseReader reader;
+  EXPECT_TRUE(reader.Open(prefix).IsCorruption());
 }
 
 }  // namespace
