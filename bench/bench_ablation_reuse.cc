@@ -20,7 +20,8 @@ double RunVariant(const ProgramSpec& spec, const std::vector<Snapshot>& series,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   for (const std::string& task : {std::string("chair"), std::string("play")}) {
     ProgramSpec spec = MustProgram(task);
     std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6);

@@ -58,7 +58,8 @@ double RunWithBounds(const ProgramSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   ProgramSpec reference = MustProgram("play");
   // Token-level edits: the regime where the declared alpha dominates the
   // width of the re-extraction window around each change.

@@ -12,7 +12,8 @@
 using namespace delex;
 using namespace delex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   const std::vector<std::string> tasks = {"talk",        "chair", "advise",
                                           "blockbuster", "play",  "award"};
   std::printf(

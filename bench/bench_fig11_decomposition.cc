@@ -44,7 +44,8 @@ Decomposition Average(const SeriesRun& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   const std::vector<std::string> tasks = {"talk", "chair", "advise",
                                           "blockbuster", "play", "award"};
   std::printf(

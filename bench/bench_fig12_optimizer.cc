@@ -17,7 +17,8 @@
 using namespace delex;
 using namespace delex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   ProgramSpec spec = MustProgram("play");
   const int pages = static_cast<int>(EnvInt("DELEX_FIG12_PAGES", 60));
   const int snapshots = static_cast<int>(EnvInt("DELEX_FIG12_SNAPSHOTS", 4));

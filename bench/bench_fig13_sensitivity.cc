@@ -11,7 +11,8 @@
 using namespace delex;
 using namespace delex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   ProgramSpec spec = MustProgram("play");
   std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6);
 

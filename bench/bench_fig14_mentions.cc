@@ -49,7 +49,8 @@ int64_t TotalMentions(const SeriesRun& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   std::printf("=== Figure 14: runtime vs number of mentions ('play') ===\n\n");
   Table table({"mention multiplier", "total blackbox mentions",
                "No-reuse s", "Shortcut s", "Cyclex s", "Delex s",

@@ -13,7 +13,8 @@
 using namespace delex;
 using namespace delex::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   ProgramSpec spec = MustProgram("infobox");
   const int pages = static_cast<int>(EnvInt("DELEX_FIG15_PAGES", 70));
   std::vector<Snapshot> series = SeriesFor(spec, /*snapshots=*/6, pages);

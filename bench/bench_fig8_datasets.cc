@@ -41,7 +41,8 @@ void DatasetRow(Table* table, const DatasetProfile& base_profile, int pages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   std::printf("=== Figure 8a: data sets ===\n");
   std::printf(
       "(paper: DBLife 10155 pages/180MB with 96-98%% identical pages;\n"

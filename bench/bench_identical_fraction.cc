@@ -68,9 +68,11 @@ void Main() {
   const int snapshots = Snapshots();
 
   std::printf("{\n  \"bench\": \"identical_fraction\",\n"
+              "  \"meta\": %s,\n"
               "  \"program\": \"%s\",\n  \"threads\": %d,\n"
               "  \"pages\": %d,\n  \"snapshots\": %d,\n  \"runs\": [\n",
-              spec.name.c_str(), Threads(), pages, snapshots);
+              MetaJson().c_str(), spec.name.c_str(), Threads(), pages,
+              snapshots);
 
   bool first = true;
   for (double fraction : {0.50, 0.80, 0.90, 0.97}) {
@@ -87,8 +89,7 @@ void Main() {
     // Min-of-N reps per configuration (DELEX_BENCH_REPS): single runs on
     // a busy one-core CI box swing ±20%, and the equivalence check gets
     // to see N independent runs of each side.
-    const int reps =
-        std::max(1, static_cast<int>(EnvInt("DELEX_BENCH_REPS", 3)));
+    const int reps = BenchReps();
     SeriesRun off = RunWithFastPath(spec, series, false, tag + "-off");
     SeriesRun on = RunWithFastPath(spec, series, true, tag + "-on");
     bool match = ResultsMatch(off, on);
@@ -135,7 +136,10 @@ void Main() {
 }  // namespace bench
 }  // namespace delex
 
-int main() {
+int main(int argc, char** argv) {
+  // Meta is embedded in the JSON document, not printed as a header line —
+  // stdout must stay one parseable document.
+  delex::bench::BenchInit(argc, argv, /*print_meta_line=*/false);
   delex::bench::Main();
   return 0;
 }

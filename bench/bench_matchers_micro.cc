@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "corpus/generator.h"
 #include "matcher/matcher.h"
@@ -132,4 +134,16 @@ BENCHMARK(BM_LineDiff)->Arg(4 << 10)->Arg(16 << 10);
 }  // namespace
 }  // namespace delex
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the shared metadata header on stderr —
+// stdout is google-benchmark's (possibly --benchmark_format=json) report
+// and must stay parseable.
+int main(int argc, char** argv) {
+  delex::bench::BenchInit(argc, argv, /*print_meta_line=*/false);
+  std::fprintf(stderr, "{\"bench_meta\": %s}\n",
+               delex::bench::MetaJson().c_str());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

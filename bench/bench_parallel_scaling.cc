@@ -103,8 +103,9 @@ void BenchProgram(const std::string& name, bool first) {
 
 void Main() {
   std::printf("{\n  \"bench\": \"parallel_scaling\",\n"
+              "  \"meta\": %s,\n"
               "  \"hardware_concurrency\": %u,\n  \"programs\": [\n",
-              std::thread::hardware_concurrency());
+              MetaJson().c_str(), std::thread::hardware_concurrency());
   // DBLife is the acceptance profile (the paper's primary corpus); the
   // Wikipedia program rides along for the low-overlap regime.
   BenchProgram("chair", /*first=*/true);
@@ -116,7 +117,10 @@ void Main() {
 }  // namespace bench
 }  // namespace delex
 
-int main() {
+int main(int argc, char** argv) {
+  // Meta is embedded in the JSON document, not printed as a header line —
+  // stdout must stay one parseable document.
+  delex::bench::BenchInit(argc, argv, /*print_meta_line=*/false);
   delex::bench::Main();
   return 0;
 }

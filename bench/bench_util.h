@@ -13,9 +13,19 @@
 //                                           (1 = serial, 0 = all cores)
 //   DELEX_FAST_PATH                         identical-page fast path
 //                                           (1 = on, default; 0 = off)
+//   DELEX_BENCH_REPS                        min-of-N repetitions where a
+//                                           bench repeats timed runs
+//
+// Observability (obs/): DELEX_TRACE=<path> records a Chrome-trace JSON of
+// the run, DELEX_STATS_JSON=<path> (or the --stats-json <path> flag, via
+// BenchInit) appends per-snapshot run reports, and every bench stamps its
+// output with MetaJson() — git sha, build type, and the knob values — so
+// stored results are traceable to the tree and environment that produced
+// them.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -23,6 +33,15 @@
 #include "harness/experiment.h"
 #include "harness/programs.h"
 #include "harness/table.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+
+#ifndef DELEX_GIT_SHA
+#define DELEX_GIT_SHA "unknown"
+#endif
+#ifndef DELEX_BUILD_TYPE
+#define DELEX_BUILD_TYPE "unknown"
+#endif
 
 namespace delex {
 namespace bench {
@@ -50,6 +69,56 @@ inline int Threads() { return static_cast<int>(EnvInt("DELEX_THREADS", 1)); }
 
 /// Identical-page fast path; results are identical either way.
 inline bool FastPath() { return EnvInt("DELEX_FAST_PATH", 1) != 0; }
+
+/// Min-of-N repetitions for benches that repeat timed runs.
+inline int BenchReps() {
+  int reps = static_cast<int>(EnvInt("DELEX_BENCH_REPS", 3));
+  return reps > 1 ? reps : 1;
+}
+
+/// Shared metadata object stamped into every bench's output: build
+/// provenance plus the effective scale knobs. Table-style benches print it
+/// as a standalone {"bench_meta": ...} line (BenchInit); JSON-document
+/// benches embed it as a "meta" member so their whole stdout stays one
+/// parseable document.
+inline std::string MetaJson() {
+  obs::JsonWriter json;
+  json.BeginObject()
+      .KV("git_sha", DELEX_GIT_SHA)
+      .KV("build_type", DELEX_BUILD_TYPE)
+      .KV("threads", static_cast<int64_t>(Threads()))
+      .KV("bench_reps", static_cast<int64_t>(BenchReps()))
+      .KV("seed", static_cast<int64_t>(Seed()))
+      .KV("snapshots", static_cast<int64_t>(Snapshots()))
+      .KV("pages_dblife", EnvInt("DELEX_PAGES_DBLIFE", 250))
+      .KV("pages_wiki", EnvInt("DELEX_PAGES_WIKI", 180))
+      .KV("fast_path", FastPath())
+      .EndObject();
+  return json.str();
+}
+
+/// Standard bench entry point. Parses `--stats-json <path>` (run-report
+/// JSONL destination, same effect as DELEX_STATS_JSON), starts the trace
+/// recorder if DELEX_TRACE is set, and — unless `print_meta_line` is false
+/// (JSON-document benches, which embed MetaJson() instead) — prints the
+/// shared metadata header line.
+inline void BenchInit(int& argc, char** argv, bool print_meta_line = true) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      SetStatsJsonPath(argv[i + 1]);
+      ++i;  // consume the flag and its value (argv is compacted so later
+            // parsers — e.g. google-benchmark's — never see them)
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  obs::MaybeStartTraceFromEnv();
+  if (print_meta_line) {
+    std::printf("{\"bench_meta\": %s}\n\n", MetaJson().c_str());
+  }
+}
 
 /// Fresh scratch directory for reuse files.
 inline std::string WorkDir(const std::string& tag) {

@@ -38,6 +38,41 @@ if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
     exit 1
   fi
 
+  # Traced smoke of the observability layer: a 3-snapshot parallel DBLife
+  # run with tracing and run reports on. The trace must be valid JSON
+  # (Perfetto-loadable) and every non-warm-up Delex report line must carry
+  # finite predicted-vs-actual per-unit costs.
+  echo "=== Release: traced dblife smoke ==="
+  obs_tmp="$(mktemp -d)"
+  DELEX_TRACE="${obs_tmp}/trace.json" \
+    DELEX_STATS_JSON="${obs_tmp}/stats.jsonl" \
+    DELEX_THREADS=2 \
+    ./build-release/examples/dblife_portal 16 3 >/dev/null
+  python3 -m json.tool "${obs_tmp}/trace.json" >/dev/null
+  python3 - "${obs_tmp}/stats.jsonl" <<'EOF'
+import json, math, sys
+
+delex_lines = 0
+with open(sys.argv[1]) as f:
+    for raw in f:
+        line = json.loads(raw)
+        if line["solution"] != "Delex" or line["warmup"]:
+            continue
+        delex_lines += 1
+        assert "optimizer" in line, "missing optimizer block"
+        assert line["optimizer"]["assignment"], "empty matcher assignment"
+        assert line["units"], "no per-unit rows"
+        for unit in line["units"]:
+            for key in ("predicted_us", "actual_us", "match_us",
+                        "extract_us", "copy_us"):
+                value = unit.get(key)
+                assert isinstance(value, (int, float)) and math.isfinite(value), \
+                    f"unit field {key} not finite: {value!r}"
+assert delex_lines > 0, "no non-warm-up Delex report lines"
+print(f"traced smoke OK: {delex_lines} Delex report lines")
+EOF
+  rm -rf "${obs_tmp}"
+
   # ASan guards the raw record passthrough (framed-byte copies, sidecar
   # index offsets) against out-of-bounds reads and leaks.
   run_leg "ASan" build-asan \

@@ -5,6 +5,10 @@
 // Delex recycles yesterday's work.
 //
 //   ./dblife_portal [pages] [days]
+//
+// Honors DELEX_THREADS for the engine-backed solutions, and the
+// observability knobs (DELEX_TRACE, DELEX_STATS_JSON, DELEX_LOG_LEVEL) —
+// the CI traced-smoke leg drives this binary.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +23,8 @@ using namespace delex;
 int main(int argc, char** argv) {
   int pages = argc > 1 ? std::atoi(argv[1]) : 120;
   int days = argc > 2 ? std::atoi(argv[2]) : 5;
+  const char* threads_env = std::getenv("DELEX_THREADS");
+  int threads = threads_env != nullptr ? std::atoi(threads_env) : 1;
 
   std::string work =
       (std::filesystem::temp_directory_path() / "delex-dblife").string();
@@ -44,8 +50,11 @@ int main(int argc, char** argv) {
 
     auto no_reuse = MakeNoReuseSolution(spec);
     auto shortcut = MakeShortcutSolution(spec);
-    auto cyclex = MakeCyclexSolution(spec, work + "/cyclex-" + task);
-    auto delex = MakeDelexSolution(spec, work + "/delex-" + task);
+    auto cyclex = MakeCyclexSolution(spec, work + "/cyclex-" + task, threads);
+    DelexSolutionOptions delex_options;
+    delex_options.num_threads = threads;
+    auto delex = MakeDelexSolution(spec, work + "/delex-" + task,
+                                   delex_options);
 
     double totals[4] = {0, 0, 0, 0};
     Solution* solutions[4] = {no_reuse.get(), shortcut.get(), cyclex.get(),

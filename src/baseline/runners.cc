@@ -37,6 +37,7 @@ Result<std::vector<Tuple>> NoReuseRunner::RunSnapshot(const Snapshot& current,
   }
   stats->result_tuples = static_cast<int64_t>(results.size());
   stats->phases.total_us = total.ElapsedMicros();
+  stats->phases.FinalizeDrift();
   return results;
 }
 
@@ -77,6 +78,7 @@ Result<std::vector<Tuple>> ShortcutRunner::RunSnapshot(const Snapshot& current,
   cache_ = std::move(next_cache);
   stats->result_tuples = static_cast<int64_t>(results.size());
   stats->phases.total_us = total.ElapsedMicros();
+  stats->phases.FinalizeDrift();
   return results;
 }
 

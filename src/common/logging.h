@@ -1,10 +1,19 @@
 #ifndef DELEX_COMMON_LOGGING_H_
 #define DELEX_COMMON_LOGGING_H_
 
-#include <cstdio>
+// Invariant checks plus the leveled structured logger. Historically this
+// header was abort-only (DELEX_CHECK*); the logging side now lives in
+// obs/log.h (DELEX_LOG(INFO) << ..., DELEX_LOG_LEVEL env) and check
+// failures route their final line through the same thread-safe sink
+// before aborting, so a crash in a parallel run still produces one
+// atomic, timestamped, thread-tagged record. Including this header keeps
+// every existing call site source-compatible and brings DELEX_LOG in.
+
 #include <cstdlib>
 #include <sstream>
 #include <string>
+
+#include "obs/log.h"
 
 namespace delex {
 namespace internal {
@@ -12,8 +21,16 @@ namespace internal {
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr,
                                      const std::string& message) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
-               message.c_str());
+  std::string full = "CHECK failed: ";
+  full += expr;
+  if (!message.empty()) {
+    full += ' ';
+    full += message;
+  }
+  // Bypasses the DELEX_LOG_LEVEL threshold: a failing invariant must
+  // always reach the sink, even at DELEX_LOG_LEVEL=off.
+  ::delex::obs::log_internal::EmitLogLine(::delex::obs::LogLevel::kERROR,
+                                          file, line, full);
   std::abort();
 }
 

@@ -12,8 +12,34 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "delex/region_derivation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace delex {
+
+namespace {
+
+/// Fast-path demotion counters: each names one reason an identical page
+/// fell back a tier (see DelexEngine::PrefetchSlot). Knowing *where*
+/// reuse is lost is the optimization signal the observability layer
+/// exists to surface; every run report snapshots these.
+obs::Counter* DemoteResultCacheCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "engine.fast_path.demote_result_cache");
+  return counter;
+}
+obs::Counter* DemoteMissingGroupCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "engine.fast_path.demote_missing_group");
+  return counter;
+}
+obs::Counter* DecodeCopyGroupCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "engine.fast_path.decode_copy_groups");
+  return counter;
+}
+
+}  // namespace
 
 using xlog::PlanKind;
 using xlog::PlanNode;
@@ -88,6 +114,18 @@ Status DelexEngine::Init() {
   if (ec) {
     return Status::IOError("cannot create work dir " + options_.work_dir);
   }
+  if (!options_.trace_path.empty() &&
+      !obs::TraceRecorder::Global().started()) {
+    Status st = obs::TraceRecorder::Global().Start(options_.trace_path);
+    if (!st.ok()) {
+      DELEX_LOG(WARN) << "trace_path: " << st.ToString();
+    }
+  }
+  // DELEX_TRACE works for any engine-embedding binary (examples, tests)
+  // without per-main wiring; a no-op if a session is already recording.
+  obs::MaybeStartTraceFromEnv();
+  DELEX_LOG(INFO) << "engine initialized: " << analysis_.units.size()
+                  << " IE units, work_dir=" << options_.work_dir;
   initialized_ = true;
   return Status::OK();
 }
@@ -138,6 +176,7 @@ Status DelexEngine::PrefetchPageReuse(int64_t q_did,
 }
 
 Status DelexEngine::PrefetchSlot(PageSlot* slot) {
+  DELEX_TRACE_SPAN("prefetch_page", slot->page->did);
   const size_t num_units = analysis_.units.size();
   if (slot->identical) {
     // Result rows first: without them the page must fully evaluate, and
@@ -152,6 +191,9 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
       if (!decoded.ok()) found = false;
     }
     if (!found) {
+      DemoteResultCacheCounter()->Increment();
+      DELEX_LOG(DEBUG) << "fast path demoted (result cache miss) did="
+                       << slot->page->did;
       slot->identical = false;
       slot->rows.clear();
     }
@@ -169,6 +211,9 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
         // The old generation has no group for this page (work dir out of
         // step with the corpus). Demote to full evaluation; units whose
         // groups were already consumed above simply extract from scratch.
+        DemoteMissingGroupCounter()->Increment();
+        DELEX_LOG(DEBUG) << "fast path demoted (missing reuse group) did="
+                         << slot->page->did << " unit=" << u;
         slot->identical = false;
         slot->rows.clear();
         slot->raw_valid.assign(num_units, 0);
@@ -182,6 +227,7 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
         // validation, so the slice can't be trusted for a byte-range copy
         // — but its records decode fine, and an identical page's capture
         // IS its old records.
+        DecodeCopyGroupCounter()->Increment();
         DELEX_RETURN_NOT_OK(
             CaptureFromRawSlice(slot->raw_slices[u], &slot->captures[u]));
       }
@@ -195,6 +241,7 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
 
 Result<std::vector<Tuple>> DelexEngine::EvalPage(PageContext* page_ctx) const {
   const Page& page = *page_ctx->page;
+  DELEX_TRACE_SPAN("eval_page", page.did);
   DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> page_rows,
                          EvalNode(*plan_, page_ctx));
   std::vector<Tuple> rows;
@@ -211,6 +258,7 @@ Result<std::vector<Tuple>> DelexEngine::EvalPage(PageContext* page_ctx) const {
 
 Status DelexEngine::CommitPage(PageSlot* slot) {
   const int64_t did = slot->page->did;
+  DELEX_TRACE_SPAN("commit_page", did);
   for (size_t u = 0; u < writers_.size(); ++u) {
     ScopedTimer capture_timer(&slot->stats.units[u].capture_us);
     if (slot->identical && slot->raw_valid[u] != 0) {
@@ -368,6 +416,7 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   out_stats->units.resize(num_units);
   assignment_ = &assignment;
 
+  DELEX_TRACE_SPAN("run_snapshot", generation_);
   Stopwatch total_watch;
 
   // Open writers for this generation and readers over the previous one.
@@ -488,6 +537,15 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     out_stats->phases.copy_us += u.copy_us;
     out_stats->phases.capture_us += u.capture_us;
   }
+  // Under parallel execution the per-phase timers (merged from concurrent
+  // shards) can legitimately sum past the single wall clock; record the
+  // overshoot instead of silently clamping it away in OthersUs().
+  out_stats->phases.FinalizeDrift();
+  DELEX_LOG(INFO) << "snapshot run done: gen=" << generation_
+                  << " pages=" << out_stats->pages
+                  << " identical=" << out_stats->pages_identical
+                  << " tuples=" << out_stats->result_tuples
+                  << " total_us=" << out_stats->phases.total_us;
   assignment_ = nullptr;
   return results;
 }
@@ -582,6 +640,7 @@ Result<bool> DelexEngine::ReplayChain(const IEUnit& unit,
 
 Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
                                                  PageContext* page_ctx) const {
+  DELEX_TRACE_SPAN("eval_unit", unit.index);
   const Page& page = *page_ctx->page;
   const Page* q_page = page_ctx->q_page;
   UnitRunStats& ustats =
@@ -824,6 +883,7 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
     // ---- Extraction phase: run the blackbox on the residue. ----
     {
       ScopedTimer extract_timer(&ustats.extract_us);
+      DELEX_TRACE_SPAN("extract", unit.index);
       for (const TextSpan& sub : derivation.extraction_regions.spans()) {
         ustats.chars_extracted += sub.length();
         std::string_view sub_text =

@@ -72,6 +72,14 @@ class DelexEngine {
     /// Disable σ/π folding: reuse at bare-blackbox level instead of IE-unit
     /// level (the §4 ablation).
     bool fold_unit_operators = true;
+
+    /// If non-empty, Init() starts the process-wide trace recorder writing
+    /// Chrome-trace/Perfetto JSON here (equivalent to the DELEX_TRACE env
+    /// var; the first session wins — tracing is process-global). Every
+    /// pipeline stage, matcher call, extractor invocation, and reuse-file
+    /// I/O emits DELEX_TRACE_SPAN events; with tracing off each span site
+    /// costs one predicted branch.
+    std::string trace_path;
   };
 
   DelexEngine(xlog::PlanNodePtr plan, Options options);

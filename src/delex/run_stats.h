@@ -42,9 +42,21 @@ struct PhaseBreakdown {
   int64_t capture_us = 0;  ///< reuse-file writes (folded into Others in Fig 11)
   int64_t total_us = 0;    ///< end-to-end wall clock
 
+  /// Overshoot of the accounted phase time past total_us (timer drift:
+  /// per-phase timers merged from concurrent page shards can sum past the
+  /// single wall clock). Recorded by FinalizeDrift — OthersUs then clamps
+  /// to 0 without losing the signal; the run report surfaces it.
+  int64_t phase_drift_us = 0;
+
   int64_t OthersUs() const {
     int64_t accounted = match_us + extract_us + copy_us + opt_us + capture_us;
     return total_us > accounted ? total_us - accounted : 0;
+  }
+
+  /// Call once after total_us and the component timers are final.
+  void FinalizeDrift() {
+    int64_t accounted = match_us + extract_us + copy_us + opt_us + capture_us;
+    phase_drift_us = accounted > total_us ? accounted - total_us : 0;
   }
 
   PhaseBreakdown& operator+=(const PhaseBreakdown& other) {
@@ -54,6 +66,7 @@ struct PhaseBreakdown {
     opt_us += other.opt_us;
     capture_us += other.capture_us;
     total_us += other.total_us;
+    phase_drift_us += other.phase_drift_us;
     return *this;
   }
 };

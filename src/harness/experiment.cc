@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "baseline/plan_extractor.h"
 #include "baseline/runners.h"
@@ -97,9 +98,18 @@ class EngineSolution : public Solution {
     MatcherAssignment assignment =
         MatcherAssignment::Uniform(engine_->NumUnits(), MatcherKind::kDN);
     int64_t opt_us = 0;
+    last_predicted_unit_us_.clear();
+    last_predicted_total_us_ = -1;
     if (previous != nullptr) {
       if (!options_.forced_assignment.per_unit.empty()) {
         assignment = options_.forced_assignment;
+        // Forced plans still get a prediction when statistics exist (an
+        // earlier optimized run in this process primed the history).
+        if (optimizer_->HasStats()) {
+          Result<std::vector<double>> predicted =
+              optimizer_->EstimatePerUnitCost(assignment);
+          if (predicted.ok()) RecordPrediction(std::move(predicted).ValueOrDie());
+        }
       } else {
         Stopwatch opt_watch;
         DELEX_RETURN_NOT_OK(optimizer_->ObserveSnapshotPair(
@@ -107,9 +117,13 @@ class EngineSolution : public Solution {
                                              engine_->generation())));
         DELEX_ASSIGN_OR_RETURN(assignment, optimizer_->ChooseAssignment());
         opt_us = opt_watch.ElapsedMicros();
+        DELEX_ASSIGN_OR_RETURN(std::vector<double> predicted,
+                               optimizer_->EstimatePerUnitCost(assignment));
+        RecordPrediction(std::move(predicted));
       }
     }
     last_assignment_ = assignment;
+    last_had_previous_ = previous != nullptr;
     DELEX_ASSIGN_OR_RETURN(
         std::vector<Tuple> results,
         engine_->RunSnapshot(current, previous, assignment, stats));
@@ -124,12 +138,35 @@ class EngineSolution : public Solution {
     return last_assignment_.ToString();
   }
 
+  void DescribeRun(obs::RunReportMeta* meta,
+                   obs::OptimizerReport* optimizer) const override {
+    meta->num_threads = options_.num_threads;
+    meta->fast_path_enabled = !options_.disable_page_fast_path;
+    optimizer->has_optimizer = last_had_previous_;
+    if (!last_had_previous_) return;
+    optimizer->unit_matchers.clear();
+    for (MatcherKind kind : last_assignment_.per_unit) {
+      optimizer->unit_matchers.emplace_back(MatcherKindName(kind));
+    }
+    optimizer->predicted_unit_us = last_predicted_unit_us_;
+    optimizer->predicted_total_us = last_predicted_total_us_;
+  }
+
  private:
+  void RecordPrediction(std::vector<double> predicted) {
+    last_predicted_unit_us_ = std::move(predicted);
+    last_predicted_total_us_ = 0;
+    for (double c : last_predicted_unit_us_) last_predicted_total_us_ += c;
+  }
+
   std::string name_;
   DelexSolutionOptions options_;
   std::unique_ptr<DelexEngine> engine_;
   std::unique_ptr<Optimizer> optimizer_;
   MatcherAssignment last_assignment_;
+  std::vector<double> last_predicted_unit_us_;
+  double last_predicted_total_us_ = -1;
+  bool last_had_previous_ = false;
 };
 
 }  // namespace
@@ -167,11 +204,35 @@ std::unique_ptr<Solution> MakeDelexSolution(const ProgramSpec& spec,
   return solution;
 }
 
+namespace {
+
+std::string& StatsJsonPathOverride() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace
+
+void SetStatsJsonPath(const std::string& path) {
+  StatsJsonPathOverride() = path;
+}
+
+std::string StatsJsonPath() {
+  if (!StatsJsonPathOverride().empty()) return StatsJsonPathOverride();
+  const char* env = std::getenv("DELEX_STATS_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 Result<SeriesRun> RunSeries(Solution* solution,
                             const std::vector<Snapshot>& series,
-                            bool keep_results) {
+                            bool keep_results, const std::string& tag) {
   SeriesRun run;
   run.solution = solution->Name();
+  obs::RunReportWriter report;
+  const std::string report_path = StatsJsonPath();
+  if (!report_path.empty()) {
+    DELEX_RETURN_NOT_OK(report.Open(report_path));
+  }
   for (size_t i = 0; i < series.size(); ++i) {
     const Snapshot* previous = i == 0 ? nullptr : &series[i - 1];
     RunStats stats;
@@ -180,12 +241,23 @@ Result<SeriesRun> RunSeries(Solution* solution,
         std::vector<Tuple> results,
         solution->RunSnapshot(series[i], previous, &stats));
     double seconds = watch.ElapsedSeconds();
+    if (report.is_open()) {
+      obs::RunReportMeta meta;
+      meta.solution = solution->Name();
+      meta.tag = tag;
+      meta.snapshot_index = static_cast<int>(i) + 1;
+      meta.warmup = i == 0;
+      obs::OptimizerReport optimizer;
+      solution->DescribeRun(&meta, &optimizer);
+      DELEX_RETURN_NOT_OK(report.Append(meta, stats, optimizer));
+    }
     if (i == 0) continue;  // warm-up snapshot, not reported (as in §8)
     run.seconds.push_back(seconds);
     run.stats.push_back(stats);
     run.assignments.push_back(solution->LastAssignment());
     if (keep_results) run.results.push_back(Canonicalize(std::move(results)));
   }
+  if (report.is_open()) DELEX_RETURN_NOT_OK(report.Close());
   return run;
 }
 

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "delex/run_stats.h"
 #include "harness/programs.h"
+#include "obs/run_report.h"
 #include "storage/snapshot.h"
 
 namespace delex {
@@ -33,6 +34,16 @@ class Solution {
   /// The matcher assignment used by the most recent RunSnapshot, as a
   /// display string ("ST,RU,DN,..."); empty for solutions without plans.
   virtual std::string LastAssignment() const { return ""; }
+
+  /// Fills run-report metadata describing the most recent RunSnapshot:
+  /// execution environment into `meta` (threads, fast path) and, for
+  /// engine-backed solutions, the chosen per-unit matchers plus the cost
+  /// model's predicted µs into `optimizer`. Baselines leave the defaults.
+  virtual void DescribeRun(obs::RunReportMeta* meta,
+                           obs::OptimizerReport* optimizer) const {
+    (void)meta;
+    (void)optimizer;
+  }
 };
 
 /// \brief Re-extracts everything from scratch each snapshot.
@@ -95,9 +106,25 @@ struct SeriesRun {
 /// warm-up (capture only) and is not recorded — matching §8, which plots
 /// consecutive snapshots 2..15. Set `keep_results` for correctness
 /// comparisons.
+///
+/// When a stats-JSON path is configured (SetStatsJsonPath — the
+/// --stats-json flag — or the DELEX_STATS_JSON env var), every snapshot
+/// run, warm-up included, appends one obs::RunReportLine to that file, so
+/// any bench or example built on RunSeries produces machine-readable run
+/// reports for free. `tag` labels the lines (bench/program name).
 Result<SeriesRun> RunSeries(Solution* solution,
                             const std::vector<Snapshot>& series,
-                            bool keep_results = false);
+                            bool keep_results = false,
+                            const std::string& tag = "");
+
+/// \brief Sets the run-report JSONL path programmatically (the
+/// --stats-json flag). Takes precedence over DELEX_STATS_JSON; an empty
+/// string falls back to the env var.
+void SetStatsJsonPath(const std::string& path);
+
+/// \brief The effective run-report path: SetStatsJsonPath if set, else
+/// DELEX_STATS_JSON, else empty (reports disabled).
+std::string StatsJsonPath();
 
 /// \brief Canonical (sorted) form of a result multiset for equality
 /// comparisons across solutions (Theorem 1 checks).

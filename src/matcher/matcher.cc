@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "text/diff.h"
 #include "text/suffix_matcher.h"
 
@@ -39,6 +40,7 @@ class UdMatcher : public Matcher {
                                   std::string_view q_content,
                                   const TextSpan& q_region,
                                   MatchContext* ctx) const override {
+    DELEX_TRACE_SPAN("match_ud", p_region.length(), "matcher");
     std::vector<MatchSegment> segments =
         DiffMatch(RegionText(p_content, p_region), p_region.start,
                   RegionText(q_content, q_region), q_region.start);
@@ -57,6 +59,7 @@ class StMatcher : public Matcher {
                                   std::string_view q_content,
                                   const TextSpan& q_region,
                                   MatchContext* ctx) const override {
+    DELEX_TRACE_SPAN("match_st", p_region.length(), "matcher");
     std::vector<MatchSegment> segments =
         SuffixMatch(RegionText(p_content, p_region), p_region.start,
                     RegionText(q_content, q_region), q_region.start);
@@ -74,6 +77,7 @@ class RuMatcher : public Matcher {
   std::vector<MatchSegment> Match(std::string_view, const TextSpan& p_region,
                                   std::string_view, const TextSpan& q_region,
                                   MatchContext* ctx) const override {
+    DELEX_TRACE_SPAN("match_ru", p_region.length(), "matcher");
     std::vector<MatchSegment> out;
     if (ctx == nullptr) return out;
     for (const MatchContext::Entry& entry : ctx->entries()) {

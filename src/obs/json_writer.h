@@ -1,0 +1,162 @@
+#ifndef DELEX_OBS_JSON_WRITER_H_
+#define DELEX_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace delex {
+namespace obs {
+
+/// Appends `s` to `*out` with JSON string escaping (quotes not included).
+inline void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// \brief Minimal streaming JSON emitter shared by the trace writer, the
+/// run-report writer, and the bench metadata headers.
+///
+/// No DOM, no allocation beyond the output string; the caller drives the
+/// structure (Begin/End must balance — unbalanced use is a programming
+/// error and produces invalid JSON rather than aborting). Non-finite
+/// doubles are emitted as null so the output always parses.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Separate();
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    fresh_.pop_back();
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Separate();
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    fresh_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& Key(std::string_view key) {
+    Separate();
+    out_ += '"';
+    AppendJsonEscaped(key, &out_);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view v) {
+    Separate();
+    out_ += '"';
+    AppendJsonEscaped(v, &out_);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Value(int64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(uint64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(double v) {
+    Separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& Null() {
+    Separate();
+    out_ += "null";
+    return *this;
+  }
+
+  /// Key/value in one call, for flat objects.
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T v) {
+    Key(key);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  /// Emits the separating comma before a sibling element; a value that
+  /// follows its own key never separates.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (fresh_.empty()) return;
+    if (fresh_.back()) {
+      fresh_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;     // per open container: no element emitted yet
+  bool pending_value_ = false;  // a Key was just written
+};
+
+}  // namespace obs
+}  // namespace delex
+
+#endif  // DELEX_OBS_JSON_WRITER_H_

@@ -1,0 +1,154 @@
+#include "obs/run_report.h"
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace delex {
+namespace obs {
+
+namespace {
+
+void WriteIoStats(const char* key, const IoStats& io, JsonWriter* json) {
+  json->Key(key)
+      .BeginObject()
+      .KV("bytes_read", io.bytes_read)
+      .KV("bytes_written", io.bytes_written)
+      .KV("records_read", io.records_read)
+      .KV("records_written", io.records_written)
+      .EndObject();
+}
+
+}  // namespace
+
+std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
+                          const OptimizerReport& optimizer) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema_version", kRunReportSchemaVersion);
+  json.KV("solution", meta.solution);
+  if (!meta.tag.empty()) json.KV("tag", meta.tag);
+  json.KV("snapshot", meta.snapshot_index);
+  json.KV("warmup", meta.warmup);
+  json.KV("threads", meta.num_threads);
+  json.KV("fast_path", meta.fast_path_enabled);
+
+  json.KV("pages", stats.pages);
+  json.KV("pages_with_previous", stats.pages_with_previous);
+  json.KV("pages_identical", stats.pages_identical);
+  json.KV("result_tuples", stats.result_tuples);
+  json.KV("raw_bytes_copied", stats.raw_bytes_copied);
+  json.KV("records_decoded_skipped", stats.records_decoded_skipped);
+
+  const PhaseBreakdown& phases = stats.phases;
+  json.Key("phases")
+      .BeginObject()
+      .KV("match_us", phases.match_us)
+      .KV("extract_us", phases.extract_us)
+      .KV("copy_us", phases.copy_us)
+      .KV("opt_us", phases.opt_us)
+      .KV("capture_us", phases.capture_us)
+      .KV("total_us", phases.total_us)
+      .KV("others_us", phases.OthersUs())
+      .KV("phase_drift_us", phases.phase_drift_us)
+      .EndObject();
+
+  json.Key("io").BeginObject();
+  WriteIoStats("reuse_read", stats.reuse_read_io, &json);
+  WriteIoStats("reuse_write", stats.reuse_write_io, &json);
+  json.EndObject();
+
+  if (optimizer.has_optimizer) {
+    json.Key("optimizer").BeginObject();
+    std::string assignment;
+    for (size_t u = 0; u < optimizer.unit_matchers.size(); ++u) {
+      if (u > 0) assignment += ",";
+      assignment += optimizer.unit_matchers[u];
+    }
+    json.KV("assignment", assignment);
+    json.KV("opt_us", phases.opt_us);
+    if (optimizer.predicted_total_us >= 0) {
+      json.KV("predicted_total_us", optimizer.predicted_total_us);
+    }
+    json.EndObject();
+  }
+
+  json.Key("units").BeginArray();
+  for (size_t u = 0; u < stats.units.size(); ++u) {
+    const UnitRunStats& unit = stats.units[u];
+    json.BeginObject();
+    json.KV("unit", static_cast<int64_t>(u));
+    if (u < optimizer.unit_matchers.size()) {
+      json.KV("matcher", optimizer.unit_matchers[u]);
+    }
+    if (u < optimizer.predicted_unit_us.size()) {
+      json.KV("predicted_us", optimizer.predicted_unit_us[u]);
+    }
+    json.KV("actual_us",
+            unit.match_us + unit.extract_us + unit.copy_us + unit.capture_us);
+    json.KV("match_us", unit.match_us);
+    json.KV("extract_us", unit.extract_us);
+    json.KV("copy_us", unit.copy_us);
+    json.KV("capture_us", unit.capture_us);
+    json.KV("input_tuples", unit.input_tuples);
+    json.KV("output_tuples", unit.output_tuples);
+    json.KV("copied_tuples", unit.copied_tuples);
+    json.KV("extracted_tuples", unit.extracted_tuples);
+    json.KV("matcher_calls", unit.matcher_calls);
+    json.KV("exact_region_hits", unit.exact_region_hits);
+    json.KV("chars_extracted", unit.chars_extracted);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : MetricsRegistry::Global().Snapshot()) {
+    json.KV(name, value);
+  }
+  json.EndObject();
+
+  json.EndObject();
+  return json.TakeString();
+}
+
+RunReportWriter::~RunReportWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RunReportWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("run report writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open run report file " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status RunReportWriter::Append(const RunReportMeta& meta, const RunStats& stats,
+                               const OptimizerReport& optimizer) {
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("run report writer not open");
+  }
+  std::string line = RunReportLine(meta, stats, optimizer);
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IOError("short write to run report file " + path_);
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Status RunReportWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError("close failed for run report file " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace delex

@@ -1,0 +1,102 @@
+#ifndef DELEX_OBS_RUN_REPORT_H_
+#define DELEX_OBS_RUN_REPORT_H_
+
+// Versioned, machine-readable per-snapshot run report (JSONL: one JSON
+// object per line, one line per snapshot run). This is the artifact a
+// regression gate diffs: it snapshots RunStats (per-unit counters and
+// phase timers), IoStats, the optimizer's decisions (chosen matcher per
+// IE unit, predicted cost vs. measured microseconds — the Figure 11/12
+// decomposition from a single file), fast-path hit counters, thread-count
+// metadata, and the process metrics registry.
+//
+// Producers: RunSeries (src/harness) writes a line per snapshot when
+// --stats-json / DELEX_STATS_JSON is set; tests build lines directly.
+//
+// Schema v1 line shape (keys stable; additions bump the version):
+//   {"schema_version":1,"solution":"Delex","snapshot":2,"warmup":false,
+//    "threads":4,"fast_path":true,"tag":"fig11-talk",
+//    "pages":N,"pages_with_previous":N,"pages_identical":N,
+//    "result_tuples":N,"raw_bytes_copied":N,"records_decoded_skipped":N,
+//    "phases":{"match_us":..,"extract_us":..,"copy_us":..,"opt_us":..,
+//              "capture_us":..,"total_us":..,"others_us":..,
+//              "phase_drift_us":..},
+//    "io":{"reuse_read":{"bytes":..,"records":..},
+//          "reuse_write":{"bytes":..,"records":..}},
+//    "optimizer":{"assignment":"ST,RU","opt_us":..,
+//                 "predicted_total_us":..},        // omitted w/o optimizer
+//    "units":[{"unit":0,"matcher":"ST","predicted_us":..,"actual_us":..,
+//              "match_us":..,"extract_us":..,"copy_us":..,"capture_us":..,
+//              "input_tuples":..,"output_tuples":..,"copied_tuples":..,
+//              "extracted_tuples":..,"matcher_calls":..,
+//              "exact_region_hits":..,"chars_extracted":..}],
+//    "counters":{"engine.fast_path.demote_result_cache":0,...}}
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delex/run_stats.h"
+
+namespace delex {
+namespace obs {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// \brief Run identity and execution-environment metadata for one line.
+struct RunReportMeta {
+  std::string solution;    ///< "Delex", "Cyclex", "No-reuse", ...
+  std::string tag;         ///< free-form context (bench/program name)
+  int snapshot_index = 0;  ///< 1-based position in the series
+  bool warmup = false;     ///< first snapshot: capture only, no reuse
+  int num_threads = 1;     ///< engine worker threads (0 = hardware)
+  bool fast_path_enabled = true;
+};
+
+/// \brief The optimizer's decisions for one run, when a plan was chosen.
+struct OptimizerReport {
+  bool has_optimizer = false;  ///< engine-backed solution (plan exists)
+  /// Assigned matcher name per IE unit ("DN"/"UD"/"ST"/"RU").
+  std::vector<std::string> unit_matchers;
+  /// Cost-model estimate per unit (µs), aligned with unit_matchers;
+  /// empty when no statistics were available (warm-up, forced plans).
+  std::vector<double> predicted_unit_us;
+  /// Cost-model estimate for the whole plan (µs); < 0 when unavailable.
+  double predicted_total_us = -1;
+};
+
+/// \brief Builds one JSONL line (no trailing newline).
+std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
+                          const OptimizerReport& optimizer);
+
+/// \brief Appends run-report lines to a JSONL file.
+class RunReportWriter {
+ public:
+  RunReportWriter() = default;
+  ~RunReportWriter();
+
+  RunReportWriter(const RunReportWriter&) = delete;
+  RunReportWriter& operator=(const RunReportWriter&) = delete;
+
+  /// Opens `path` for appending (created if absent) — append so several
+  /// solutions and series in one process share a report file.
+  Status Open(const std::string& path);
+
+  Status Append(const RunReportMeta& meta, const RunStats& stats,
+                const OptimizerReport& optimizer);
+
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace obs
+}  // namespace delex
+
+#endif  // DELEX_OBS_RUN_REPORT_H_

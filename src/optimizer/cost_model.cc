@@ -92,23 +92,31 @@ MatcherKind ResolveRuSource(const CostModelStats& stats,
 
 }  // namespace
 
-double EstimatePlanCost(const CostModelStats& stats,
-                        const ChainStructure& chains,
-                        const MatcherAssignment& assignment) {
+std::vector<double> EstimatePlanUnitCosts(const CostModelStats& stats,
+                                          const ChainStructure& chains,
+                                          const MatcherAssignment& assignment) {
   DELEX_CHECK_EQ(assignment.per_unit.size(), stats.units.size());
-  double total = 0;
+  std::vector<double> costs(stats.units.size(), 0.0);
   for (size_t u = 0; u < stats.units.size(); ++u) {
     MatcherKind kind = assignment.per_unit[u];
     if (kind == MatcherKind::kRU) {
       MatcherKind source =
           ResolveRuSource(stats, chains, assignment, static_cast<int>(u));
-      total += EstimateUnitCost(stats, static_cast<int>(u), source,
-                                /*ru_priced=*/true);
+      costs[u] = EstimateUnitCost(stats, static_cast<int>(u), source,
+                                  /*ru_priced=*/true);
     } else {
-      total += EstimateUnitCost(stats, static_cast<int>(u), kind,
-                                /*ru_priced=*/false);
+      costs[u] = EstimateUnitCost(stats, static_cast<int>(u), kind,
+                                  /*ru_priced=*/false);
     }
   }
+  return costs;
+}
+
+double EstimatePlanCost(const CostModelStats& stats,
+                        const ChainStructure& chains,
+                        const MatcherAssignment& assignment) {
+  double total = 0;
+  for (double c : EstimatePlanUnitCosts(stats, chains, assignment)) total += c;
   return total;
 }
 

@@ -83,7 +83,15 @@ struct ChainStructure {
 double EstimateUnitCost(const CostModelStats& stats, int u,
                         MatcherKind effective, bool ru_priced);
 
-/// \brief Estimated cost (µs) of a full matcher assignment.
+/// \brief Estimated cost (µs) of each unit under a full matcher assignment
+/// (index-aligned with `assignment.per_unit`). RU resolution as in
+/// EstimatePlanCost. Feeds the run report's predicted-vs-actual columns.
+std::vector<double> EstimatePlanUnitCosts(const CostModelStats& stats,
+                                          const ChainStructure& chains,
+                                          const MatcherAssignment& assignment);
+
+/// \brief Estimated cost (µs) of a full matcher assignment — the sum of
+/// EstimatePlanUnitCosts.
 ///
 /// Each RU unit is priced as its resolved source's selectivity at RU's
 /// near-zero matching cost; an RU with no ST/UD source below it in its

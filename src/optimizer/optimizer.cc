@@ -1,5 +1,7 @@
 #include "optimizer/optimizer.h"
 
+#include "obs/trace.h"
+
 namespace delex {
 
 Optimizer::Optimizer(xlog::PlanNodePtr plan, const UnitAnalysis& analysis,
@@ -12,6 +14,7 @@ Optimizer::Optimizer(xlog::PlanNodePtr plan, const UnitAnalysis& analysis,
 Status Optimizer::ObserveSnapshotPair(const Snapshot& current,
                                       const Snapshot& previous,
                                       uint64_t seed) {
+  DELEX_TRACE_SPAN("opt_observe_pair", static_cast<int64_t>(seed), "optimizer");
   DELEX_ASSIGN_OR_RETURN(
       CostModelStats stats,
       CollectStats(plan_, analysis_, current, previous, options_.collector,
@@ -33,9 +36,16 @@ Result<CostModelStats> Optimizer::Averaged() {
 }
 
 Result<MatcherAssignment> Optimizer::ChooseAssignment(double* estimated_cost) {
+  DELEX_TRACE_SPAN("opt_choose_assignment", obs::kTraceNoArg, "optimizer");
   DELEX_RETURN_NOT_OK(Averaged().status());
   PlanSearch search(averaged_, chains_);
   return search.Greedy(estimated_cost);
+}
+
+Result<std::vector<double>> Optimizer::EstimatePerUnitCost(
+    const MatcherAssignment& assignment) {
+  DELEX_RETURN_NOT_OK(Averaged().status());
+  return EstimatePlanUnitCosts(averaged_, chains_, assignment);
 }
 
 Result<double> Optimizer::EstimateCost(const MatcherAssignment& assignment) {

@@ -37,6 +37,11 @@ class Optimizer {
   /// Cost of an arbitrary assignment under the current statistics.
   Result<double> EstimateCost(const MatcherAssignment& assignment);
 
+  /// Predicted per-unit cost (µs, index-aligned with the assignment) under
+  /// the current statistics — the run report's predicted column.
+  Result<std::vector<double>> EstimatePerUnitCost(
+      const MatcherAssignment& assignment);
+
   /// All 4^n plans (Fig 12); requires few units.
   std::vector<MatcherAssignment> EnumerateAllPlans() const;
 

@@ -1,5 +1,7 @@
 #include "storage/result_cache.h"
 
+#include "obs/trace.h"
+
 namespace delex {
 
 namespace {
@@ -34,6 +36,7 @@ Status ResultCacheWriter::Open(const std::string& path) {
 
 Status ResultCacheWriter::CommitPage(int64_t did,
                                      const std::vector<Tuple>& rows_with_did) {
+  DELEX_TRACE_SPAN("result_commit_page", did, "io");
   scratch_.clear();
   PutFixed(static_cast<uint64_t>(did), &scratch_);
   PutFixed(rows_with_did.size(), &scratch_);
@@ -54,6 +57,7 @@ Status ResultCacheWriter::CommitPage(int64_t did,
 
 Status ResultCacheWriter::CommitPageRaw(int64_t did,
                                         const ResultPageSlice& raw) {
+  DELEX_TRACE_SPAN("result_commit_page_raw", did, "io");
   scratch_.clear();
   PutFixed(static_cast<uint64_t>(did), &scratch_);
   PutFixed(static_cast<uint64_t>(raw.n_rows), &scratch_);
@@ -75,6 +79,7 @@ Status ResultCacheReader::Open(const std::string& path) {
 
 Status ResultCacheReader::ReadPage(int64_t did, ResultPageSlice* slice,
                                    bool* found) {
+  DELEX_TRACE_SPAN("result_read_page", did, "io");
   *found = false;
   slice->bytes.clear();
   slice->n_rows = 0;

@@ -1,5 +1,7 @@
 #include "storage/reuse_file.h"
 
+#include "obs/trace.h"
+
 namespace delex {
 
 namespace {
@@ -129,6 +131,7 @@ Status UnitReuseWriter::Open(const std::string& path_prefix) {
 
 Status UnitReuseWriter::CommitPage(int64_t did, uint64_t page_digest,
                                    const PageCapture& capture) {
+  DELEX_TRACE_SPAN("reuse_commit_page", did, "io");
   PageIndexEntry entry;
   entry.did = did;
   entry.page_digest = page_digest;
@@ -174,6 +177,7 @@ Status UnitReuseWriter::CommitPage(int64_t did, uint64_t page_digest,
 }
 
 Status UnitReuseWriter::CommitPageRaw(int64_t did, const RawPageSlice& raw) {
+  DELEX_TRACE_SPAN("reuse_commit_page_raw", did, "io");
   PageIndexEntry entry;
   entry.did = did;
   entry.page_digest = raw.page_digest;
@@ -316,6 +320,7 @@ Status UnitReuseReader::AdvanceTo(PageCursor* cursor, int64_t did,
 Status UnitReuseReader::SeekPage(int64_t did,
                                  std::vector<InputTupleRec>* inputs,
                                  std::vector<OutputTupleRec>* outputs) {
+  DELEX_TRACE_SPAN("reuse_seek_page", did, "io");
   inputs->clear();
   outputs->clear();
 
@@ -355,6 +360,7 @@ Status UnitReuseReader::SeekPage(int64_t did,
 Status UnitReuseReader::ReadPageRaw(int64_t did, uint64_t expected_digest,
                                     RawPageSlice* slice, bool* found,
                                     bool* index_valid) {
+  DELEX_TRACE_SPAN("reuse_read_page_raw", did, "io");
   *found = false;
   *index_valid = false;
   slice->page_digest = 0;
