@@ -33,6 +33,7 @@
 #include "harness/experiment.h"
 #include "harness/programs.h"
 #include "harness/table.h"
+#include "obs/export.h"
 #include "obs/json_writer.h"
 #include "obs/trace.h"
 
@@ -115,6 +116,7 @@ inline void BenchInit(int& argc, char** argv, bool print_meta_line = true) {
   }
   argc = out;
   obs::MaybeStartTraceFromEnv();
+  obs::MaybeStartExportersFromEnv();
   if (print_meta_line) {
     std::printf("{\"bench_meta\": %s}\n\n", MetaJson().c_str());
   }

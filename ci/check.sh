@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # CI gate: Release build + full ctest + a quick identical-fraction bench
-# smoke, an AddressSanitizer build + full ctest (the memory gate for the
-# raw byte-passthrough in the reuse files), then a ThreadSanitizer build +
+# smoke, a traced observability smoke, a live /metrics + /healthz scrape
+# validated against the Prometheus text format, a perf-regression gate
+# over the committed bench baselines (bench/baselines/, compared by
+# ci/bench_compare.py; DELEX_BENCH_BASELINE_UPDATE=1 re-baselines), an
+# AddressSanitizer build + full ctest (the memory gate for the raw
+# byte-passthrough in the reuse files), then a ThreadSanitizer build +
 # full ctest. TSan is the race gate for the parallel page pipeline — a
 # clean parallel_engine_test under TSan is a hard requirement for any
 # change to src/delex or src/common/thread_pool.h.
@@ -72,6 +76,143 @@ assert delex_lines > 0, "no non-warm-up Delex report lines"
 print(f"traced smoke OK: {delex_lines} Delex report lines")
 EOF
   rm -rf "${obs_tmp}"
+
+  # Metrics exposition smoke: run the portal with the stats server and the
+  # periodic snapshot writer on, scrape /metrics and /healthz live with
+  # curl, and validate the scrape against the Prometheus text-format
+  # grammar (every line; cumulative monotone buckets; +Inf == _count).
+  # DELEX_METRICS_LINGER_MS keeps the server up after the run finishes so
+  # the scrape can never lose the race against a fast portal.
+  echo "=== Release: metrics exposition smoke ==="
+  metrics_tmp="$(mktemp -d)"
+  metrics_port=19464
+  DELEX_METRICS_PORT="${metrics_port}" \
+    DELEX_METRICS_LINGER_MS=8000 \
+    DELEX_METRICS_SNAPSHOT_MS=200 \
+    DELEX_METRICS_SNAPSHOT_PATH="${metrics_tmp}/metrics.jsonl" \
+    ./build-release/examples/dblife_portal 8 3 >/dev/null &
+  portal_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:${metrics_port}/healthz" \
+        >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  curl -fsS "http://127.0.0.1:${metrics_port}/healthz" | grep -q '^ok$'
+  # The engine registers its histograms lazily: keep scraping until the
+  # page-eval series shows up (the linger window keeps the server alive
+  # even after a fast portal run finishes).
+  for _ in $(seq 1 300); do
+    if curl -fsS "http://127.0.0.1:${metrics_port}/metrics" \
+        -o "${metrics_tmp}/metrics.prom" 2>/dev/null \
+        && grep -q "page_eval" "${metrics_tmp}/metrics.prom"; then
+      break
+    fi
+    sleep 0.1
+  done
+  if curl -fsS "http://127.0.0.1:${metrics_port}/no-such" \
+      >/dev/null 2>&1; then
+    echo "FAIL: stats server did not 404 an unknown path" >&2
+    exit 1
+  fi
+  wait "${portal_pid}"
+  python3 - "${metrics_tmp}/metrics.prom" <<'EOF'
+import re, sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+SAMPLE = re.compile(
+    r"^(" + NAME + r")(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})? "
+    r"(-?[0-9.eE+-]+|\+Inf)$")
+LE = re.compile(r'le="([^"]+)"')
+
+types = {}
+buckets = {}   # family -> list of (le, cumulative) in exposition order
+counts = {}
+samples = 0
+with open(sys.argv[1]) as f:
+    for raw in f:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            assert len(parts) >= 3 and parts[1] in ("HELP", "TYPE"), line
+            if parts[1] == "TYPE":
+                assert parts[3] in ("counter", "gauge", "histogram"), line
+                types[parts[2]] = parts[3]
+            continue
+        m = SAMPLE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        samples += 1
+        name = m.group(1)
+        family = name
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        assert family in types, f"sample without TYPE: {line!r}"
+        if name.endswith("_bucket"):
+            le = LE.search(m.group(2) or "")
+            assert le, f"bucket without le label: {line!r}"
+            bound = float("inf") if le.group(1) == "+Inf" else float(le.group(1))
+            buckets.setdefault(family, []).append((bound, float(m.group(4))))
+        elif name.endswith("_count") and types.get(family) == "histogram":
+            counts[family] = float(m.group(4))
+for family, rows in buckets.items():
+    for (le1, c1), (le2, c2) in zip(rows, rows[1:]):
+        assert le2 > le1 and c2 >= c1, f"non-monotone buckets in {family}"
+    assert rows[-1][0] == float("inf"), f"missing +Inf bucket in {family}"
+    assert rows[-1][1] == counts.get(family), f"+Inf != _count in {family}"
+assert samples > 0 and buckets, "empty or histogram-free exposition"
+assert any("page_eval" in f for f in buckets), "engine histograms missing"
+print(f"metrics smoke OK: {samples} samples, {len(buckets)} histograms")
+EOF
+  python3 - "${metrics_tmp}/metrics.jsonl" <<'EOF'
+import json, sys
+
+lines = 0
+with open(sys.argv[1]) as f:
+    for raw in f:
+        snap = json.loads(raw)
+        assert "uptime_ms" in snap and "counters" in snap, "bad snapshot"
+        assert "histograms" in snap, "snapshot without histograms"
+        lines += 1
+assert lines > 0, "snapshot writer produced no lines"
+print(f"snapshot writer OK: {lines} lines")
+EOF
+  rm -rf "${metrics_tmp}"
+
+  # Perf-regression gate: re-run the three gated benches at the pinned
+  # quick scale and compare against the committed baselines; the median
+  # per-metric slowdown must stay within 15%. Re-baseline intentional perf
+  # changes with DELEX_BENCH_BASELINE_UPDATE=1 ci/check.sh.
+  echo "=== Release: bench baseline gate ==="
+  bench_tmp="$(mktemp -d)"
+  bench_env=(DELEX_PAGES_DBLIFE=24 DELEX_PAGES_WIKI=24 DELEX_SNAPSHOTS=3
+             DELEX_BENCH_REPS=2 DELEX_THREADS=1)
+  env "${bench_env[@]}" ./build-release/bench/bench_identical_fraction \
+    > "${bench_tmp}/identical_fraction.json"
+  env "${bench_env[@]}" ./build-release/bench/bench_parallel_scaling \
+    > "${bench_tmp}/parallel_scaling.json"
+  env "${bench_env[@]}" ./build-release/bench/bench_matchers_micro \
+    --benchmark_format=json --benchmark_min_time=0.05 \
+    > "${bench_tmp}/matchers_micro.json" 2>/dev/null
+  for bench in identical_fraction parallel_scaling matchers_micro; do
+    python3 ci/bench_compare.py "bench/baselines/${bench}.json" \
+      "${bench_tmp}/${bench}.json"
+  done
+  if [[ "${DELEX_BENCH_BASELINE_UPDATE:-0}" == "0" ]]; then
+    # Self-test: the gate must actually fire on a synthetic 2x slowdown.
+    if python3 ci/bench_compare.py bench/baselines/identical_fraction.json \
+        "${bench_tmp}/identical_fraction.json" --inject-slowdown 2.0 \
+        >/dev/null; then
+      echo "FAIL: bench gate did not fire on injected 2x slowdown" >&2
+      exit 1
+    fi
+    echo "bench gate self-test OK: injected 2x slowdown rejected"
+  fi
+  rm -rf "${bench_tmp}"
 
   # ASan guards the raw record passthrough (framed-byte copies, sidecar
   # index offsets) against out-of-bounds reads and leaks.

@@ -7,8 +7,9 @@
 //   ./dblife_portal [pages] [days]
 //
 // Honors DELEX_THREADS for the engine-backed solutions, and the
-// observability knobs (DELEX_TRACE, DELEX_STATS_JSON, DELEX_LOG_LEVEL) —
-// the CI traced-smoke leg drives this binary.
+// observability knobs (DELEX_TRACE, DELEX_STATS_JSON, DELEX_LOG_LEVEL,
+// DELEX_METRICS_PORT, DELEX_METRICS_SNAPSHOT_MS) — the CI traced-smoke
+// and metrics-scrape legs drive this binary.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,12 +18,17 @@
 #include "harness/experiment.h"
 #include "harness/programs.h"
 #include "harness/table.h"
+#include "obs/export.h"
 
 using namespace delex;
 
 int main(int argc, char** argv) {
   int pages = argc > 1 ? std::atoi(argv[1]) : 120;
   int days = argc > 2 ? std::atoi(argv[2]) : 5;
+  // A long-running portal is exactly what the stats server exists for:
+  // DELEX_METRICS_PORT / DELEX_METRICS_SNAPSHOT_MS make this process
+  // scrapeable before the first engine even initializes.
+  obs::MaybeStartExportersFromEnv();
   const char* threads_env = std::getenv("DELEX_THREADS");
   int threads = threads_env != nullptr ? std::atoi(threads_env) : 1;
 

@@ -31,6 +31,9 @@ namespace internal {
   // always reach the sink, even at DELEX_LOG_LEVEL=off.
   ::delex::obs::log_internal::EmitLogLine(::delex::obs::LogLevel::kERROR,
                                           file, line, full);
+  // Flush buffering observability sinks (trace ring buffers, metrics
+  // snapshots) so the crash itself is captured.
+  ::delex::obs::log_internal::RunCrashFlushHooks();
   std::abort();
 }
 

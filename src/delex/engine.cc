@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "delex/region_derivation.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -37,6 +38,41 @@ obs::Counter* DecodeCopyGroupCounter() {
   static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
       "engine.fast_path.decode_copy_groups");
   return counter;
+}
+
+/// Process-wide latency series (observability layer 2). Hot per-sample
+/// recording goes into the per-page RunStats shards; these registry
+/// histograms take one bulk MergeFrom per run (plus per-page samples for
+/// the two pipeline-stage timers below). All pointers are resolved once —
+/// GetHistogram takes a mutex-guarded map lookup.
+obs::Histogram* PageEvalHistogram() {
+  static obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("engine.page_eval_us");
+  return hist;
+}
+obs::Histogram* ExtractHistogram() {
+  static obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("engine.extract_us");
+  return hist;
+}
+obs::Histogram* PrefetchIoHistogram() {
+  static obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("io.prefetch_us");
+  return hist;
+}
+obs::Histogram* CommitIoHistogram() {
+  static obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("io.commit_us");
+  return hist;
+}
+obs::Histogram* MatchHistogram(MatcherKind kind) {
+  static obs::Histogram* const hists[kNumMatcherKinds] = {
+      obs::MetricsRegistry::Global().GetHistogram("matcher.dn.match_us"),
+      obs::MetricsRegistry::Global().GetHistogram("matcher.ud.match_us"),
+      obs::MetricsRegistry::Global().GetHistogram("matcher.st.match_us"),
+      obs::MetricsRegistry::Global().GetHistogram("matcher.ru.match_us"),
+  };
+  return hists[static_cast<size_t>(kind)];
 }
 
 }  // namespace
@@ -124,6 +160,9 @@ Status DelexEngine::Init() {
   // DELEX_TRACE works for any engine-embedding binary (examples, tests)
   // without per-main wiring; a no-op if a session is already recording.
   obs::MaybeStartTraceFromEnv();
+  // Same deal for the metrics exposition knobs (DELEX_METRICS_PORT,
+  // DELEX_METRICS_SNAPSHOT_MS): any engine-embedding binary is scrapeable.
+  obs::MaybeStartExportersFromEnv();
   DELEX_LOG(INFO) << "engine initialized: " << analysis_.units.size()
                   << " IE units, work_dir=" << options_.work_dir;
   initialized_ = true;
@@ -177,6 +216,8 @@ Status DelexEngine::PrefetchPageReuse(int64_t q_did,
 
 Status DelexEngine::PrefetchSlot(PageSlot* slot) {
   DELEX_TRACE_SPAN("prefetch_page", slot->page->did);
+  // Reuse + result-cache read latency for this page (reader stage).
+  obs::ScopedLatencyTimer io_timer(nullptr, PrefetchIoHistogram());
   const size_t num_units = analysis_.units.size();
   if (slot->identical) {
     // Result rows first: without them the page must fully evaluate, and
@@ -192,6 +233,7 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
     }
     if (!found) {
       DemoteResultCacheCounter()->Increment();
+      ++slot->stats.fast_path_demote_result_cache;
       DELEX_LOG(DEBUG) << "fast path demoted (result cache miss) did="
                        << slot->page->did;
       slot->identical = false;
@@ -212,6 +254,7 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
         // step with the corpus). Demote to full evaluation; units whose
         // groups were already consumed above simply extract from scratch.
         DemoteMissingGroupCounter()->Increment();
+        ++slot->stats.fast_path_demote_missing_group;
         DELEX_LOG(DEBUG) << "fast path demoted (missing reuse group) did="
                          << slot->page->did << " unit=" << u;
         slot->identical = false;
@@ -228,6 +271,7 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
         // — but its records decode fine, and an identical page's capture
         // IS its old records.
         DecodeCopyGroupCounter()->Increment();
+        ++slot->stats.fast_path_decode_copy_groups;
         DELEX_RETURN_NOT_OK(
             CaptureFromRawSlice(slot->raw_slices[u], &slot->captures[u]));
       }
@@ -242,6 +286,9 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
 Result<std::vector<Tuple>> DelexEngine::EvalPage(PageContext* page_ctx) const {
   const Page& page = *page_ctx->page;
   DELEX_TRACE_SPAN("eval_page", page.did);
+  // Whole-page eval latency into this page's single-writer shard; the
+  // run merges shards into the engine.page_eval_us registry histogram.
+  obs::ScopedLatencyTimer eval_timer(&page_ctx->stats->page_eval_hist);
   DELEX_ASSIGN_OR_RETURN(std::vector<Tuple> page_rows,
                          EvalNode(*plan_, page_ctx));
   std::vector<Tuple> rows;
@@ -259,6 +306,8 @@ Result<std::vector<Tuple>> DelexEngine::EvalPage(PageContext* page_ctx) const {
 Status DelexEngine::CommitPage(PageSlot* slot) {
   const int64_t did = slot->page->did;
   DELEX_TRACE_SPAN("commit_page", did);
+  // Reuse + result-cache write latency for this page (write-back stage).
+  obs::ScopedLatencyTimer io_timer(nullptr, CommitIoHistogram());
   for (size_t u = 0; u < writers_.size(); ++u) {
     ScopedTimer capture_timer(&slot->stats.units[u].capture_us);
     if (slot->identical && slot->raw_valid[u] != 0) {
@@ -541,6 +590,21 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   // shards) can legitimately sum past the single wall clock; record the
   // overshoot instead of silently clamping it away in OthersUs().
   out_stats->phases.FinalizeDrift();
+  // Fold this run's merged latency shards into the process-wide registry
+  // histograms — one bulk add per run, nothing on the per-sample path.
+  if (obs::HistogramsEnabled()) {
+    PageEvalHistogram()->MergeFrom(out_stats->page_eval_hist);
+    for (MatcherKind kind : kAllMatcherKinds) {
+      MatchHistogram(kind)->MergeFrom(
+          out_stats->match_hist[static_cast<size_t>(kind)]);
+    }
+    for (const UnitRunStats& u : out_stats->units) {
+      ExtractHistogram()->MergeFrom(u.extract_hist);
+    }
+  }
+  static obs::Gauge* generation_gauge =
+      obs::MetricsRegistry::Global().GetGauge("engine.generation");
+  generation_gauge->Set(generation_);
   DELEX_LOG(INFO) << "snapshot run done: gen=" << generation_
                   << " pages=" << out_stats->pages
                   << " identical=" << out_stats->pages_identical
@@ -839,11 +903,16 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
             candidates.push_back(&old_inputs[static_cast<size_t>(idx)]);
           }
         }
+        obs::LocalHistogram& match_hist =
+            page_ctx->stats->match_hist[static_cast<size_t>(matcher_kind)];
         for (const InputTupleRec* old : candidates) {
           ++ustats.matcher_calls;
-          std::vector<MatchSegment> found =
-              matcher.Match(page.content, region, q_page->content, old->region,
-                            &page_ctx->match_ctx);
+          std::vector<MatchSegment> found;
+          {
+            obs::ScopedLatencyTimer match_latency(&match_hist);
+            found = matcher.Match(page.content, region, q_page->content,
+                                  old->region, &page_ctx->match_ctx);
+          }
           for (const MatchSegment& seg : found) {
             segments.push_back({seg, old->region, old->tid});
           }
@@ -890,8 +959,12 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
             std::string_view(page.content)
                 .substr(static_cast<size_t>(sub.start),
                         static_cast<size_t>(sub.length()));
-        std::vector<Tuple> extracted =
-            extractor.Extract(sub_text, sub.start, context);
+        std::vector<Tuple> extracted;
+        {
+          // One latency sample per blackbox invocation.
+          obs::ScopedLatencyTimer extract_latency(&ustats.extract_hist);
+          extracted = extractor.Extract(sub_text, sub.start, context);
+        }
         for (Tuple& o : extracted) {
           TextSpan envelope = SpanEnvelope(o);
           if (envelope.empty() && HasSpan(o)) continue;  // degenerate

@@ -1,11 +1,13 @@
 #ifndef DELEX_DELEX_RUN_STATS_H_
 #define DELEX_DELEX_RUN_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "matcher/matcher.h"
+#include "obs/histogram.h"
 #include "storage/io_stats.h"
 
 namespace delex {
@@ -92,6 +94,10 @@ struct UnitRunStats {
   int64_t copy_us = 0;
   int64_t capture_us = 0;  ///< reuse-record buffering + ordered write-back
 
+  /// Per-blackbox-invocation extract latency (one sample per
+  /// extractor.Extract call) — extract_us only gives the sum.
+  obs::LocalHistogram extract_hist;
+
   UnitRunStats& operator+=(const UnitRunStats& other) {
     input_tuples += other.input_tuples;
     output_tuples += other.output_tuples;
@@ -104,6 +110,7 @@ struct UnitRunStats {
     extract_us += other.extract_us;
     copy_us += other.copy_us;
     capture_us += other.capture_us;
+    extract_hist.MergeFrom(other.extract_hist);
     return *this;
   }
 };
@@ -129,6 +136,22 @@ struct RunStats {
   /// relocated without ever decoding them.
   int64_t records_decoded_skipped = 0;
 
+  /// Fast-path degradations this run (the global metrics counters track
+  /// the same events process-wide; these are the per-run view the run
+  /// report emits). Demotions fall back from the whole-page fast path to
+  /// a normal EvalPage; decode_copy_groups counts group-index rebuilds.
+  int64_t fast_path_demote_result_cache = 0;
+  int64_t fast_path_demote_missing_group = 0;
+  int64_t fast_path_decode_copy_groups = 0;
+
+  /// Latency distributions, observability layer 2. Each per-page shard
+  /// records into its own histograms (single writer, lock-free); the
+  /// MergeFrom below folds them. Gated on obs::HistogramsEnabled().
+  obs::LocalHistogram page_eval_hist;  ///< one sample per EvalPage call
+  /// One sample per Matcher::Match call, indexed by MatcherKind (DN never
+  /// calls Match, so its slot stays empty).
+  std::array<obs::LocalHistogram, kNumMatcherKinds> match_hist;
+
   /// Folds a per-page shard into this run's stats (unit counters summed
   /// element-wise; `units` grows to cover the shard). Phase totals are
   /// *not* touched — the engine derives them from the merged unit shards
@@ -144,6 +167,13 @@ struct RunStats {
     pages_identical += other.pages_identical;
     raw_bytes_copied += other.raw_bytes_copied;
     records_decoded_skipped += other.records_decoded_skipped;
+    fast_path_demote_result_cache += other.fast_path_demote_result_cache;
+    fast_path_demote_missing_group += other.fast_path_demote_missing_group;
+    fast_path_decode_copy_groups += other.fast_path_decode_copy_groups;
+    page_eval_hist.MergeFrom(other.page_eval_hist);
+    for (size_t k = 0; k < match_hist.size(); ++k) {
+      match_hist[k].MergeFrom(other.match_hist[k]);
+    }
   }
 };
 

@@ -247,6 +247,7 @@ Result<SeriesRun> RunSeries(Solution* solution,
       meta.tag = tag;
       meta.snapshot_index = static_cast<int>(i) + 1;
       meta.warmup = i == 0;
+      meta.histograms_enabled = obs::HistogramsEnabled();
       obs::OptimizerReport optimizer;
       solution->DescribeRun(&meta, &optimizer);
       DELEX_RETURN_NOT_OK(report.Append(meta, stats, optimizer));

@@ -80,6 +80,11 @@ const Matcher& GetMatcher(MatcherKind kind);
 inline constexpr MatcherKind kAllMatcherKinds[] = {
     MatcherKind::kDN, MatcherKind::kUD, MatcherKind::kST, MatcherKind::kRU};
 
+/// Number of matcher kinds — sizes per-kind stat arrays (latency
+/// histograms index them by static_cast<size_t>(kind)).
+inline constexpr size_t kNumMatcherKinds =
+    sizeof(kAllMatcherKinds) / sizeof(kAllMatcherKinds[0]);
+
 }  // namespace delex
 
 #endif  // DELEX_MATCHER_MATCHER_H_

@@ -1,0 +1,411 @@
+#include "obs/export.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json_writer.h"
+#include "obs/log.h"
+
+namespace delex {
+namespace obs {
+
+namespace {
+
+// Coarse microsecond ladder for the Prometheus `le` buckets. The fine
+// 592-bucket scheme stays internal; scrapes get a stable, human-sized
+// view. CumulativeLE only counts fine buckets wholly below each bound, so
+// the series is monotone and the +Inf bucket equals _count exactly.
+constexpr int64_t kPrometheusBucketBoundsUs[] = {
+    1,      2,      5,       10,      25,      50,      100,
+    250,    500,    1000,    2500,    5000,    10000,   25000,
+    50000,  100000, 250000,  500000,  1000000, 2500000, 10000000,
+};
+
+/// Metric-name sanitizer: [a-zA-Z0-9_] pass through, everything else
+/// (the registry's dots) becomes '_'; a "delex_" prefix namespaces the
+/// exposition.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "delex_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+int64_t UptimeMs() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + "_total Delex counter " + name + "\n";
+    out += "# TYPE " + prom + "_total counter\n";
+    out += prom + "_total ";
+    AppendInt(&out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + " Delex gauge " + name + "\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + ' ';
+    AppendInt(&out, value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + " Delex latency histogram " + name +
+           " (microseconds)\n";
+    out += "# TYPE " + prom + " histogram\n";
+    for (int64_t bound : kPrometheusBucketBoundsUs) {
+      out += prom + "_bucket{le=\"";
+      AppendInt(&out, bound);
+      out += "\"} ";
+      AppendInt(&out, hist.CumulativeLE(bound));
+      out += '\n';
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    AppendInt(&out, hist.count());
+    out += '\n';
+    out += prom + "_sum ";
+    AppendInt(&out, hist.sum());
+    out += '\n';
+    out += prom + "_count ";
+    AppendInt(&out, hist.count());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string PrometheusText() {
+  return PrometheusText(MetricsRegistry::Global().FullSnapshot());
+}
+
+std::string MetricsSnapshotJsonLine() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().FullSnapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("uptime_ms", UptimeMs());
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) json.KV(name, value);
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) json.KV(name, value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json.Key(name)
+        .BeginObject()
+        .KV("count", hist.count())
+        .KV("sum", hist.sum())
+        .KV("max", hist.max())
+        .KV("p50", hist.Percentile(50))
+        .KV("p90", hist.Percentile(90))
+        .KV("p99", hist.Percentile(99))
+        .EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+// ---- MetricsSnapshotWriter ---------------------------------------------
+
+MetricsSnapshotWriter& MetricsSnapshotWriter::Global() {
+  static MetricsSnapshotWriter* writer = new MetricsSnapshotWriter();
+  return *writer;
+}
+
+Status MetricsSnapshotWriter::Start(const std::string& path, int interval_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::InvalidArgument("metrics snapshot writer already running");
+    }
+    if (path.empty() || interval_ms <= 0) {
+      return Status::InvalidArgument("bad snapshot path or interval");
+    }
+    path_ = path;
+    interval_ms_ = interval_ms;
+    stop_requested_ = false;
+    running_ = true;
+  }
+  // Crash-flush: a DELEX_CHECK failure appends one final snapshot so the
+  // registry state at the moment of death is on disk.
+  RegisterCrashFlushHook(
+      [] { (void)MetricsSnapshotWriter::Global().WriteNow(); });
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_requested_) {
+      lock.unlock();
+      Status st = WriteNow();
+      if (!st.ok()) {
+        DELEX_LOG(WARN) << "metrics snapshot: " << st.ToString();
+      }
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_requested_; });
+    }
+  });
+  return Status::OK();
+}
+
+Status MetricsSnapshotWriter::WriteNow() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty()) {
+      return Status::InvalidArgument("metrics snapshot writer never started");
+    }
+    path = path_;
+  }
+  std::string line = MetricsSnapshotJsonLine();
+  line += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics snapshot file " + path);
+  }
+  size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+  if (written != line.size()) {
+    return Status::IOError("short write to metrics snapshot file " + path);
+  }
+  return Status::OK();
+}
+
+void MetricsSnapshotWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool MetricsSnapshotWriter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+// ---- StatsServer -------------------------------------------------------
+
+StatsServer& StatsServer::Global() {
+  static StatsServer* server = new StatsServer();
+  return *server;
+}
+
+Status StatsServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::InvalidArgument("stats server already running on port " +
+                                   std::to_string(port_));
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad stats server port");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("stats server: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // operational, not public
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("stats server: cannot bind 127.0.0.1:" +
+                           std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::IOError("stats server: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::IOError("stats server: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stop_requested_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread([this] { Serve(); });
+  MetricsRegistry::Global().GetGauge("export.stats_server_port")->Set(port_);
+  DELEX_LOG(INFO) << "stats server listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void StatsServer::Serve() {
+  for (;;) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      if (client >= 0) ::close(client);
+      return;
+    }
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down or broken
+    }
+    // Bounded read: only the request line matters, and a stalled client
+    // must not wedge the accept loop.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[2048];
+    ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string target;
+    if (n > 0) {
+      buf[n] = '\0';
+      // "GET <target> HTTP/1.x" — anything else falls through to 404.
+      if (std::strncmp(buf, "GET ", 4) == 0) {
+        const char* start = buf + 4;
+        const char* end = std::strchr(start, ' ');
+        if (end != nullptr) target.assign(start, end);
+      }
+    }
+    std::string body;
+    const char* status_line = "HTTP/1.1 404 Not Found";
+    const char* content_type = "text/plain; charset=utf-8";
+    if (target == "/metrics") {
+      status_line = "HTTP/1.1 200 OK";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = PrometheusText();
+    } else if (target == "/healthz") {
+      status_line = "HTTP/1.1 200 OK";
+      body = "ok\n";
+    } else {
+      body = "not found\n";
+    }
+    std::string response = status_line;
+    response += "\r\nContent-Type: ";
+    response += content_type;
+    response += "\r\nContent-Length: " + std::to_string(body.size());
+    response += "\r\nConnection: close\r\n\r\n";
+    response += body;
+    size_t sent = 0;
+    while (sent < response.size()) {
+      ssize_t w = ::send(client, response.data() + sent, response.size() - sent,
+                         0);
+      if (w <= 0) break;
+      sent += static_cast<size_t>(w);
+    }
+    ::close(client);
+  }
+}
+
+void StatsServer::Stop() {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_.store(true, std::memory_order_release);
+    fd = listen_fd_;
+  }
+  // Unblocks accept(): shutdown makes the blocked call return on Linux.
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  listen_fd_ = -1;
+  port_ = 0;
+  running_ = false;
+}
+
+bool StatsServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int StatsServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return port_;
+}
+
+// ---- Env wiring --------------------------------------------------------
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace
+
+void MaybeStartExportersFromEnv() {
+  static std::atomic<bool> done{false};
+  bool expected = false;
+  if (!done.compare_exchange_strong(expected, true)) return;
+
+  int snapshot_ms = EnvInt("DELEX_METRICS_SNAPSHOT_MS", 0);
+  if (snapshot_ms > 0) {
+    const char* path_env = std::getenv("DELEX_METRICS_SNAPSHOT_PATH");
+    std::string path = path_env != nullptr && *path_env != '\0'
+                           ? path_env
+                           : "delex_metrics.jsonl";
+    Status st = MetricsSnapshotWriter::Global().Start(path, snapshot_ms);
+    if (!st.ok()) {
+      DELEX_LOG(WARN) << "DELEX_METRICS_SNAPSHOT_MS: " << st.ToString();
+    } else {
+      // Final snapshot + clean join at exit.
+      std::atexit([] {
+        (void)MetricsSnapshotWriter::Global().WriteNow();
+        MetricsSnapshotWriter::Global().Stop();
+      });
+    }
+  }
+
+  const char* port_env = std::getenv("DELEX_METRICS_PORT");
+  if (port_env != nullptr && *port_env != '\0') {
+    Status st = StatsServer::Global().Start(std::atoi(port_env));
+    if (!st.ok()) {
+      DELEX_LOG(WARN) << "DELEX_METRICS_PORT: " << st.ToString();
+    } else {
+      // Optionally keep the server scrapeable for a short window after a
+      // fast run finishes (CI scrapes a backgrounded portal), then shut
+      // it down so the process can exit cleanly.
+      std::atexit([] {
+        int linger_ms = EnvInt("DELEX_METRICS_LINGER_MS", 0);
+        if (linger_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+        }
+        StatsServer::Global().Stop();
+      });
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace delex

@@ -1,0 +1,121 @@
+#ifndef DELEX_OBS_EXPORT_H_
+#define DELEX_OBS_EXPORT_H_
+
+// Metrics exposition, observability layer 2: renders the process
+// MetricsRegistry (counters, gauges, histograms) as Prometheus text
+// format 0.0.4, writes periodic JSONL snapshots, and serves both from a
+// minimal embedded HTTP server so a long-running binary (dblife_portal)
+// can be scraped like a production service.
+//
+// Environment wiring (MaybeStartExportersFromEnv, called by the engine's
+// Init, BenchInit and the example mains):
+//   DELEX_METRICS_PORT=9464        start the stats server (0 = ephemeral)
+//   DELEX_METRICS_SNAPSHOT_MS=500  periodic JSONL metrics snapshots
+//   DELEX_METRICS_SNAPSHOT_PATH=f  snapshot file (default
+//                                  delex_metrics.jsonl in the cwd)
+//   DELEX_METRICS_LINGER_MS=5000   keep the server up this long at exit
+//                                  (lets CI scrape a fast-finishing run)
+//
+// Endpoints: GET /metrics (text/plain; version=0.0.4), GET /healthz
+// ("ok"). Loopback only — this is an operational surface, not a public
+// one.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace delex {
+namespace obs {
+
+/// Renders a snapshot as Prometheus text format 0.0.4: HELP/TYPE comment
+/// lines per family; counters exposed as `delex_<name>_total`, gauges as
+/// `delex_<name>`, histograms as `_bucket{le="..."}`/`_sum`/`_count`
+/// series over a fixed coarse ladder (cumulative, monotone, +Inf == count
+/// by construction). Dots in metric names become underscores.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Same, over MetricsRegistry::Global().FullSnapshot().
+std::string PrometheusText();
+
+/// One JSONL line of the full registry state:
+///   {"uptime_ms":...,"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":..,"sum":..,"max":..,
+///                          "p50":..,"p90":..,"p99":..},...}}
+std::string MetricsSnapshotJsonLine();
+
+/// \brief Background thread appending MetricsSnapshotJsonLine() to a file
+/// every interval. Process-global singleton, crash-flush registered: a
+/// DELEX_CHECK failure writes one final snapshot before aborting.
+class MetricsSnapshotWriter {
+ public:
+  static MetricsSnapshotWriter& Global();
+
+  /// Starts the periodic writer (no-op error if already running).
+  Status Start(const std::string& path, int interval_ms);
+
+  /// Appends one snapshot line immediately (independent of the thread;
+  /// also the crash-flush hook). Error if never started.
+  Status WriteNow();
+
+  /// Stops the thread. Safe to call when not running.
+  void Stop();
+
+  bool running() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  MetricsSnapshotWriter() = default;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::string path_;
+  int interval_ms_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+/// \brief Minimal embedded HTTP stats server (loopback only, one accept
+/// thread, connection-per-request). GET /metrics returns the Prometheus
+/// exposition; GET /healthz returns "ok"; anything else is a 404.
+class StatsServer {
+ public:
+  static StatsServer& Global();
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
+  /// starts serving. Error if already running or the bind fails.
+  Status Start(int port);
+
+  /// Stops serving and joins the accept thread. Safe when not running.
+  void Stop();
+
+  bool running() const;
+  /// The bound port (resolved when Start was given 0); 0 when stopped.
+  int port() const;
+
+ private:
+  StatsServer() = default;
+  void Serve();
+
+  mutable std::mutex mu_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+};
+
+/// Starts the stats server and/or snapshot writer per the DELEX_METRICS_*
+/// environment knobs. Idempotent; failures log a WARN and continue.
+void MaybeStartExportersFromEnv();
+
+}  // namespace obs
+}  // namespace delex
+
+#endif  // DELEX_OBS_EXPORT_H_

@@ -164,6 +164,58 @@ struct Voidify {
   void operator&(std::ostream&) {}
 };
 
+// ---- Crash-flush hooks -------------------------------------------------
+//
+// Observability sinks that buffer in memory (trace ring buffers, the
+// metrics snapshot writer) register a flush function here; the
+// DELEX_CHECK failure path runs every hook before aborting so a crash
+// does not lose the buffers. Function pointers keep this header-only:
+// layers below the obs library (storage, text) use DELEX_CHECK without
+// linking the sinks' translation units.
+
+using CrashFlushFn = void (*)();
+inline constexpr int kMaxCrashFlushHooks = 8;
+
+inline std::atomic<CrashFlushFn>* CrashFlushSlots() {
+  static std::atomic<CrashFlushFn> slots[kMaxCrashFlushHooks] = {};
+  return slots;
+}
+
+/// Registers a hook (idempotent; silently dropped once all slots fill).
+inline void RegisterCrashFlushHook(CrashFlushFn fn) {
+  if (fn == nullptr) return;
+  std::atomic<CrashFlushFn>* slots = CrashFlushSlots();
+  for (int i = 0; i < kMaxCrashFlushHooks; ++i) {
+    CrashFlushFn seen = slots[i].load(std::memory_order_acquire);
+    if (seen == fn) return;  // already registered
+    if (seen == nullptr) {
+      CrashFlushFn expected = nullptr;
+      if (slots[i].compare_exchange_strong(expected, fn,
+                                           std::memory_order_acq_rel)) {
+        return;
+      }
+      if (expected == fn) return;  // lost the race to ourselves
+    }
+  }
+}
+
+/// Runs every registered hook once. Reentrancy-guarded: a hook that
+/// itself CHECK-fails will not recurse into the hook list.
+inline void RunCrashFlushHooks() {
+  static std::atomic<bool> running{false};
+  bool expected = false;
+  if (!running.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return;
+  }
+  std::atomic<CrashFlushFn>* slots = CrashFlushSlots();
+  for (int i = 0; i < kMaxCrashFlushHooks; ++i) {
+    CrashFlushFn fn = slots[i].load(std::memory_order_acquire);
+    if (fn != nullptr) fn();
+  }
+  running.store(false, std::memory_order_release);
+}
+
 }  // namespace log_internal
 
 inline bool LogEnabled(LogLevel level) {
@@ -185,6 +237,12 @@ inline LogLevel GetLogLevel() {
 /// formatted log lines. Test-only; not intended for concurrent install.
 inline void SetLogSinkForTesting(log_internal::LogSinkFn hook) {
   log_internal::SinkHook().store(hook, std::memory_order_release);
+}
+
+/// Registers a flush function the DELEX_CHECK failure path runs before
+/// aborting (idempotent — safe to call on every sink start).
+inline void RegisterCrashFlushHook(log_internal::CrashFlushFn fn) {
+  log_internal::RegisterCrashFlushHook(fn);
 }
 
 /// \brief One log statement: buffers the streamed message, emits it on

@@ -1,7 +1,9 @@
 #include "obs/run_report.h"
 
+#include "obs/histogram.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace delex {
 namespace obs {
@@ -18,6 +20,19 @@ void WriteIoStats(const char* key, const IoStats& io, JsonWriter* json) {
       .EndObject();
 }
 
+void WriteLatencySummary(const char* key, const LocalHistogram& hist,
+                         JsonWriter* json) {
+  json->Key(key)
+      .BeginObject()
+      .KV("count", hist.count())
+      .KV("mean", hist.Mean())
+      .KV("p50", hist.Percentile(50))
+      .KV("p90", hist.Percentile(90))
+      .KV("p99", hist.Percentile(99))
+      .KV("max", hist.max())
+      .EndObject();
+}
+
 }  // namespace
 
 std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
@@ -31,6 +46,7 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
   json.KV("warmup", meta.warmup);
   json.KV("threads", meta.num_threads);
   json.KV("fast_path", meta.fast_path_enabled);
+  json.KV("histograms", meta.histograms_enabled);
 
   json.KV("pages", stats.pages);
   json.KV("pages_with_previous", stats.pages_with_previous);
@@ -56,6 +72,37 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
   WriteIoStats("reuse_read", stats.reuse_read_io, &json);
   WriteIoStats("reuse_write", stats.reuse_write_io, &json);
   json.EndObject();
+
+  json.Key("fast_path_counters")
+      .BeginObject()
+      .KV("demote_result_cache", stats.fast_path_demote_result_cache)
+      .KV("demote_missing_group", stats.fast_path_demote_missing_group)
+      .KV("decode_copy_groups", stats.fast_path_decode_copy_groups)
+      .EndObject();
+
+  if (meta.histograms_enabled) {
+    json.Key("latency").BeginObject();
+    WriteLatencySummary("page_eval_us", stats.page_eval_hist, &json);
+    WriteLatencySummary(
+        "match_ud_us",
+        stats.match_hist[static_cast<size_t>(MatcherKind::kUD)], &json);
+    WriteLatencySummary(
+        "match_st_us",
+        stats.match_hist[static_cast<size_t>(MatcherKind::kST)], &json);
+    WriteLatencySummary(
+        "match_ru_us",
+        stats.match_hist[static_cast<size_t>(MatcherKind::kRU)], &json);
+    json.EndObject();
+  }
+
+  {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    json.Key("trace")
+        .BeginObject()
+        .KV("recording", recorder.started())
+        .KV("dropped_events", recorder.DroppedEventCount())
+        .EndObject();
+  }
 
   if (optimizer.has_optimizer) {
     json.Key("optimizer").BeginObject();
@@ -96,6 +143,13 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
     json.KV("matcher_calls", unit.matcher_calls);
     json.KV("exact_region_hits", unit.exact_region_hits);
     json.KV("chars_extracted", unit.chars_extracted);
+    if (meta.histograms_enabled) {
+      json.KV("extract_count", unit.extract_hist.count());
+      json.KV("extract_p50_us", unit.extract_hist.Percentile(50));
+      json.KV("extract_p90_us", unit.extract_hist.Percentile(90));
+      json.KV("extract_p99_us", unit.extract_hist.Percentile(99));
+      json.KV("extract_max_us", unit.extract_hist.max());
+    }
     json.EndObject();
   }
   json.EndArray();

@@ -12,9 +12,9 @@
 // Producers: RunSeries (src/harness) writes a line per snapshot when
 // --stats-json / DELEX_STATS_JSON is set; tests build lines directly.
 //
-// Schema v1 line shape (keys stable; additions bump the version):
-//   {"schema_version":1,"solution":"Delex","snapshot":2,"warmup":false,
-//    "threads":4,"fast_path":true,"tag":"fig11-talk",
+// Schema v2 line shape (keys stable; additions bump the version):
+//   {"schema_version":2,"solution":"Delex","snapshot":2,"warmup":false,
+//    "threads":4,"fast_path":true,"histograms":true,"tag":"fig11-talk",
 //    "pages":N,"pages_with_previous":N,"pages_identical":N,
 //    "result_tuples":N,"raw_bytes_copied":N,"records_decoded_skipped":N,
 //    "phases":{"match_us":..,"extract_us":..,"copy_us":..,"opt_us":..,
@@ -22,14 +22,31 @@
 //              "phase_drift_us":..},
 //    "io":{"reuse_read":{"bytes":..,"records":..},
 //          "reuse_write":{"bytes":..,"records":..}},
+//    "fast_path_counters":{"demote_result_cache":N,
+//                          "demote_missing_group":N,
+//                          "decode_copy_groups":N},
+//    "latency":{"page_eval_us":{"count":..,"mean":..,"p50":..,"p90":..,
+//                               "p99":..,"max":..},
+//               "match_ud_us":{...},"match_st_us":{...},
+//               "match_ru_us":{...}},               // v2: distributions
+//    "trace":{"recording":false,"dropped_events":N},
 //    "optimizer":{"assignment":"ST,RU","opt_us":..,
 //                 "predicted_total_us":..},        // omitted w/o optimizer
 //    "units":[{"unit":0,"matcher":"ST","predicted_us":..,"actual_us":..,
 //              "match_us":..,"extract_us":..,"copy_us":..,"capture_us":..,
 //              "input_tuples":..,"output_tuples":..,"copied_tuples":..,
 //              "extracted_tuples":..,"matcher_calls":..,
-//              "exact_region_hits":..,"chars_extracted":..}],
+//              "exact_region_hits":..,"chars_extracted":..,
+//              "extract_count":..,"extract_p50_us":..,"extract_p90_us":..,
+//              "extract_p99_us":..,"extract_max_us":..}],
 //    "counters":{"engine.fast_path.demote_result_cache":0,...}}
+//
+// v1 → v2: added "histograms" meta flag, "fast_path_counters" (per-run
+// demotion/decode-copy tallies), "latency" (page-eval and per-matcher
+// p50/p90/p99/max from the run's merged histogram shards), "trace"
+// (recorder state + dropped-event count), and per-unit extract-latency
+// percentiles. Latency summaries are present only when histograms were
+// enabled for the run.
 
 #include <cstdint>
 #include <cstdio>
@@ -42,7 +59,7 @@
 namespace delex {
 namespace obs {
 
-inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// \brief Run identity and execution-environment metadata for one line.
 struct RunReportMeta {
@@ -52,6 +69,9 @@ struct RunReportMeta {
   bool warmup = false;     ///< first snapshot: capture only, no reuse
   int num_threads = 1;     ///< engine worker threads (0 = hardware)
   bool fast_path_enabled = true;
+  /// Whether latency histograms were recording (DELEX_HISTOGRAMS); the
+  /// "latency" block and per-unit percentiles are emitted only when true.
+  bool histograms_enabled = true;
 };
 
 /// \brief The optimizer's decisions for one run, when a plan was chosen.

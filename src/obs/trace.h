@@ -102,6 +102,9 @@ class TraceRecorder {
       atexit_registered_ = true;
       std::atexit([] { (void)TraceRecorder::Global().Stop(); });
     }
+    // A DELEX_CHECK failure flushes the rings too, so a crashing run
+    // still leaves a loadable trace of its final moments.
+    RegisterCrashFlushHook([] { (void)TraceRecorder::Global().Stop(); });
     trace_internal::g_trace_enabled.store(true, std::memory_order_release);
     return Status::OK();
   }
@@ -163,6 +166,20 @@ class TraceRecorder {
       total += static_cast<int64_t>(buffer->ring.size());
     }
     return total;
+  }
+
+  /// Events lost to ring-buffer wraparound so far this session (the same
+  /// number the trace file reports in otherData) — run reports surface it.
+  int64_t DroppedEventCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t dropped = 0;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      if (buffer->count > buffer->ring.size()) {
+        dropped += static_cast<int64_t>(buffer->count - buffer->ring.size());
+      }
+    }
+    return dropped;
   }
 
   /// Drops all buffered events (tests).

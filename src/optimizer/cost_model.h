@@ -10,8 +10,7 @@
 
 namespace delex {
 
-/// Number of matcher kinds (DN, UD, ST, RU).
-inline constexpr size_t kNumMatcherKinds = 4;
+// kNumMatcherKinds comes from matcher/matcher.h (via run_stats.h).
 
 inline size_t MatcherIndex(MatcherKind kind) {
   return static_cast<size_t>(kind);

@@ -1,26 +1,41 @@
 // Observability-layer tests: trace recorder (JSON well-formedness, span
 // pairing/nesting per thread, pipeline span counts, zero-output guarantee
 // when disabled), leveled logger (threshold, sink capture, CHECK routing),
-// metrics registry, phase-drift accounting, and the versioned run report
-// (schema fields, per-unit predicted-vs-actual columns, determinism of
-// counters across thread counts and fast-path settings).
+// metrics registry (counters, gauges, histograms), latency-histogram
+// bucket/percentile correctness against a sorted reference, Prometheus
+// exposition well-formedness, the snapshot writer and embedded stats
+// server, phase-drift accounting, and the versioned run report (schema-v2
+// latency/trace blocks, per-unit predicted-vs-actual columns, determinism
+// of counters and histogram counts across thread counts and fast-path
+// settings).
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <limits>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "delex/engine.h"
 #include "harness/experiment.h"
 #include "harness/programs.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -341,6 +356,34 @@ TEST(LogDeathTest, CheckFailureEmitsAndAborts) {
                "CHECK failed.*broken invariant");
 }
 
+TEST(LogDeathTest, CheckFailureFlushesStartedTraceBeforeAborting) {
+  // The crash-flush hooks registered by TraceRecorder::Start must run in
+  // the CHECK-failure path, so a crashed run still leaves a parseable
+  // trace behind. threadsafe style re-executes the test in the child, so
+  // the recorder state there is exactly what the statement sets up.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string path = TempPath("delex-obs-crash-trace.json");
+  std::filesystem::remove(path);
+  EXPECT_DEATH(
+      {
+        obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+        recorder.ClearForTesting();
+        if (recorder.Start(path).ok()) {
+          { DELEX_TRACE_SPAN("doomed_span", 1); }
+          DELEX_CHECK_MSG(false, "crash-flush test");
+        }
+      },
+      "CHECK failed.*crash-flush test");
+  JsonValue trace = MustParse(ReadFile(path));
+  ASSERT_TRUE(trace.Has("traceEvents"));
+  bool saw_span = false;
+  for (const JsonValue& event : trace.At("traceEvents").array) {
+    if (event.At("name").string == "doomed_span") saw_span = true;
+  }
+  EXPECT_TRUE(saw_span) << "crash flush dropped the buffered span";
+  std::filesystem::remove(path);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics registry
 // ---------------------------------------------------------------------------
@@ -366,6 +409,232 @@ TEST(MetricsTest, CountersAccumulateAndSnapshotSorted) {
   registry.ResetAll();
   EXPECT_EQ(a->value(), 0);
   EXPECT_EQ(b->value(), 0);
+}
+
+TEST(MetricsTest, GaugesSetAddAndReset) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Gauge* gauge = registry.GetGauge("obs_test.gauge");
+  EXPECT_EQ(registry.GetGauge("obs_test.gauge"), gauge);  // stable identity
+  gauge->Set(41);
+  gauge->Add(2);
+  gauge->Add(-1);
+  EXPECT_EQ(gauge->value(), 42);
+  registry.ResetAll();
+  EXPECT_EQ(gauge->value(), 0);
+}
+
+TEST(MetricsTest, FullSnapshotIsSortedAndComplete) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.z_counter")->Increment(3);
+  registry.GetCounter("obs_test.a_counter")->Increment(1);
+  registry.GetGauge("obs_test.gauge")->Set(7);
+  registry.GetHistogram("obs_test.hist_us")->Record(100);
+  obs::MetricsSnapshot snapshot = registry.FullSnapshot();
+
+  // Each section is strictly name-sorted — the determinism exporters and
+  // the snapshot writer rely on.
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+  for (size_t i = 1; i < snapshot.gauges.size(); ++i) {
+    EXPECT_LT(snapshot.gauges[i - 1].first, snapshot.gauges[i].first);
+  }
+  for (size_t i = 1; i < snapshot.histograms.size(); ++i) {
+    EXPECT_LT(snapshot.histograms[i - 1].first, snapshot.histograms[i].first);
+  }
+
+  std::map<std::string, int64_t> counters(snapshot.counters.begin(),
+                                          snapshot.counters.end());
+  EXPECT_EQ(counters["obs_test.a_counter"], 1);
+  EXPECT_EQ(counters["obs_test.z_counter"], 3);
+  std::map<std::string, int64_t> gauges(snapshot.gauges.begin(),
+                                        snapshot.gauges.end());
+  EXPECT_EQ(gauges["obs_test.gauge"], 7);
+  bool found_hist = false;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name == "obs_test.hist_us") {
+      found_hist = true;
+      EXPECT_EQ(hist.count(), 1);
+      EXPECT_EQ(hist.sum(), 100);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+  registry.ResetAll();
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsPartitionTheValueRange) {
+  // Buckets tile [0, INT64_MAX] with no gaps or overlaps, and both bounds
+  // of every bucket map back to that bucket.
+  for (int i = 0; i < obs::hist::kBucketCount; ++i) {
+    int64_t lower = obs::hist::BucketLowerBound(i);
+    int64_t upper = obs::hist::BucketUpperBound(i);
+    EXPECT_LE(lower, upper) << "bucket " << i;
+    EXPECT_EQ(obs::hist::BucketIndex(lower), i);
+    EXPECT_EQ(obs::hist::BucketIndex(upper), i);
+    if (i + 1 < obs::hist::kBucketCount) {
+      EXPECT_EQ(obs::hist::BucketLowerBound(i + 1), upper + 1)
+          << "gap/overlap between buckets " << i << " and " << i + 1;
+    }
+  }
+  EXPECT_EQ(obs::hist::BucketIndex(-5), 0);
+  EXPECT_EQ(obs::hist::BucketIndex(INT64_MAX), obs::hist::kBucketCount - 1);
+}
+
+TEST(HistogramTest, BucketWidthStaysUnderTheRelativeErrorBound) {
+  // Above the linear range every bucket is at most 1/16 of its lower
+  // bound wide — the ≤6.25 % relative-error contract percentiles rely on.
+  for (int i = obs::hist::kLinearBuckets; i < obs::hist::kBucketCount - 1;
+       ++i) {
+    int64_t lower = obs::hist::BucketLowerBound(i);
+    int64_t width = obs::hist::BucketUpperBound(i) - lower + 1;
+    EXPECT_LE(width * 16, lower) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, PercentilesTrackASortedReference) {
+  obs::LocalHistogram hist;
+  std::vector<int64_t> values;
+  uint64_t state = 0x9e3779b97f4a7c15u;  // deterministic LCG, no <random>
+  int64_t total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005u + 1442695040888963407u;
+    int64_t value = static_cast<int64_t>((state >> 33) % 2000000);
+    values.push_back(value);
+    total += value;
+    hist.Record(value);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(hist.count(), 5000);
+  EXPECT_EQ(hist.sum(), total);
+  EXPECT_EQ(hist.max(), values.back());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    if (rank < 1) rank = 1;
+    if (rank > values.size()) rank = values.size();
+    int64_t exact = values[rank - 1];
+    int64_t estimate = hist.Percentile(p);
+    // Never below the exact percentile, at most one bucket width above.
+    EXPECT_GE(estimate, exact) << "p" << p;
+    EXPECT_LE(estimate, exact + exact / 16 + 1) << "p" << p;
+  }
+  EXPECT_EQ(obs::LocalHistogram().Percentile(50), 0);  // empty histogram
+}
+
+TEST(HistogramTest, ShardMergeMatchesSequentialRecording) {
+  // Recording into per-thread shards and merging must be observationally
+  // identical to recording everything into one histogram — the property
+  // that makes parallel runs report the same percentiles as serial runs.
+  obs::LocalHistogram shards[3];
+  obs::LocalHistogram sequential;
+  uint64_t state = 12345;
+  for (int i = 0; i < 3000; ++i) {
+    state = state * 2862933555777941757u + 3037000493u;
+    int64_t value = static_cast<int64_t>((state >> 40) % 500000);
+    shards[i % 3].Record(value);
+    sequential.Record(value);
+  }
+  obs::LocalHistogram merged;
+  for (const obs::LocalHistogram& shard : shards) merged.MergeFrom(shard);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_EQ(merged.sum(), sequential.sum());
+  EXPECT_EQ(merged.max(), sequential.max());
+  EXPECT_EQ(merged.buckets(), sequential.buckets());
+  for (double p : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(merged.Percentile(p), sequential.Percentile(p)) << "p" << p;
+  }
+  // Merging an empty shard is a no-op, even into an empty histogram.
+  obs::LocalHistogram empty;
+  empty.MergeFrom(obs::LocalHistogram());
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_TRUE(empty.buckets().empty());
+}
+
+TEST(HistogramTest, CumulativeLeNeverOvercountsAndIsMonotone) {
+  obs::LocalHistogram hist;
+  for (int64_t v : {0, 3, 15, 16, 17, 100, 4095, 4096, 1000000}) {
+    hist.Record(v);
+  }
+  // Linear buckets are exact, so small bounds count precisely.
+  EXPECT_EQ(hist.CumulativeLE(0), 1);
+  EXPECT_EQ(hist.CumulativeLE(15), 3);
+  int64_t previous = 0;
+  for (int64_t bound :
+       std::vector<int64_t>{0, 1, 10, 100, 1000, 4095, 100000, INT64_MAX}) {
+    int64_t cumulative = hist.CumulativeLE(bound);
+    EXPECT_GE(cumulative, previous) << "bound " << bound;
+    // Never counts an observation above the bound.
+    int64_t exact = 0;
+    for (int64_t v : {0, 3, 15, 16, 17, 100, 4095, 4096, 1000000}) {
+      if (v <= bound) ++exact;
+    }
+    EXPECT_LE(cumulative, exact) << "bound " << bound;
+    previous = cumulative;
+  }
+  EXPECT_EQ(hist.CumulativeLE(INT64_MAX), hist.count());
+}
+
+TEST(HistogramTest, RegistryHistogramSurvivesConcurrentRecording) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Histogram* hist = registry.GetHistogram("obs_test.concurrent_us");
+  EXPECT_EQ(registry.GetHistogram("obs_test.concurrent_us"), hist);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected_sum += (t * kPerThread + i) % 4096;
+    }
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Record((t * kPerThread + i) % 4096);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  obs::LocalHistogram snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count(), kThreads * kPerThread);  // nothing lost
+  EXPECT_EQ(snapshot.sum(), expected_sum);
+  EXPECT_EQ(snapshot.max(), 4095);
+  // 4095 is an exact bucket boundary: the cumulative count is exact too.
+  EXPECT_EQ(snapshot.CumulativeLE(4095), kThreads * kPerThread);
+  registry.ResetAll();
+}
+
+TEST(HistogramTest, RegistryMergeFromShardMatchesItsSnapshot) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::LocalHistogram shard;
+  for (int64_t v : {1, 10, 100, 1000, 10000}) shard.Record(v);
+  obs::Histogram* hist = registry.GetHistogram("obs_test.merge_us");
+  hist->MergeFrom(shard);
+  obs::LocalHistogram snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count(), shard.count());
+  EXPECT_EQ(snapshot.sum(), shard.sum());
+  EXPECT_EQ(snapshot.max(), shard.max());
+  EXPECT_EQ(snapshot.buckets(), shard.buckets());
+  registry.ResetAll();
+}
+
+TEST(HistogramTest, DisabledGateSkipsScopedTimerRecording) {
+  ASSERT_TRUE(obs::HistogramsEnabled()) << "tests assume the default gate";
+  obs::LocalHistogram shard;
+  obs::SetHistogramsEnabled(false);
+  { obs::ScopedLatencyTimer timer(&shard); }
+  obs::SetHistogramsEnabled(true);
+  EXPECT_EQ(shard.count(), 0);
+  { obs::ScopedLatencyTimer timer(&shard); }
+  EXPECT_EQ(shard.count(), 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +830,277 @@ TEST(TraceTest, EvalPageSpanCountMatchesNonIdenticalPages) {
 }
 
 // ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line of the text exposition format.
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// Parses `name{label="v",...} value`. Returns false on any grammar
+/// violation — the test treats that as a malformed exposition.
+bool ParsePromSample(const std::string& line, PromSample* out) {
+  size_t pos = 0;
+  auto name_start_char = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto name_char = [&](char c) {
+    return name_start_char(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (pos >= line.size() || !name_start_char(line[pos])) return false;
+  while (pos < line.size() && name_char(line[pos])) ++pos;
+  out->name = line.substr(0, pos);
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      size_t key_start = pos;
+      while (pos < line.size() && name_char(line[pos])) ++pos;
+      if (pos == key_start) return false;
+      std::string key = line.substr(key_start, pos - key_start);
+      if (pos >= line.size() || line[pos] != '=') return false;
+      ++pos;
+      if (pos >= line.size() || line[pos] != '"') return false;
+      ++pos;
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\') ++pos;
+        if (pos < line.size()) value += line[pos++];
+      }
+      if (pos >= line.size()) return false;
+      ++pos;  // closing quote
+      out->labels[key] = value;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') return false;
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  ++pos;
+  std::string value_text = line.substr(pos);
+  if (value_text.empty()) return false;
+  if (value_text == "+Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  try {
+    size_t consumed = 0;
+    out->value = std::stod(value_text, &consumed);
+    return consumed == value_text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+TEST(PrometheusTest, ExpositionIsWellFormed) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.prom.counter")->Increment(5);
+  registry.GetGauge("obs_test.prom.gauge")->Set(-3);
+  obs::Histogram* hist = registry.GetHistogram("obs_test.prom.hist_us");
+  int64_t hist_sum = 0;
+  for (int64_t v : {0, 3, 40, 999, 12345, 2400000}) {
+    hist->Record(v);
+    hist_sum += v;
+  }
+
+  std::string text = obs::PrometheusText();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  // Parse every line: each is a HELP comment, a TYPE comment, or a sample
+  // whose family has already been declared by a TYPE comment.
+  std::map<std::string, std::string> type_of;  // family → counter/gauge/...
+  std::vector<PromSample> samples;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "missing trailing newline";
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, family;
+      comment >> hash >> kind >> family;
+      ASSERT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      ASSERT_FALSE(family.empty()) << line;
+      if (kind == "TYPE") {
+        std::string type;
+        comment >> type;
+        ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram")
+            << line;
+        type_of[family] = type;
+      }
+      continue;
+    }
+    PromSample sample;
+    ASSERT_TRUE(ParsePromSample(line, &sample)) << "malformed line: " << line;
+    // Strip _total/_bucket/_sum/_count to recover the declared family.
+    std::string family = sample.name;
+    for (const char* suffix : {"_total", "_bucket", "_sum", "_count"}) {
+      std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          type_of.count(family.substr(0, family.size() - s.size())) > 0) {
+        family = family.substr(0, family.size() - s.size());
+        break;
+      }
+    }
+    EXPECT_EQ(type_of.count(family), 1u)
+        << "sample without TYPE declaration: " << line;
+    samples.push_back(std::move(sample));
+  }
+
+  // Our three metrics are present with the documented naming scheme
+  // (delex_ prefix, dots → underscores, counters get _total).
+  double counter_value = -1;
+  double gauge_value = 0;
+  double bucket_count = -1;
+  double count_value = -1;
+  double sum_value = -1;
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  for (const PromSample& sample : samples) {
+    if (sample.name == "delex_obs_test_prom_counter_total") {
+      counter_value = sample.value;
+    } else if (sample.name == "delex_obs_test_prom_gauge") {
+      gauge_value = sample.value;
+    } else if (sample.name == "delex_obs_test_prom_hist_us_bucket") {
+      ASSERT_EQ(sample.labels.count("le"), 1u);
+      double le = sample.labels.at("le") == "+Inf"
+                      ? std::numeric_limits<double>::infinity()
+                      : std::stod(sample.labels.at("le"));
+      buckets.push_back({le, sample.value});
+      if (std::isinf(le)) bucket_count = sample.value;
+    } else if (sample.name == "delex_obs_test_prom_hist_us_count") {
+      count_value = sample.value;
+    } else if (sample.name == "delex_obs_test_prom_hist_us_sum") {
+      sum_value = sample.value;
+    }
+  }
+  EXPECT_EQ(counter_value, 5);
+  EXPECT_EQ(gauge_value, -3);
+  EXPECT_EQ(count_value, 6);
+  EXPECT_EQ(sum_value, static_cast<double>(hist_sum));
+  // Buckets are cumulative and monotone in le, and +Inf equals _count.
+  ASSERT_GE(buckets.size(), 2u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GT(buckets[i].first, buckets[i - 1].first);
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second);
+  }
+  EXPECT_TRUE(std::isinf(buckets.back().first)) << "+Inf bucket must be last";
+  EXPECT_EQ(bucket_count, count_value);
+  registry.ResetAll();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: snapshot writer + stats server
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, SnapshotJsonLineRoundTrips) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.export.counter")->Increment(9);
+  registry.GetGauge("obs_test.export.gauge")->Set(4);
+  registry.GetHistogram("obs_test.export.hist_us")->Record(77);
+  JsonValue line = MustParse(obs::MetricsSnapshotJsonLine());
+  EXPECT_TRUE(line.Has("uptime_ms"));
+  EXPECT_GE(line.At("uptime_ms").number, 0);
+  EXPECT_EQ(line.At("counters").At("obs_test.export.counter").number, 9);
+  EXPECT_EQ(line.At("gauges").At("obs_test.export.gauge").number, 4);
+  const JsonValue& hist = line.At("histograms").At("obs_test.export.hist_us");
+  EXPECT_EQ(hist.At("count").number, 1);
+  EXPECT_EQ(hist.At("sum").number, 77);
+  EXPECT_EQ(hist.At("max").number, 77);
+  EXPECT_EQ(hist.At("p50").number, 77);  // single sample: p50 == max
+  registry.ResetAll();
+}
+
+TEST(ExportTest, SnapshotWriterAppendsParseableLines) {
+  std::string path = TempPath("delex-obs-metrics-snap.jsonl");
+  std::filesystem::remove(path);
+  obs::MetricsSnapshotWriter& writer = obs::MetricsSnapshotWriter::Global();
+  // A huge interval isolates the WriteNow calls from the periodic thread.
+  ASSERT_TRUE(writer.Start(path, /*interval_ms=*/3600 * 1000).ok());
+  EXPECT_FALSE(writer.Start(path, 1000).ok());  // already running
+  EXPECT_TRUE(writer.running());
+  ASSERT_TRUE(writer.WriteNow().ok());
+  ASSERT_TRUE(writer.WriteNow().ok());
+  writer.Stop();
+  EXPECT_FALSE(writer.running());
+
+  std::ifstream file(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(file, line)) {
+    JsonValue parsed = MustParse(line);
+    EXPECT_TRUE(parsed.Has("uptime_ms"));
+    EXPECT_TRUE(parsed.Has("counters"));
+    EXPECT_TRUE(parsed.Has("histograms"));
+    ++lines;
+  }
+  EXPECT_GE(lines, 2);
+  std::filesystem::remove(path);
+}
+
+/// Blocking HTTP GET against 127.0.0.1:`port`; returns the raw response.
+std::string HttpGet(int port, const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to port " << port;
+  std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ExportTest, StatsServerServesMetricsAndHealth) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.server.counter")->Increment();
+  obs::StatsServer& server = obs::StatsServer::Global();
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());  // 0 = ephemeral
+  int port = server.port();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(server.running());
+  EXPECT_FALSE(server.Start(0).ok());  // already running
+
+  std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos) << health;
+
+  std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("delex_obs_test_server_counter_total"),
+            std::string::npos);
+
+  std::string missing = HttpGet(port, "/no-such-endpoint");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  registry.ResetAll();
+}
+
+// ---------------------------------------------------------------------------
 // Run report
 // ---------------------------------------------------------------------------
 
@@ -737,6 +1277,126 @@ TEST(RunReportTest, CountersDeterministicAcrossThreadCounts) {
     EXPECT_EQ(t1[i].At("threads").number, 1);
     EXPECT_EQ(t2[i].At("threads").number, 2);
     EXPECT_EQ(t8[i].At("threads").number, 8);
+  }
+}
+
+TEST(RunReportTest, SchemaV2CarriesLatencyFastPathAndTraceBlocks) {
+  obs::MetricsRegistry::Global().ResetAll();
+  ASSERT_TRUE(obs::HistogramsEnabled());
+  obs::RunReportMeta meta;
+  meta.solution = "Delex";
+  meta.histograms_enabled = true;
+
+  RunStats stats;
+  stats.pages = 4;
+  stats.fast_path_demote_result_cache = 2;
+  stats.fast_path_demote_missing_group = 1;
+  stats.fast_path_decode_copy_groups = 3;
+  for (int64_t v : {10, 20, 30, 40}) stats.page_eval_hist.Record(v);
+  stats.match_hist[static_cast<size_t>(MatcherKind::kUD)].Record(5);
+  stats.match_hist[static_cast<size_t>(MatcherKind::kST)].Record(7);
+  stats.match_hist[static_cast<size_t>(MatcherKind::kRU)].Record(9);
+  stats.units.resize(1);
+  for (int64_t v : {100, 200}) stats.units[0].extract_hist.Record(v);
+
+  obs::OptimizerReport no_opt;
+  JsonValue line = MustParse(obs::RunReportLine(meta, stats, no_opt));
+  EXPECT_EQ(line.At("schema_version").number, 2);
+  EXPECT_TRUE(line.At("histograms").boolean);
+
+  const JsonValue& fast = line.At("fast_path_counters");
+  EXPECT_EQ(fast.At("demote_result_cache").number, 2);
+  EXPECT_EQ(fast.At("demote_missing_group").number, 1);
+  EXPECT_EQ(fast.At("decode_copy_groups").number, 3);
+
+  // The acceptance block: p50/p90/p99/max for page-eval and per-matcher.
+  const JsonValue& latency = line.At("latency");
+  const JsonValue& page_eval = latency.At("page_eval_us");
+  EXPECT_EQ(page_eval.At("count").number, 4);
+  EXPECT_EQ(page_eval.At("mean").number, 25);
+  EXPECT_EQ(page_eval.At("p50").number, 20);  // exact: bucket-aligned values
+  EXPECT_EQ(page_eval.At("p90").number, 40);
+  EXPECT_EQ(page_eval.At("p99").number, 40);
+  EXPECT_EQ(page_eval.At("max").number, 40);
+  EXPECT_EQ(latency.At("match_ud_us").At("count").number, 1);
+  EXPECT_EQ(latency.At("match_ud_us").At("max").number, 5);
+  EXPECT_EQ(latency.At("match_st_us").At("max").number, 7);
+  EXPECT_EQ(latency.At("match_ru_us").At("max").number, 9);
+
+  const JsonValue& trace = line.At("trace");
+  EXPECT_FALSE(trace.At("recording").boolean);
+  EXPECT_EQ(trace.At("dropped_events").number, 0);
+
+  ASSERT_EQ(line.At("units").array.size(), 1u);
+  const JsonValue& unit = line.At("units").array[0];
+  EXPECT_EQ(unit.At("extract_count").number, 2);
+  EXPECT_GE(unit.At("extract_p50_us").number, 100);
+  EXPECT_LE(unit.At("extract_p50_us").number, 107);  // ≤6.25 % above exact
+  EXPECT_EQ(unit.At("extract_max_us").number, 200);
+  EXPECT_GE(unit.At("extract_p99_us").number, unit.At("extract_p90_us").number);
+}
+
+TEST(RunReportTest, SchemaV2OmitsLatencyWhenHistogramsDisabled) {
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::RunReportMeta meta;
+  meta.solution = "Delex";
+  meta.histograms_enabled = false;
+  RunStats stats;
+  stats.pages = 2;
+  stats.units.resize(1);
+  obs::OptimizerReport no_opt;
+  JsonValue line = MustParse(obs::RunReportLine(meta, stats, no_opt));
+  EXPECT_FALSE(line.At("histograms").boolean);
+  EXPECT_FALSE(line.Has("latency"));
+  // Counter-style blocks stay: they cost nothing to collect.
+  EXPECT_TRUE(line.Has("fast_path_counters"));
+  EXPECT_TRUE(line.Has("trace"));
+  ASSERT_EQ(line.At("units").array.size(), 1u);
+  EXPECT_FALSE(line.At("units").array[0].Has("extract_count"));
+}
+
+TEST(RunReportTest, LatencyCountsDeterministicAcrossThreadsAndFastPath) {
+  ASSERT_TRUE(obs::HistogramsEnabled());
+  for (bool fast_path : {true, false}) {
+    const std::string fp_tag = fast_path ? "on" : "off";
+    std::vector<std::vector<JsonValue>> runs;
+    for (int threads : {1, 2, 8}) {
+      runs.push_back(ReportedSeries(threads, fast_path,
+                                    "lat-" + fp_tag + std::to_string(threads)));
+      ASSERT_EQ(runs.back().size(), runs.front().size());
+    }
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      for (size_t r = 0; r < runs.size(); ++r) {
+        const JsonValue& line = runs[r][i];
+        ASSERT_TRUE(line.Has("latency")) << "snapshot " << i;
+        // EvalPage runs exactly once per non-identical page, on any
+        // thread count: the merged histogram count is exact — the
+        // cross-thread shard merge loses and invents nothing. (Per-unit
+        // extract counts are NOT compared: the optimizer picks matchers
+        // from measured timings, so extractor-call counts can legitimately
+        // differ run to run even though result tuples never do.)
+        const JsonValue& page_eval = line.At("latency").At("page_eval_us");
+        EXPECT_EQ(page_eval.At("count").number,
+                  line.At("pages").number - line.At("pages_identical").number)
+            << "snapshot " << i << " run " << r;
+        if (!fast_path) {
+          EXPECT_EQ(page_eval.At("count").number, line.At("pages").number);
+        }
+        EXPECT_LE(page_eval.At("p50").number, page_eval.At("p90").number);
+        EXPECT_LE(page_eval.At("p90").number, page_eval.At("p99").number);
+        EXPECT_LE(page_eval.At("p99").number, page_eval.At("max").number);
+        EXPECT_LE(page_eval.At("mean").number, page_eval.At("max").number);
+        for (const JsonValue& unit : line.At("units").array) {
+          ASSERT_TRUE(unit.Has("extract_count")) << "snapshot " << i;
+          EXPECT_LE(unit.At("extract_p50_us").number,
+                    unit.At("extract_p90_us").number);
+          EXPECT_LE(unit.At("extract_p90_us").number,
+                    unit.At("extract_p99_us").number);
+          EXPECT_LE(unit.At("extract_p99_us").number,
+                    unit.At("extract_max_us").number);
+        }
+      }
+    }
   }
 }
 
