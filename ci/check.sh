@@ -1,21 +1,48 @@
 #!/usr/bin/env bash
-# CI gate: Release build + full ctest + a quick identical-fraction bench
-# smoke, a traced observability smoke, a live /metrics + /healthz scrape
-# validated against the Prometheus text format, a perf-regression gate
-# over the committed bench baselines (bench/baselines/, compared by
-# ci/bench_compare.py; DELEX_BENCH_BASELINE_UPDATE=1 re-baselines), an
-# AddressSanitizer build + full ctest (the memory gate for the raw
-# byte-passthrough in the reuse files), then a ThreadSanitizer build +
-# full ctest. TSan is the race gate for the parallel page pipeline — a
-# clean parallel_engine_test under TSan is a hard requirement for any
-# change to src/delex or src/common/thread_pool.h.
+# CI gate. Legs, in order:
 #
-# Usage: ci/check.sh [jobs]          (default: nproc)
-#   DELEX_CI_TSAN_ONLY=1 ci/check.sh     # skip the Release and ASan legs
+#   lint      ci/lint.py self-test + repo lint (always on; seconds).
+#   Release   build + full ctest + bench/obs/metrics smokes + the
+#             perf-regression gate over bench/baselines/.
+#   fuzz      extended deterministic mutation budget for every fuzz
+#             harness against the committed corpora (the per-harness
+#             512-run replay already runs inside every ctest leg).
+#   UBSan     -fsanitize=undefined build + full ctest: the UB gate for
+#             the decoder/arithmetic paths (no-recover: any UB aborts).
+#   A+UBSan   -fsanitize=address,undefined build + full ctest: the
+#             memory gate for the raw byte-passthrough in the reuse
+#             files, with UB checking riding along.
+#   TSan      -fsanitize=thread build + full ctest: the race gate for
+#             the parallel page pipeline — a clean parallel_engine_test
+#             under TSan is a hard requirement for any change to
+#             src/delex or src/common/thread_pool.h.
+#
+# Usage: ci/check.sh [jobs]              (default: nproc)
+#   DELEX_CI_FAST=1 ci/check.sh          # lint + Release build/ctest only
+#   DELEX_CI_TSAN_ONLY=1 ci/check.sh     # skip everything but lint + TSan
+#   DELEX_CI_CLANG=1 ci/check.sh         # also run clang-format/clang-tidy
+#                                        # if the binaries exist
+#   DELEX_BENCH_BASELINE_UPDATE=1 ci/check.sh   # re-baseline the benches
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+# Every mktemp -d is registered here and removed on ANY exit, success or
+# failure — a failing smoke must not leave /tmp litter behind.
+CLEANUP_DIRS=()
+cleanup() {
+  if ((${#CLEANUP_DIRS[@]})); then
+    rm -rf "${CLEANUP_DIRS[@]}"
+  fi
+}
+trap cleanup EXIT
+scratch_dir() {
+  local dir
+  dir="$(mktemp -d)"
+  CLEANUP_DIRS+=("${dir}")
+  echo "${dir}"
+}
 
 run_leg() {
   local name="$1" build_dir="$2"; shift 2
@@ -26,6 +53,25 @@ run_leg() {
   echo "=== ${name}: ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
+
+# --- lint: always on, fires before any compile ---------------------------
+echo "=== lint: self-test ==="
+python3 ci/lint.py --self-test
+echo "=== lint: repo ==="
+python3 ci/lint.py
+if [[ "${DELEX_CI_CLANG:-0}" == "1" ]]; then
+  if command -v clang-format >/dev/null; then
+    echo "=== lint: clang-format ==="
+    git ls-files 'src/*' 'tests/*' 'bench/*' 'fuzz/*' 'examples/*' \
+      | grep -E '\.(cc|h|cpp|hpp)$' \
+      | xargs clang-format --dry-run -Werror
+  fi
+  if command -v clang-tidy >/dev/null; then
+    echo "=== lint: clang-tidy (src/delex + src/storage) ==="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    clang-tidy -p build-release src/delex/*.cc src/storage/*.cc
+  fi
+fi
 
 if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
   run_leg "Release" build-release -DCMAKE_BUILD_TYPE=Release
@@ -41,13 +87,21 @@ if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
     echo "FAIL: fast path changed extraction results" >&2
     exit 1
   fi
+fi
 
+if [[ "${DELEX_CI_FAST:-0}" == "1" ]]; then
+  echo "=== DELEX_CI_FAST=1: skipping smokes, fuzz, and sanitizer legs ==="
+  echo "=== fast checks passed ==="
+  exit 0
+fi
+
+if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
   # Traced smoke of the observability layer: a 3-snapshot parallel DBLife
   # run with tracing and run reports on. The trace must be valid JSON
   # (Perfetto-loadable) and every non-warm-up Delex report line must carry
   # finite predicted-vs-actual per-unit costs.
   echo "=== Release: traced dblife smoke ==="
-  obs_tmp="$(mktemp -d)"
+  obs_tmp="$(scratch_dir)"
   DELEX_TRACE="${obs_tmp}/trace.json" \
     DELEX_STATS_JSON="${obs_tmp}/stats.jsonl" \
     DELEX_THREADS=2 \
@@ -75,7 +129,6 @@ with open(sys.argv[1]) as f:
 assert delex_lines > 0, "no non-warm-up Delex report lines"
 print(f"traced smoke OK: {delex_lines} Delex report lines")
 EOF
-  rm -rf "${obs_tmp}"
 
   # Metrics exposition smoke: run the portal with the stats server and the
   # periodic snapshot writer on, scrape /metrics and /healthz live with
@@ -84,7 +137,7 @@ EOF
   # DELEX_METRICS_LINGER_MS keeps the server up after the run finishes so
   # the scrape can never lose the race against a fast portal.
   echo "=== Release: metrics exposition smoke ==="
-  metrics_tmp="$(mktemp -d)"
+  metrics_tmp="$(scratch_dir)"
   metrics_port=19464
   DELEX_METRICS_PORT="${metrics_port}" \
     DELEX_METRICS_LINGER_MS=8000 \
@@ -181,14 +234,13 @@ with open(sys.argv[1]) as f:
 assert lines > 0, "snapshot writer produced no lines"
 print(f"snapshot writer OK: {lines} lines")
 EOF
-  rm -rf "${metrics_tmp}"
 
   # Perf-regression gate: re-run the three gated benches at the pinned
   # quick scale and compare against the committed baselines; the median
   # per-metric slowdown must stay within 15%. Re-baseline intentional perf
   # changes with DELEX_BENCH_BASELINE_UPDATE=1 ci/check.sh.
   echo "=== Release: bench baseline gate ==="
-  bench_tmp="$(mktemp -d)"
+  bench_tmp="$(scratch_dir)"
   bench_env=(DELEX_PAGES_DBLIFE=24 DELEX_PAGES_WIKI=24 DELEX_SNAPSHOTS=3
              DELEX_BENCH_REPS=2 DELEX_THREADS=1)
   env "${bench_env[@]}" ./build-release/bench/bench_identical_fraction \
@@ -212,13 +264,28 @@ EOF
     fi
     echo "bench gate self-test OK: injected 2x slowdown rejected"
   fi
-  rm -rf "${bench_tmp}"
 
-  # ASan guards the raw record passthrough (framed-byte copies, sidecar
-  # index offsets) against out-of-bounds reads and leaks.
-  run_leg "ASan" build-asan \
+  # Extended fuzz smoke: a bigger deterministic mutation budget than the
+  # per-harness ctest replay, different seed, same committed corpora. Any
+  # crash here is a real finding — minimize it, commit the input to
+  # fuzz/corpus/<harness>/, and promote it into tests/corrupt_input_test.
+  echo "=== Release: fuzz smoke ==="
+  for harness in build-release/fuzz/fuzz_*; do
+    name="$(basename "${harness}")"
+    echo "--- ${name}"
+    "${harness}" -runs=4096 -seed=1 "fuzz/corpus/${name}"
+  done
+
+  # UBSan first (cheap instrumentation, isolates pure-UB findings), then
+  # ASan+UBSan together: the memory gate for the raw byte passthrough in
+  # the reuse files, with UB checks riding along. Both run with
+  # no-recover, so any finding is a hard test failure.
+  run_leg "UBSan" build-ubsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DDELEX_SANITIZE=address
+    -DDELEX_SANITIZE=ubsan
+  run_leg "ASan+UBSan" build-asan-ubsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDELEX_SANITIZE=address,undefined
 fi
 
 # TSan wants debug info and no sanitizer-hostile optimizations; O1 keeps

@@ -1,0 +1,164 @@
+// Deterministic fallback fuzz driver.
+//
+// The harnesses in this directory expose the libFuzzer entry point
+// (LLVMFuzzerTestOneInput). Under clang they link against libFuzzer
+// proper (-fsanitize=fuzzer) and this file is not compiled. Under any
+// other toolchain this driver supplies main(): it replays every corpus
+// file, then (optionally) runs a budget of deterministic xorshift
+// mutations over the corpus — so ctest can exercise the harnesses and
+// replay regression inputs on toolchains without libFuzzer, with
+// bit-identical behavior from run to run.
+//
+// Flag subset mirrors libFuzzer so CI invokes both the same way:
+//   -runs=N            mutation budget after corpus replay (default 0)
+//   -max_total_time=S  soft wall-clock cap in seconds (0 = none)
+//   -seed=N            mutation PRNG seed (default 1)
+// Positional arguments are corpus files or directories (scanned
+// non-recursively, sorted by name for determinism).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t XorShift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string bytes;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+/// One deterministic mutation: flip, overwrite, insert, erase, truncate,
+/// or duplicate a slice — the classic byte-level menu, driven entirely by
+/// the PRNG state.
+std::string Mutate(std::string input, uint64_t* state) {
+  const int op = static_cast<int>(XorShift64(state) % 6);
+  const size_t size = input.size();
+  const size_t at = size > 0 ? XorShift64(state) % size : 0;
+  switch (op) {
+    case 0:  // bit flip
+      if (size > 0) input[at] ^= static_cast<char>(1u << (XorShift64(state) % 8));
+      break;
+    case 1:  // byte overwrite
+      if (size > 0) input[at] = static_cast<char>(XorShift64(state));
+      break;
+    case 2:  // insert a small run
+      input.insert(at, std::string(1 + XorShift64(state) % 8,
+                                   static_cast<char>(XorShift64(state))));
+      break;
+    case 3:  // erase a small run
+      if (size > 0) input.erase(at, 1 + XorShift64(state) % 8);
+      break;
+    case 4:  // truncate
+      input.resize(at);
+      break;
+    case 5:  // duplicate a slice to the end
+      if (size > 0) {
+        const size_t len = std::min<size_t>(1 + XorShift64(state) % 32,
+                                            size - at);
+        input += input.substr(at, len);
+      }
+      break;
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 0;
+  long long max_total_time = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> corpus_args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::atoll(arg + 6);
+    } else if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      max_total_time = std::atoll(arg + 16);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg + 6));
+    } else if (arg[0] == '-') {
+      // Unknown libFuzzer flags are accepted and ignored so CI scripts
+      // can pass a uniform command line to either binary.
+      std::fprintf(stderr, "fuzz driver: ignoring flag %s\n", arg);
+    } else {
+      corpus_args.push_back(arg);
+    }
+  }
+  if (seed == 0) seed = 1;  // xorshift has a zero fixed point
+
+  std::vector<std::string> files;
+  for (const std::string& arg : corpus_args) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::string> corpus;
+  corpus.reserve(files.size());
+  for (const std::string& path : files) {
+    corpus.push_back(ReadFileOrDie(path));
+    RunOne(corpus.back());
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %zu corpus inputs\n",
+               corpus.size());
+
+  if (runs > 0 && corpus.empty()) corpus.push_back(std::string());
+  const auto start = std::chrono::steady_clock::now();
+  long long executed = 0;
+  uint64_t state = seed;
+  for (long long i = 0; i < runs; ++i) {
+    if (max_total_time > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start);
+      if (elapsed.count() >= max_total_time) break;
+    }
+    // Stacked mutations over a rotating base input: depth 1-4 keeps most
+    // inputs near the structured corpus while still reaching odd shapes.
+    std::string input = corpus[static_cast<size_t>(i) % corpus.size()];
+    const int depth = 1 + static_cast<int>(XorShift64(&state) % 4);
+    for (int d = 0; d < depth; ++d) input = Mutate(std::move(input), &state);
+    RunOne(input);
+    ++executed;
+  }
+  std::fprintf(stderr, "fuzz driver: executed %lld mutated inputs\n",
+               executed);
+  return 0;
+}

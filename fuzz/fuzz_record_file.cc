@@ -1,0 +1,38 @@
+// Harness: the length-prefixed record-file reader (src/storage).
+//
+// Feeds arbitrary bytes to RecordReader through a scratch file. The
+// reader must terminate (EOF or Status) on every input — truncated
+// frames, giant length prefixes, and zero-length records included — and
+// must never hand back a record larger than the file.
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "storage/record_file.h"
+
+using delex::RecordReader;
+using delex::Status;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string path = delex::fuzz::ScratchDir() + "/record_file.bin";
+  delex::fuzz::WriteFileOrDie(
+      path, std::string_view(reinterpret_cast<const char*>(data), size));
+
+  RecordReader reader;
+  if (!reader.Open(path).ok()) return 0;
+  std::string record;
+  bool at_end = false;
+  // The file has at most `size` bytes of payload, so more than size/8 + 1
+  // records means the reader fabricated frames out of nothing.
+  size_t records = 0;
+  const size_t max_records = size / 8 + 1;
+  while (true) {
+    Status st = reader.Next(&record, &at_end);
+    if (!st.ok() || at_end) break;
+    if (record.size() > size) __builtin_trap();
+    if (++records > max_records) __builtin_trap();
+  }
+  reader.Close().ok();
+  return 0;
+}

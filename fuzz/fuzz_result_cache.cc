@@ -1,0 +1,49 @@
+// Harness: the per-generation page result cache (src/storage).
+//
+// `results.gen<N>` is read back one generation later by the
+// identical-page fast path; a corrupted cache must surface as Status /
+// found=false — the engine then demotes the page — never as a crash.
+// Slices the reader does hand back must decode into exactly the
+// advertised number of rows, each carrying the requested did.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fuzz/fuzz_util.h"
+#include "storage/result_cache.h"
+
+using delex::DecodeResultSlice;
+using delex::ResultCacheReader;
+using delex::ResultPageSlice;
+using delex::Status;
+using delex::Tuple;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string path = delex::fuzz::ScratchDir() + "/results.gen0";
+  delex::fuzz::WriteFileOrDie(
+      path, std::string_view(reinterpret_cast<const char*>(data), size));
+
+  ResultCacheReader reader;
+  if (!reader.Open(path).ok()) return 0;
+  for (int64_t did = 0; did < 6; ++did) {
+    ResultPageSlice slice;
+    bool found = false;
+    if (!reader.ReadPage(did, &slice, &found).ok()) break;
+    if (!found) continue;
+    std::vector<Tuple> rows;
+    Status st = DecodeResultSlice(slice, did, &rows);
+    if (!st.ok()) continue;  // payload corruption degrades upstream
+    if (static_cast<int64_t>(rows.size()) != slice.n_rows) __builtin_trap();
+    for (const Tuple& row : rows) {
+      // DecodeResultSlice prefixes every row with the requested did.
+      if (row.empty() || !std::holds_alternative<int64_t>(row[0]) ||
+          std::get<int64_t>(row[0]) != did) {
+        __builtin_trap();
+      }
+    }
+  }
+  reader.Close().ok();
+  return 0;
+}

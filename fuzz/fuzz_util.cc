@@ -1,0 +1,40 @@
+#include "fuzz/fuzz_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace delex {
+namespace fuzz {
+
+std::string ScratchDir() {
+  static const std::string dir = [] {
+    std::string templ = "/tmp/delex-fuzz-XXXXXX";
+    char* made = mkdtemp(templ.data());
+    if (made == nullptr) {
+      std::fprintf(stderr, "fuzz: mkdtemp failed\n");
+      std::abort();
+    }
+    return std::string(made);
+  }();
+  return dir;
+}
+
+void WriteFileOrDie(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.c_str());
+    std::abort();
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fprintf(stderr, "fuzz: short write to %s\n", path.c_str());
+    std::abort();
+  }
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "fuzz: close failed for %s\n", path.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace fuzz
+}  // namespace delex

@@ -1,0 +1,69 @@
+#ifndef DELEX_FUZZ_FUZZ_UTIL_H_
+#define DELEX_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace delex {
+namespace fuzz {
+
+/// \brief Deterministic byte-stream consumer shared by all harnesses.
+///
+/// Every derived value is a pure function of the input bytes, so a corpus
+/// file replays identically under libFuzzer and under the fallback
+/// driver. When the stream drains, all accessors return zeros/empties —
+/// short inputs explore the small-value corner instead of erroring out.
+class FuzzCursor {
+ public:
+  FuzzCursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t Byte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(Byte()) << (8 * i);
+    return v;
+  }
+
+  /// Uniform-ish value in [lo, hi] (inclusive); lo when the range is bad.
+  int64_t Int(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(U64() % span);
+  }
+
+  /// Up to `n` bytes off the stream (fewer when it drains).
+  std::string Bytes(size_t n) {
+    const size_t take = n < remaining() ? n : remaining();
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), take);
+    pos_ += take;
+    return out;
+  }
+
+  /// Everything left.
+  std::string Rest() { return Bytes(remaining()); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// \brief Scratch directory for harnesses that must round-trip through
+/// real files (record/reuse/result-cache readers take paths). One
+/// directory per process, created lazily; files inside are overwritten
+/// per input, so no per-iteration cleanup is needed.
+std::string ScratchDir();
+
+/// Overwrites `path` with `bytes`; aborts on I/O failure (the harness
+/// cannot distinguish scratch-disk trouble from a finding otherwise).
+void WriteFileOrDie(const std::string& path, std::string_view bytes);
+
+}  // namespace fuzz
+}  // namespace delex
+
+#endif  // DELEX_FUZZ_FUZZ_UTIL_H_

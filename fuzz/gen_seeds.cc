@@ -1,0 +1,206 @@
+// Seed-corpus generator for the fuzz harnesses.
+//
+//   delex_fuzz_gen_seeds <corpus_root>
+//
+// Runs a real extraction program over two generated snapshots and plants
+// the artifacts it leaves behind — reuse file triples, the page result
+// cache, serialized snapshots, individual encoded records — as seeds
+// under <corpus_root>/<harness>/. Fuzzing then starts from well-formed
+// bytes of the actual formats instead of discovering the magics from
+// nothing. A few hand-crafted regression seeds (giant length prefix,
+// truncated header) reproduce past decoder findings.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "corpus/generator.h"
+#include "delex/engine.h"
+#include "delex/run_stats.h"
+#include "harness/programs.h"
+#include "matcher/matcher.h"
+#include "storage/reuse_file.h"
+#include "storage/snapshot.h"
+
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "gen_seeds: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string bytes;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteSeed(const std::string& dir, const std::string& name,
+               const std::string& bytes) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr ||
+      (!bytes.empty() &&
+       std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "gen_seeds: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(stderr, "gen_seeds: %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+}
+
+std::string PutU64(uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus_root>\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+
+  // Small but real: a DBLife-profile corpus through the talk program,
+  // two generations, so every v2 artifact exists with multiple pages.
+  delex::DatasetProfile profile = delex::DatasetProfile::DBLife();
+  profile.num_sources = 6;
+  delex::CorpusGenerator gen(profile, /*seed=*/42);
+  delex::Snapshot s0 = gen.Initial();
+  delex::Snapshot s1 = gen.Evolve(s0);
+
+  auto program = delex::MakeProgram("talk");
+  if (!program.ok()) {
+    std::fprintf(stderr, "gen_seeds: %s\n", program.status().ToString().c_str());
+    return 2;
+  }
+
+  std::string work = "/tmp/delex-gen-seeds-XXXXXX";
+  if (mkdtemp(work.data()) == nullptr) return 2;
+
+  delex::DelexEngine::Options options;
+  options.work_dir = work;
+  delex::DelexEngine engine(program->plan, options);
+  delex::MatcherAssignment none;
+  auto run0 = [&]() -> delex::Status {
+    DELEX_RETURN_NOT_OK(engine.Init());
+    DELEX_ASSIGN_OR_RETURN(auto rows0,
+                           engine.RunSnapshot(s0, nullptr, none, nullptr));
+    const delex::MatcherAssignment st = delex::MatcherAssignment::Uniform(
+        engine.NumUnits(), delex::MatcherKind::kST);
+    DELEX_ASSIGN_OR_RETURN(auto rows1,
+                           engine.RunSnapshot(s1, &s0, st, nullptr));
+    (void)rows0;
+    (void)rows1;
+    return delex::Status::OK();
+  };
+  delex::Status st = run0();
+  if (!st.ok()) {
+    std::fprintf(stderr, "gen_seeds: engine run failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  // Generation-1 artifacts (generation 0 was consumed and deleted).
+  const std::string in_bytes = ReadFileOrDie(work + "/unit0.gen1.in");
+  const std::string out_bytes = ReadFileOrDie(work + "/unit0.gen1.out");
+  const std::string idx_bytes = ReadFileOrDie(work + "/unit0.gen1.idx");
+  const std::string results_bytes = ReadFileOrDie(work + "/results.gen1");
+
+  // fuzz_record_file: a real framed record file.
+  WriteSeed(root + "/fuzz_record_file", "reuse-in", in_bytes);
+  // Regression: 0xFF..FF length prefix once overflowed `8 + length`.
+  WriteSeed(root + "/fuzz_record_file", "giant-length",
+            std::string(8, '\xff'));
+  // Regression: truncated length prefix.
+  WriteSeed(root + "/fuzz_record_file", "short-prefix", std::string(3, 'x'));
+
+  // fuzz_reuse_reader: [u64 digest][u16 in_len][u16 out_len][in][out][idx]
+  // with the digest of the first old page, so the index-valid raw path
+  // fires on replay.
+  if (in_bytes.size() > 0xffff || out_bytes.size() > 0xffff) {
+    std::fprintf(stderr, "gen_seeds: reuse files too large for seed header\n");
+    return 2;
+  }
+  std::string triple = PutU64(s1.pages()[0].content_hash);
+  triple += static_cast<char>(in_bytes.size() >> 8);
+  triple += static_cast<char>(in_bytes.size() & 0xff);
+  triple += static_cast<char>(out_bytes.size() >> 8);
+  triple += static_cast<char>(out_bytes.size() & 0xff);
+  triple += in_bytes;
+  triple += out_bytes;
+  triple += idx_bytes;
+  WriteSeed(root + "/fuzz_reuse_reader", "gen1-triple", triple);
+
+  // fuzz_result_cache: the real generation-1 cache.
+  WriteSeed(root + "/fuzz_result_cache", "results-gen1", results_bytes);
+
+  // fuzz_snapshot: a small real snapshot (full generated snapshots are
+  // ~100 KB — too heavy to commit as a seed).
+  delex::Snapshot tiny;
+  tiny.AddPage("http://dblife.example/p0",
+               "serge abiteboul gives a talk at stanford. filler sentence.");
+  tiny.AddPage("http://dblife.example/p1", "");
+  tiny.AddPage("http://dblife.example/p2",
+               "jeff ullman chairs sigmod. more filler text here.");
+  const std::string snap_path = work + "/snapshot.bin";
+  if (!delex::WriteSnapshot(tiny, snap_path).ok()) return 2;
+  WriteSeed(root + "/fuzz_snapshot", "tiny-snapshot", ReadFileOrDie(snap_path));
+
+  // fuzz_value_decode: an encoded tuple exercising all three value kinds.
+  delex::Tuple tuple;
+  tuple.push_back(int64_t{12345});
+  tuple.push_back(std::string("serge abiteboul gives a talk"));
+  tuple.push_back(delex::TextSpan(17, 29));
+  std::string encoded;
+  delex::EncodeTuple(tuple, &encoded);
+  WriteSeed(root + "/fuzz_value_decode", "mixed-tuple", encoded);
+
+  // fuzz_reuse_records: one seed per decoder mode (leading mode byte).
+  delex::InputTupleRec in_rec;
+  in_rec.region = delex::TextSpan(100, 180);
+  in_rec.region_hash = 0x1234567890abcdefULL;
+  std::string rec_bytes;
+  delex::EncodeInputTuple(in_rec, &rec_bytes);
+  WriteSeed(root + "/fuzz_reuse_records", "input-tuple",
+            std::string(1, '\0') + rec_bytes);
+  delex::OutputTupleRec out_rec;
+  out_rec.itid = 0;
+  out_rec.payload = tuple;
+  rec_bytes.clear();
+  delex::EncodeOutputTuple(out_rec, &rec_bytes);
+  WriteSeed(root + "/fuzz_reuse_records", "output-tuple",
+            std::string(1, '\x01') + rec_bytes);
+  delex::PageIndexEntry entry;
+  entry.did = 3;
+  entry.page_digest = s1.pages()[0].content_hash;
+  entry.in_bytes = 64;
+  entry.n_inputs = 2;
+  rec_bytes.clear();
+  delex::EncodePageIndexEntry(entry, &rec_bytes);
+  WriteSeed(root + "/fuzz_reuse_records", "index-entry",
+            std::string(1, '\x02') + rec_bytes);
+
+  // fuzz_matcher: the cursor consumes token picks, an edit script, then
+  // region endpoints — a long run of varied bytes reaches all of them.
+  std::string matcher_seed;
+  matcher_seed += static_cast<char>(96);  // token count selector
+  for (int i = 0; i < 96; ++i) matcher_seed += static_cast<char>(i * 7);
+  WriteSeed(root + "/fuzz_matcher", "token-walk", matcher_seed);
+
+  std::error_code ec;
+  std::filesystem::remove_all(work, ec);
+  return 0;
+}

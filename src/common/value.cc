@@ -86,7 +86,9 @@ Result<Value> DecodeValue(std::string_view data, size_t* offset) {
       if (!GetFixed64(data, offset, &raw)) {
         return Status::Corruption("value: truncated string length");
       }
-      if (*offset + raw > data.size()) {
+      // Overflow-safe form: `*offset + raw` wraps for a corrupt length
+      // near UINT64_MAX and would pass the naive comparison.
+      if (raw > data.size() - *offset) {
         return Status::Corruption("value: truncated string body");
       }
       std::string s(data.substr(*offset, raw));
@@ -111,7 +113,11 @@ Result<Tuple> DecodeTuple(std::string_view data, size_t* offset) {
     return Status::Corruption("tuple: truncated count");
   }
   Tuple tuple;
-  tuple.reserve(count);
+  // The count is untrusted: every value costs at least one encoded byte,
+  // so clamp the reservation to the bytes actually present — a corrupt
+  // count then fails with "truncated kind byte" instead of OOM.
+  tuple.reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, data.size() - *offset)));
   for (uint64_t i = 0; i < count; ++i) {
     DELEX_ASSIGN_OR_RETURN(Value v, DecodeValue(data, offset));
     tuple.push_back(std::move(v));

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "delex/paranoid.h"
 #include "delex/region_derivation.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -37,6 +38,11 @@ obs::Counter* DemoteMissingGroupCounter() {
 obs::Counter* DecodeCopyGroupCounter() {
   static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
       "engine.fast_path.decode_copy_groups");
+  return counter;
+}
+obs::Counter* ReuseCorruptDropCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "engine.reuse.corrupt_drops");
   return counter;
 }
 
@@ -204,12 +210,40 @@ int DelexEngine::EffectiveThreads() const {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+void DelexEngine::DropCorruptReader(size_t u, const Status& cause,
+                                    RunStats* stats) {
+  DELEX_LOG(WARN) << "dropping unit " << u
+                  << " reuse reader (pages re-extract from scratch): "
+                  << cause.ToString();
+  ReuseCorruptDropCounter()->Increment();
+  if (stats != nullptr) ++stats->reuse_corrupt_drops;
+  reader_ok_[u] = 0;
+}
+
 Status DelexEngine::PrefetchPageReuse(int64_t q_did,
-                                      std::vector<PageReuse>* reuse) {
+                                      std::vector<PageReuse>* reuse,
+                                      RunStats* stats) {
   reuse->resize(analysis_.units.size());
   for (size_t u = 0; u < analysis_.units.size(); ++u) {
-    DELEX_RETURN_NOT_OK(
-        readers_[u]->SeekPage(q_did, &(*reuse)[u].inputs, &(*reuse)[u].outputs));
+    PageReuse& unit_reuse = (*reuse)[u];
+    unit_reuse.inputs.clear();
+    unit_reuse.outputs.clear();
+    if (reader_ok_[u] == 0) continue;
+    Status st =
+        readers_[u]->SeekPage(q_did, &unit_reuse.inputs, &unit_reuse.outputs);
+    if (!st.ok()) {
+      // Corrupt or truncated previous-generation bytes: the scan position
+      // is no longer trustworthy, so drop the whole reader rather than
+      // guess at record boundaries. Reuse degrades; results don't.
+      DropCorruptReader(u, st, stats);
+      unit_reuse.inputs.clear();
+      unit_reuse.outputs.clear();
+      continue;
+    }
+    if (paranoid::Enabled()) {
+      paranoid::CheckPageGroupOrdinals(q_did, unit_reuse.inputs,
+                                       unit_reuse.outputs);
+    }
   }
   return Status::OK();
 }
@@ -219,13 +253,31 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
   // Reuse + result-cache read latency for this page (reader stage).
   obs::ScopedLatencyTimer io_timer(nullptr, PrefetchIoHistogram());
   const size_t num_units = analysis_.units.size();
+  // The result-cache reader can be dropped mid-run (corrupt bytes below),
+  // after slots were laid out with identical=true: such slots demote here.
+  if (slot->identical && result_reader_ == nullptr) {
+    ++slot->stats.fast_path_demote_result_cache;
+    DemoteResultCacheCounter()->Increment();
+    slot->identical = false;
+  }
   if (slot->identical) {
     // Result rows first: without them the page must fully evaluate, and
     // demoting before any unit reader has advanced keeps every unit's
     // group available to the normal decoded prefetch below.
     bool found = false;
-    DELEX_RETURN_NOT_OK(result_reader_->ReadPage(slot->q_page->did,
-                                                 &slot->result_slice, &found));
+    Status read = result_reader_->ReadPage(slot->q_page->did,
+                                           &slot->result_slice, &found);
+    if (!read.ok()) {
+      // Corrupt cache: its forward-scan position is untrustworthy from
+      // here on, so drop it for the rest of the run. All remaining
+      // identical pages evaluate normally — degrade, never miscompute.
+      DELEX_LOG(WARN) << "dropping result cache (corrupt): "
+                      << read.ToString();
+      ReuseCorruptDropCounter()->Increment();
+      ++slot->stats.reuse_corrupt_drops;
+      result_reader_.reset();
+      found = false;
+    }
     if (found) {
       Status decoded =
           DecodeResultSlice(slot->result_slice, slot->page->did, &slot->rows);
@@ -246,9 +298,16 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
     for (size_t u = 0; u < num_units; ++u) {
       bool found = false;
       bool index_valid = false;
-      DELEX_RETURN_NOT_OK(readers_[u]->ReadPageRaw(
-          slot->q_page->did, slot->q_page->content_hash, &slot->raw_slices[u],
-          &found, &index_valid));
+      if (reader_ok_[u] != 0) {
+        Status st = readers_[u]->ReadPageRaw(slot->q_page->did,
+                                             slot->q_page->content_hash,
+                                             &slot->raw_slices[u], &found,
+                                             &index_valid);
+        if (!st.ok()) {
+          DropCorruptReader(u, st, &slot->stats);
+          found = false;
+        }
+      }
       if (!found) {
         // The old generation has no group for this page (work dir out of
         // step with the corpus). Demote to full evaluation; units whose
@@ -278,7 +337,8 @@ Status DelexEngine::PrefetchSlot(PageSlot* slot) {
     }
   }
   if (!slot->identical && slot->q_page != nullptr) {
-    DELEX_RETURN_NOT_OK(PrefetchPageReuse(slot->q_page->did, &slot->reuse));
+    DELEX_RETURN_NOT_OK(
+        PrefetchPageReuse(slot->q_page->did, &slot->reuse, &slot->stats));
   }
   return Status::OK();
 }
@@ -312,6 +372,7 @@ Status DelexEngine::CommitPage(PageSlot* slot) {
     ScopedTimer capture_timer(&slot->stats.units[u].capture_us);
     if (slot->identical && slot->raw_valid[u] != 0) {
       const RawPageSlice& raw = slot->raw_slices[u];
+      if (paranoid::Enabled()) paranoid::CheckRawSlice(raw);
       DELEX_RETURN_NOT_OK(writers_[u]->CommitPageRaw(did, raw));
       slot->stats.raw_bytes_copied += raw.TotalBytes();
       slot->stats.records_decoded_skipped += raw.n_inputs + raw.n_outputs;
@@ -471,6 +532,7 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   // Open writers for this generation and readers over the previous one.
   writers_.clear();
   readers_.clear();
+  reader_ok_.clear();
   for (size_t u = 0; u < num_units; ++u) {
     auto writer = std::make_unique<UnitReuseWriter>();
     DELEX_RETURN_NOT_OK(
@@ -478,9 +540,14 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     writers_.push_back(std::move(writer));
     if (previous != nullptr) {
       auto reader = std::make_unique<UnitReuseReader>();
-      DELEX_RETURN_NOT_OK(
-          reader->Open(ReusePathPrefix(static_cast<int>(u), generation_ - 1)));
+      Status opened =
+          reader->Open(ReusePathPrefix(static_cast<int>(u), generation_ - 1));
+      // A unit whose previous-generation files are missing or corrupt is
+      // degraded (all its pages re-extract from scratch), never fatal:
+      // untrusted bytes on disk must not be able to fail the run.
       readers_.push_back(std::move(reader));
+      reader_ok_.push_back(opened.ok() ? 1 : 0);
+      if (!opened.ok()) DropCorruptReader(u, opened, out_stats);
     }
   }
   result_writer_ = std::make_unique<ResultCacheWriter>();
@@ -913,6 +980,10 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
             found = matcher.Match(page.content, region, q_page->content,
                                   old->region, &page_ctx->match_ctx);
           }
+          if (paranoid::Enabled()) {
+            paranoid::CheckSegments(page.content, region, q_page->content,
+                                    old->region, found);
+          }
           for (const MatchSegment& seg : found) {
             segments.push_back({seg, old->region, old->tid});
           }
@@ -922,6 +993,7 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
         derivation = DeriveRegionsTagged(region, std::move(segments),
                                          unit.alpha, unit.beta);
       }
+      if (paranoid::Enabled()) paranoid::CheckDerivation(derivation, region);
     }
     if (!attempted_reuse) {
       derivation.extraction_regions = IntervalSet({region});
@@ -943,6 +1015,9 @@ Result<std::vector<Tuple>> DelexEngine::EvalUnit(const IEUnit& unit,
           if (!EnvelopeCopyable(copy, envelope, old_region)) continue;
           Tuple relocated = rec.payload;
           ShiftSpans(&relocated, copy.delta);
+          if (paranoid::Enabled()) {
+            paranoid::CheckCopiedMention(copy, relocated, region);
+          }
           produced.push_back(std::move(relocated));
           ++ustats.copied_tuples;
         }

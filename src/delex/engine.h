@@ -122,8 +122,16 @@ class DelexEngine {
 
   /// Drains each unit's reuse reader for `q_did` into `*reuse` (one
   /// forward seek per unit — §5.2). Must be called from the single reader
-  /// stage, in snapshot page order.
-  Status PrefetchPageReuse(int64_t q_did, std::vector<PageReuse>* reuse);
+  /// stage, in snapshot page order. A unit whose previous-generation bytes
+  /// fail validation is dropped for the rest of the run (its pages
+  /// re-extract from scratch) — corrupt reuse input degrades, it never
+  /// fails the run or miscomputes. `stats` is the current page's shard.
+  Status PrefetchPageReuse(int64_t q_did, std::vector<PageReuse>* reuse,
+                           RunStats* stats);
+
+  /// Marks unit `u`'s previous-generation reader unusable after `cause`
+  /// (logged + counted); subsequent pages see no reuse for that unit.
+  void DropCorruptReader(size_t u, const Status& cause, RunStats* stats);
 
   /// Reader-stage entry point for one slot, called in snapshot page order.
   /// For a fast-path slot (`slot->identical`), recovers the page's result
@@ -174,6 +182,10 @@ class DelexEngine {
   // write-back and reader stages respectively; workers see them never.
   std::vector<std::unique_ptr<UnitReuseWriter>> writers_;
   std::vector<std::unique_ptr<UnitReuseReader>> readers_;
+  // Per-unit reader health: 0 after the unit's previous-generation bytes
+  // failed validation (open or mid-scan). A dropped reader's pages extract
+  // from scratch for the rest of the run.
+  std::vector<char> reader_ok_;
   // Page result cache: written for every page each run; the previous
   // generation's cache is read by the fast path. `result_reader_` is null
   // when the fast path is disabled, on the first generation, or when the

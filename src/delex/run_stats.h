@@ -144,6 +144,13 @@ struct RunStats {
   int64_t fast_path_demote_missing_group = 0;
   int64_t fast_path_decode_copy_groups = 0;
 
+  /// Previous-generation artifacts (a unit's reuse files or the result
+  /// cache) dropped mid-run because their bytes failed validation. Each
+  /// drop degrades the affected pages to clean re-extraction — results
+  /// stay correct, reuse is lost — so a nonzero value means the work dir
+  /// was corrupted (or truncated) between runs.
+  int64_t reuse_corrupt_drops = 0;
+
   /// Latency distributions, observability layer 2. Each per-page shard
   /// records into its own histograms (single writer, lock-free); the
   /// MergeFrom below folds them. Gated on obs::HistogramsEnabled().
@@ -170,6 +177,7 @@ struct RunStats {
     fast_path_demote_result_cache += other.fast_path_demote_result_cache;
     fast_path_demote_missing_group += other.fast_path_demote_missing_group;
     fast_path_decode_copy_groups += other.fast_path_decode_copy_groups;
+    reuse_corrupt_drops += other.reuse_corrupt_drops;
     page_eval_hist.MergeFrom(other.page_eval_hist);
     for (size_t k = 0; k < match_hist.size(); ++k) {
       match_hist[k].MergeFrom(other.match_hist[k]);

@@ -240,6 +240,7 @@ Status StatsServer::Start(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // operational, not public
   addr.sin_port = htons(static_cast<uint16_t>(port));
+  // delex-lint: allow(reinterpret-cast) -- the BSD sockets ABI requires it
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return Status::IOError("stats server: cannot bind 127.0.0.1:" +
@@ -250,6 +251,7 @@ Status StatsServer::Start(int port) {
     return Status::IOError("stats server: listen() failed");
   }
   socklen_t len = sizeof(addr);
+  // delex-lint: allow(reinterpret-cast) -- the BSD sockets ABI requires it
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     ::close(fd);
     return Status::IOError("stats server: getsockname() failed");

@@ -78,6 +78,7 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
       .KV("demote_result_cache", stats.fast_path_demote_result_cache)
       .KV("demote_missing_group", stats.fast_path_demote_missing_group)
       .KV("decode_copy_groups", stats.fast_path_decode_copy_groups)
+      .KV("reuse_corrupt_drops", stats.reuse_corrupt_drops)
       .EndObject();
 
   if (meta.histograms_enabled) {

@@ -134,8 +134,16 @@ Status RecordReader::Next(std::string* record, bool* at_end) {
     return Status::Corruption("truncated record header in " + path_);
   }
   uint64_t length = GetLength(buffer_.data() + buffer_pos_);
+  // Untrusted length prefix: reject absurd values before any allocation.
+  // Without the cap, a corrupt prefix near UINT64_MAX overflows `8 +
+  // length` (wrapping the bounds checks below) and a merely-huge one turns
+  // into a failed multi-gigabyte buffer resize instead of a clean error.
+  if (length > kMaxRecordLength) {
+    return Status::Corruption("record length " + std::to_string(length) +
+                              " exceeds limit in " + path_);
+  }
   if (buffer_.size() - buffer_pos_ < 8 + length) {
-    DELEX_RETURN_NOT_OK(FillBuffer(8 + length));
+    DELEX_RETURN_NOT_OK(FillBuffer(8 + static_cast<size_t>(length)));
     if (buffer_.size() < 8 + length) {
       return Status::Corruption("truncated record body in " + path_);
     }

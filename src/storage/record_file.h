@@ -1,6 +1,7 @@
 #ifndef DELEX_STORAGE_RECORD_FILE_H_
 #define DELEX_STORAGE_RECORD_FILE_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -9,6 +10,16 @@
 #include "storage/io_stats.h"
 
 namespace delex {
+
+/// Upper bound on a single record's payload size. Record files are
+/// untrusted bytes (a work dir can be truncated, bit-flipped, or swapped
+/// for a different format), so the reader refuses length prefixes beyond
+/// this bound instead of attempting a multi-gigabyte allocation — a
+/// corrupt 8-byte length field must degrade to Status::Corruption, never
+/// to OOM or to size_t overflow in buffer arithmetic. The largest real
+/// records (whole-page framed slices stay per-record small; page contents
+/// in snapshots are the biggest payloads) sit far below this.
+inline constexpr uint64_t kMaxRecordLength = uint64_t{1} << 30;  // 1 GiB
 
 /// \brief Append-only file of length-prefixed records with block-sized
 /// write buffering.

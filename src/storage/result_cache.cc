@@ -1,5 +1,7 @@
 #include "storage/result_cache.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace delex {
@@ -94,7 +96,8 @@ Status ResultCacheReader::ReadPage(int64_t did, ResultPageSlice* slice,
       size_t offset = 0;
       if (!GetFixed(scratch_, &offset, &pending_did_) ||
           !GetFixed(scratch_, &offset, &pending_count_) ||
-          offset != scratch_.size()) {
+          offset != scratch_.size() || pending_did_ < 0 ||
+          pending_count_ < 0) {
         return Status::Corruption("bad result cache page header");
       }
       header_pending_ = true;
@@ -129,7 +132,11 @@ Status ResultCacheReader::Close() { return reader_.Close(); }
 Status DecodeResultSlice(const ResultPageSlice& slice, int64_t did,
                          std::vector<Tuple>* rows) {
   rows->clear();
-  rows->reserve(static_cast<size_t>(slice.n_rows));
+  // n_rows is untrusted (it rode in on a page header); each row costs at
+  // least 8 framing bytes, so bound the reservation by the bytes present.
+  rows->reserve(static_cast<size_t>(std::min<int64_t>(
+      std::max<int64_t>(slice.n_rows, 0),
+      static_cast<int64_t>(slice.bytes.size() / 8 + 1))));
   size_t offset = 0;
   const std::string_view data = slice.bytes;
   while (offset < data.size()) {

@@ -1,5 +1,7 @@
 #include "storage/reuse_file.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace delex {
@@ -42,8 +44,18 @@ void EncodePageHeader(int64_t did, int64_t count, std::string* out) {
 
 bool DecodePageHeader(std::string_view data, int64_t* did, int64_t* count) {
   size_t offset = 0;
+  // Negative fields can only come from corrupt bytes; letting them through
+  // would turn into huge size_t casts at the reserve/skip sites.
   return GetFixed(data, &offset, did) && GetFixed(data, &offset, count) &&
-         offset == data.size();
+         offset == data.size() && *did >= 0 && *count >= 0;
+}
+
+/// Clamp an untrusted record count to a sane reservation: each record
+/// costs ≥ 8 framing bytes, so a count beyond this bound is necessarily a
+/// truncation error waiting to surface — never pre-allocate for it.
+size_t ClampedReserve(int64_t count) {
+  constexpr int64_t kMaxReserve = 1 << 20;
+  return static_cast<size_t>(std::min<int64_t>(count, kMaxReserve));
 }
 
 // Re-frames one record exactly as RecordWriter::Append lays it out, so a
@@ -115,6 +127,15 @@ Result<PageIndexEntry> DecodePageIndexEntry(std::string_view data) {
       !GetFixed(data, &offset, &entry.out_bytes) ||
       !GetFixed(data, &offset, &entry.n_outputs) || offset != data.size()) {
     return Status::Corruption("bad page index entry");
+  }
+  // Index entries gate the raw byte-range passthrough, so every field the
+  // relocation arithmetic touches must be range-checked here — an entry
+  // with a negative offset or count must never survive to ReadPageRaw's
+  // offset comparison.
+  if (entry.did < 0 || entry.in_offset < 0 || entry.in_bytes < 0 ||
+      entry.n_inputs < 0 || entry.out_offset < 0 || entry.out_bytes < 0 ||
+      entry.n_outputs < 0) {
+    return Status::Corruption("page index entry out of range");
   }
   entry.page_digest = static_cast<uint64_t>(digest_bits);
   return entry;
@@ -265,7 +286,12 @@ Status UnitReuseReader::LoadIndex(const std::string& path) {
       ok = false;
       break;
     }
-    index_.emplace(entry->did, *entry);
+    // A duplicate did means the index is internally inconsistent; treat
+    // the whole sidecar as corrupt rather than guessing which entry wins.
+    if (!index_.emplace(entry->did, *entry).second) {
+      ok = false;
+      break;
+    }
   }
   index_io_ += reader.stats();
   reader.Close().ok();
@@ -327,7 +353,7 @@ Status UnitReuseReader::SeekPage(int64_t did,
   bool found = false;
   DELEX_RETURN_NOT_OK(AdvanceTo(&input_, did, &found));
   if (found) {
-    inputs->reserve(static_cast<size_t>(input_.pending_count));
+    inputs->reserve(ClampedReserve(input_.pending_count));
     for (int64_t ord = 0; ord < input_.pending_count; ++ord) {
       bool at_end = false;
       DELEX_RETURN_NOT_OK(NextRecord(&input_, &at_end));
@@ -342,12 +368,18 @@ Status UnitReuseReader::SeekPage(int64_t did,
 
   DELEX_RETURN_NOT_OK(AdvanceTo(&output_, did, &found));
   if (found) {
-    outputs->reserve(static_cast<size_t>(output_.pending_count));
+    outputs->reserve(ClampedReserve(output_.pending_count));
     for (int64_t ord = 0; ord < output_.pending_count; ++ord) {
       bool at_end = false;
       DELEX_RETURN_NOT_OK(NextRecord(&output_, &at_end));
       if (at_end) return Status::Corruption("truncated reuse page group");
       DELEX_ASSIGN_OR_RETURN(OutputTupleRec rec, DecodeOutputTuple(scratch_));
+      if (rec.itid < 0 || rec.itid >= static_cast<int64_t>(inputs->size())) {
+        // An output must name an input of its own page; anything else is
+        // corrupt bytes, rejected here so downstream consumers (and the
+        // paranoid ordinal checker) only ever see page-local references.
+        return Status::Corruption("reuse output record names no input");
+      }
       rec.tid = ord;
       rec.did = did;
       outputs->push_back(std::move(rec));

@@ -63,7 +63,14 @@ Result<Snapshot> ReadSnapshot(const std::string& path, IoStats* stats) {
     if (at_end) break;
     size_t offset = 0;
     DELEX_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(record, &offset));
-    if (tuple.size() != 3) return Status::Corruption("bad page record");
+    // Shape *and* kind checks: a corrupt record whose count survived can
+    // still carry the wrong value kinds, and std::get on the wrong
+    // alternative throws instead of returning a Status.
+    if (tuple.size() != 3 || !std::holds_alternative<int64_t>(tuple[0]) ||
+        !std::holds_alternative<std::string>(tuple[1]) ||
+        !std::holds_alternative<std::string>(tuple[2])) {
+      return Status::Corruption("bad page record");
+    }
     Page& page = snapshot.AddPage(std::move(std::get<std::string>(tuple[1])),
                                   std::move(std::get<std::string>(tuple[2])));
     page.did = std::get<int64_t>(tuple[0]);
