@@ -1,0 +1,118 @@
+// Self-tuning cost-model payoff: per-snapshot wall clock and
+// predicted-vs-measured drift with coefficient learning on vs off, over
+// one evolving series. Emitted as machine-readable JSON so the perf gate
+// has a timing trajectory (the *_seconds columns) and reviewers a
+// convergence trajectory (the *_drift columns — informational, never
+// gated: drift is a model-quality signal, not a wall-clock one).
+//
+//   build/bench/bench_cost_drift [> cost_drift.json]
+//
+// Scale knobs (bench_util.h): DELEX_PAGES_DBLIFE / DELEX_SNAPSHOTS /
+// DELEX_SEED / DELEX_THREADS, plus DELEX_BENCH_REPS (min-of-N on the
+// timing columns). The drift columns come from the first rep — drift is
+// deterministic in the measured µs only through the learned coefficients,
+// and mixing reps would splice different learning histories.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+
+namespace delex {
+namespace bench {
+namespace {
+
+struct SnapshotRow {
+  double seconds = 0;
+  double drift = -1;  // < 0: no feedback yet (warm-up, first pair)
+};
+
+/// Runs a Delex solution over the series snapshot by snapshot, recording
+/// wall seconds and the optimizer's reported cost drift per snapshot.
+/// RunSeries would hide the per-snapshot drift, hence the manual loop.
+std::vector<SnapshotRow> RunOnce(const ProgramSpec& spec,
+                                 const std::vector<Snapshot>& series,
+                                 bool learn, const std::string& tag) {
+  DelexSolutionOptions options;
+  options.num_threads = Threads();
+  options.learn_coefficients = learn;
+  auto solution = MakeDelexSolution(spec, WorkDir("costdrift-" + tag), options);
+  std::vector<SnapshotRow> rows;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Snapshot* previous = i == 0 ? nullptr : &series[i - 1];
+    RunStats stats;
+    Stopwatch watch;
+    auto result = solution->RunSnapshot(series[i], previous, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s snapshot %zu: %s\n", tag.c_str(), i,
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    SnapshotRow row;
+    row.seconds = watch.ElapsedSeconds();
+    obs::RunReportMeta meta;
+    obs::OptimizerReport optimizer;
+    solution->DescribeRun(&meta, &optimizer);
+    row.drift = optimizer.cost_drift;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void Main() {
+  ProgramSpec spec = MustProgram("chair");
+  const int pages = PagesFor(spec);
+  const int snapshots = Snapshots();
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = pages;
+  std::vector<Snapshot> series = GenerateSeries(profile, snapshots, Seed());
+
+  const int reps = BenchReps();
+  std::vector<SnapshotRow> on = RunOnce(spec, series, true, "on");
+  std::vector<SnapshotRow> off = RunOnce(spec, series, false, "off");
+  for (int rep = 1; rep < reps; ++rep) {
+    std::string rep_tag = "r" + std::to_string(rep);
+    std::vector<SnapshotRow> on_rep = RunOnce(spec, series, true,
+                                              rep_tag + "-on");
+    std::vector<SnapshotRow> off_rep = RunOnce(spec, series, false,
+                                               rep_tag + "-off");
+    // Min-of-N on the timing columns only; drift stays with the first
+    // rep's coherent learning history.
+    for (size_t i = 0; i < on.size(); ++i) {
+      if (on_rep[i].seconds < on[i].seconds) on[i].seconds = on_rep[i].seconds;
+      if (off_rep[i].seconds < off[i].seconds) {
+        off[i].seconds = off_rep[i].seconds;
+      }
+    }
+  }
+
+  std::printf("{\n  \"bench\": \"cost_drift\",\n"
+              "  \"meta\": %s,\n"
+              "  \"program\": \"%s\",\n  \"threads\": %d,\n"
+              "  \"pages\": %d,\n  \"snapshots\": %d,\n  \"runs\": [\n",
+              MetaJson().c_str(), spec.name.c_str(), Threads(), pages,
+              snapshots);
+  for (size_t i = 0; i < on.size(); ++i) {
+    std::printf("%s    {\"snapshot\": %zu, "
+                "\"on_seconds\": %.4f, \"off_seconds\": %.4f, "
+                "\"on_drift\": %.4f, \"off_drift\": %.4f}",
+                i == 0 ? "" : ",\n", i + 1, on[i].seconds, off[i].seconds,
+                on[i].drift, off[i].drift);
+  }
+  std::printf("\n  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace delex
+
+int main(int argc, char** argv) {
+  // Meta is embedded in the JSON document, not printed as a header line —
+  // stdout must stay one parseable document.
+  delex::bench::BenchInit(argc, argv, /*print_meta_line=*/false);
+  delex::bench::Main();
+  return 0;
+}

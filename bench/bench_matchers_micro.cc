@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "corpus/generator.h"
 #include "matcher/matcher.h"
 #include "text/diff.h"
@@ -131,7 +132,114 @@ void BM_LineDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_LineDiff)->Arg(4 << 10)->Arg(16 << 10);
 
+// ---------------------------------------------------------------------------
+// Scalar-vs-SIMD kernel columns: the same kernel at every dispatch level
+// the CPU supports (BM_Kernel*/scalar vs /sse2 vs /avx2), registered at
+// runtime from SupportedLevels(). These isolate the tentpole's claimed
+// wins — UD's byte trim, the identical-page digest check, newline
+// counting, and ST's stream skip — from the surrounding matcher logic.
+
+void BM_KernelPrefixTrim(benchmark::State& state, simd::Level level) {
+  PagePair pair = MakePair(64 << 10);
+  std::string copy = pair.q;  // identical → full-length scan, the UD trim hot case
+  for (auto _ : state) {
+    size_t n = simd::CommonPrefixAt(level, pair.q.data(), copy.data(),
+                                    pair.q.size());
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.q.size()));
+}
+
+void BM_KernelBytesEqual(benchmark::State& state, simd::Level level) {
+  PagePair pair = MakePair(64 << 10);
+  std::string copy = pair.q;
+  for (auto _ : state) {
+    bool eq = simd::BytesEqualAt(level, pair.q.data(), copy.data(),
+                                 pair.q.size());
+    benchmark::DoNotOptimize(eq);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.q.size()));
+}
+
+void BM_KernelCountNewlines(benchmark::State& state, simd::Level level) {
+  PagePair pair = MakePair(64 << 10);
+  for (auto _ : state) {
+    size_t count = simd::CountByteAt(level, pair.q.data(), pair.q.size(), '\n');
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.q.size()));
+}
+
+void BM_KernelStreamClassify(benchmark::State& state, simd::Level level) {
+  PagePair pair = MakePair(64 << 10);
+  // A set disjoint from the page text → every call scans to the end, the
+  // worst case of ST's root-miss skip.
+  simd::ByteSet set;
+  set.Add(0x01);
+  set.Add(0x02);
+  const unsigned char* bytes = static_cast<const unsigned char*>(
+      static_cast<const void*>(pair.q.data()));
+  for (auto _ : state) {
+    size_t at = simd::FindFirstInSetAt(level, bytes, pair.q.size(), set);
+    benchmark::DoNotOptimize(at);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.q.size()));
+}
+
+// Whole-function columns: DiffMatch (UD) and the automaton stream (ST)
+// with the dispatcher pinned to one level — the end-to-end view of the
+// same speedups.
+void BM_KernelLineDiff(benchmark::State& state, simd::Level level) {
+  simd::ScopedLevelOverride guard(level);
+  PagePair pair = MakePair(16 << 10);
+  for (auto _ : state) {
+    auto segments = DiffMatch(pair.p, 0, pair.q, 0);
+    benchmark::DoNotOptimize(segments);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.p.size() + pair.q.size()));
+}
+
+void BM_KernelAutomatonStream(benchmark::State& state, simd::Level level) {
+  simd::ScopedLevelOverride guard(level);
+  PagePair pair = MakePair(16 << 10);
+  SuffixAutomaton automaton(pair.q);
+  for (auto _ : state) {
+    int64_t best = automaton.LongestCommonSubstring(pair.p);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pair.p.size()));
+}
+
 }  // namespace
+
+void RegisterKernelBenchmarks() {
+  struct NamedKernel {
+    const char* name;
+    void (*fn)(benchmark::State&, simd::Level);
+  };
+  static constexpr NamedKernel kKernels[] = {
+      {"BM_KernelPrefixTrim", BM_KernelPrefixTrim},
+      {"BM_KernelBytesEqual", BM_KernelBytesEqual},
+      {"BM_KernelCountNewlines", BM_KernelCountNewlines},
+      {"BM_KernelStreamClassify", BM_KernelStreamClassify},
+      {"BM_KernelLineDiff", BM_KernelLineDiff},
+      {"BM_KernelAutomatonStream", BM_KernelAutomatonStream},
+  };
+  for (const NamedKernel& kernel : kKernels) {
+    for (simd::Level level : simd::SupportedLevels()) {
+      std::string name =
+          std::string(kernel.name) + "/" + simd::LevelName(level);
+      benchmark::RegisterBenchmark(name.c_str(), kernel.fn, level);
+    }
+  }
+}
+
 }  // namespace delex
 
 // Expanded BENCHMARK_MAIN() with the shared metadata header on stderr —
@@ -143,6 +251,7 @@ int main(int argc, char** argv) {
                delex::bench::MetaJson().c_str());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  delex::RegisterKernelBenchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -12,6 +12,9 @@ Supported inputs (auto-detected from the JSON shape):
       metrics: off/on wall seconds per identical-fraction row
   - bench_parallel_scaling:   {"bench": "parallel_scaling", "programs": [...]}
       metrics: wall seconds per (program, thread-count) row
+  - bench_cost_drift:         {"bench": "cost_drift", "runs": [...]}
+      metrics: learn-on/off wall seconds per snapshot (drift columns are
+      informational and not gated)
   - bench_matchers_micro:     google-benchmark --benchmark_format=json
       metrics: real_time per benchmark (normalized to nanoseconds)
 
@@ -59,6 +62,18 @@ def metrics_identical_fraction(doc):
     return out
 
 
+def metrics_cost_drift(doc):
+    """on/off wall seconds per snapshot, lower is better. The drift
+    columns are intentionally NOT gated — drift measures model quality,
+    not speed, and re-baselining timing must not freeze it."""
+    out = {}
+    for row in doc.get("runs", []):
+        tag = "costdrift_s%02d" % int(row["snapshot"])
+        out[tag + "_on_seconds"] = float(row["on_seconds"])
+        out[tag + "_off_seconds"] = float(row["off_seconds"])
+    return out
+
+
 def metrics_parallel_scaling(doc):
     """Wall seconds per (program, thread count), lower is better."""
     out = {}
@@ -91,6 +106,8 @@ def extract_metrics(doc, path):
     kind = doc.get("bench") if isinstance(doc, dict) else None
     if kind == "identical_fraction":
         return metrics_identical_fraction(doc)
+    if kind == "cost_drift":
+        return metrics_cost_drift(doc)
     if kind == "parallel_scaling":
         return metrics_parallel_scaling(doc)
     fail_usage("unrecognized bench JSON shape in %s" % path)

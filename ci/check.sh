@@ -96,6 +96,14 @@ if [[ "${DELEX_CI_FAST:-0}" == "1" ]]; then
 fi
 
 if [[ "${DELEX_CI_TSAN_ONLY:-0}" != "1" ]]; then
+  # Scalar-dispatch leg: the full Release suite again with DELEX_SIMD=0,
+  # so every kernel consumer (diff trim, suffix stream, digest check) is
+  # also exercised through the scalar tier. Byte-identical results across
+  # tiers are asserted in-process by simd_test and the paranoid oracle;
+  # this leg catches anything only reachable through the env knob.
+  echo "=== Release: ctest with DELEX_SIMD=0 (scalar kernels) ==="
+  DELEX_SIMD=0 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+
   # Traced smoke of the observability layer: a 3-snapshot parallel DBLife
   # run with tracing and run reports on. The trace must be valid JSON
   # (Perfetto-loadable) and every non-warm-up Delex report line must carry
@@ -235,7 +243,7 @@ assert lines > 0, "snapshot writer produced no lines"
 print(f"snapshot writer OK: {lines} lines")
 EOF
 
-  # Perf-regression gate: re-run the three gated benches at the pinned
+  # Perf-regression gate: re-run the gated benches at the pinned
   # quick scale and compare against the committed baselines; the median
   # per-metric slowdown must stay within 15%. Re-baseline intentional perf
   # changes with DELEX_BENCH_BASELINE_UPDATE=1 ci/check.sh.
@@ -250,7 +258,10 @@ EOF
   env "${bench_env[@]}" ./build-release/bench/bench_matchers_micro \
     --benchmark_format=json --benchmark_min_time=0.05 \
     > "${bench_tmp}/matchers_micro.json" 2>/dev/null
-  for bench in identical_fraction parallel_scaling matchers_micro; do
+  env "${bench_env[@]}" ./build-release/bench/bench_cost_drift \
+    > "${bench_tmp}/cost_drift.json"
+  for bench in identical_fraction parallel_scaling matchers_micro \
+               cost_drift; do
     python3 ci/bench_compare.py "bench/baselines/${bench}.json" \
       "${bench_tmp}/${bench}.json"
   done

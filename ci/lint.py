@@ -17,6 +17,10 @@ Rules (each has an id; suppress a finding with a trailing or preceding
   relative-include       #include "../..." breaks the single src/-rooted
                          include space.
   bits-include           <bits/...> is a libstdc++ internal.
+  simd-intrinsics        raw x86 intrinsics (<immintrin.h>, _mm*_, __m128/
+                         256/512) are confined to src/common/simd.h — all
+                         other code goes through the delex::simd dispatch
+                         kernels so the scalar tier stays complete.
   header-guard           headers under src/ carry the canonical
                          DELEX_<PATH>_H_ guard, derived from the path.
 
@@ -123,6 +127,13 @@ TOKEN_RULES = [
      "libstdc++ internal header",
      lambda p: True,
      True),
+    ("simd-intrinsics",
+     re.compile(r"#\s*include\s+<[a-z0-9]*intrin\.h>|_mm\d*_|"
+                r"\b__m(128|256|512)i?\b"),
+     "raw SIMD intrinsics outside src/common/simd.h (add a kernel to the "
+     "delex::simd dispatch layer instead)",
+     lambda p: p != "src/common/simd.h",
+     True),  # raw: includes are matched inside the <...> literal
 ]
 
 
@@ -206,6 +217,11 @@ SELF_TEST_CASES = {
         "src/common/bad.h",
         "#ifndef DELEX_COMMON_BAD_H_\n#define DELEX_COMMON_BAD_H_\n"
         "#include <bits/stdc++.h>\n#endif\n"),
+    "simd-intrinsics": (
+        "src/text/bad_simd.cc",
+        "#include <immintrin.h>\n"
+        "int f(const char* p) { __m256i v = _mm256_set1_epi8(*p); "
+        "return _mm256_movemask_epi8(v); }\n"),
     "header-guard": (
         "src/common/bad2.h",
         "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n"),
@@ -232,6 +248,12 @@ SELF_TEST_CLEAN = {
     "src/common/ok.h":
         "#ifndef DELEX_COMMON_OK_H_\n#define DELEX_COMMON_OK_H_\n"
         "#endif  // DELEX_COMMON_OK_H_\n",
+    "src/common/simd.h":
+        "#ifndef DELEX_COMMON_SIMD_H_\n#define DELEX_COMMON_SIMD_H_\n"
+        "#include <immintrin.h>\n"
+        "inline int f(const char* p) { __m128i v = _mm_set1_epi8(*p); "
+        "return _mm_movemask_epi8(v); }\n"
+        "#endif  // DELEX_COMMON_SIMD_H_\n",
 }
 
 

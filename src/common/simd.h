@@ -1,0 +1,494 @@
+#ifndef DELEX_COMMON_SIMD_H_
+#define DELEX_COMMON_SIMD_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+/// \file
+/// \brief Byte-kernel primitives with runtime CPU dispatch.
+///
+/// Every kernel exists in up to three variants — scalar, SSE2 and AVX2 —
+/// selected at runtime from CPU capabilities. The `DELEX_SIMD` environment
+/// knob caps the level ("0"/"scalar", "1"/"sse2", "2"/"avx2"; unset picks
+/// the best the CPU supports), and ScopedLevelOverride forces a level
+/// in-process so the differential oracle and tests can compare simd-on
+/// against simd-off without re-execing. All variants of a kernel return
+/// byte-identical results; only throughput differs. Higher-level code
+/// (diff trimming, suffix-automaton streaming, the identical-page check)
+/// is written so its *output* is dispatch-invariant, and the
+/// DELEX_PARANOID differential oracle re-runs a scalar leg to enforce it.
+///
+/// The AVX2 variants are compiled with function-level target attributes so
+/// the translation unit itself needs no special flags; vector loads are
+/// unaligned and every loop processes full blocks only (scalar tails), so
+/// kernels never read past the given bounds — AddressSanitizer-clean.
+///
+/// This is the only file in the tree allowed to touch raw intrinsics
+/// (enforced by ci/lint.py rule `simd-intrinsics`).
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DELEX_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define DELEX_SIMD_X86 0
+#endif
+
+namespace delex::simd {
+
+/// Dispatch tiers, ordered so numeric comparison == capability comparison.
+enum class Level : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+inline const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+/// Best level the running CPU supports.
+inline Level DetectCpuLevel() {
+#if DELEX_SIMD_X86 && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Level::kSse2;
+#endif
+  return Level::kScalar;
+}
+
+/// Parses a DELEX_SIMD-style spec; nullptr / empty / unrecognized values
+/// fall back to `fallback` (the detected level — misspelling the knob must
+/// never silently change results, only speed, so any value is safe).
+inline Level LevelFromSpec(const char* spec, Level fallback) {
+  if (spec == nullptr || *spec == '\0') return fallback;
+  std::string s(spec);
+  if (s == "0" || s == "scalar" || s == "off") return Level::kScalar;
+  if (s == "1" || s == "sse2") return Level::kSse2;
+  if (s == "2" || s == "avx2") return Level::kAvx2;
+  return fallback;
+}
+
+namespace internal {
+inline std::atomic<int>& OverrideSlot() {
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+}  // namespace internal
+
+/// The level kernels actually run at: an active ScopedLevelOverride wins,
+/// otherwise DELEX_SIMD (read once), capped by what the CPU supports.
+inline Level ActiveLevel() {
+  int forced = internal::OverrideSlot().load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level env_level = [] {
+    Level best = DetectCpuLevel();
+    Level wanted = LevelFromSpec(std::getenv("DELEX_SIMD"), best);
+    return wanted < best ? wanted : best;
+  }();
+  return env_level;
+}
+
+/// Forces a dispatch level for the lifetime of the object (used by the
+/// differential oracle's simd-off leg and by simd_test). Not thread-safe
+/// against concurrent overrides; the oracle runs legs sequentially.
+class ScopedLevelOverride {
+ public:
+  explicit ScopedLevelOverride(Level level)
+      : previous_(internal::OverrideSlot().exchange(
+            static_cast<int>(level), std::memory_order_relaxed)) {}
+  ~ScopedLevelOverride() {
+    internal::OverrideSlot().store(previous_, std::memory_order_relaxed);
+  }
+  ScopedLevelOverride(const ScopedLevelOverride&) = delete;
+  ScopedLevelOverride& operator=(const ScopedLevelOverride&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Levels runnable on this CPU, ascending (always includes kScalar).
+inline std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  Level best = DetectCpuLevel();
+  if (best >= Level::kSse2) levels.push_back(Level::kSse2);
+  if (best >= Level::kAvx2) levels.push_back(Level::kAvx2);
+  return levels;
+}
+
+// ---------------------------------------------------------------------------
+// CommonPrefix: length of the longest common prefix of a[0,n) and b[0,n).
+
+inline size_t CommonPrefixScalar(const char* a, const char* b, size_t n) {
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+#if DELEX_SIMD_X86
+inline size_t CommonPrefixSse2(const char* a, const char* b, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i va = _mm_loadu_si128(
+        static_cast<const __m128i*>(static_cast<const void*>(a + i)));
+    __m128i vb = _mm_loadu_si128(
+        static_cast<const __m128i*>(static_cast<const void*>(b + i)));
+    uint32_t eq = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~eq & 0xFFFFu));
+    }
+  }
+  return i + CommonPrefixScalar(a + i, b + i, n - i);
+}
+
+inline __attribute__((target("avx2"))) size_t CommonPrefixAvx2(const char* a,
+                                                               const char* b,
+                                                               size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i va = _mm256_loadu_si256(
+        static_cast<const __m256i*>(static_cast<const void*>(a + i)));
+    __m256i vb = _mm256_loadu_si256(
+        static_cast<const __m256i*>(static_cast<const void*>(b + i)));
+    uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFFFFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~eq));
+    }
+  }
+  return i + CommonPrefixScalar(a + i, b + i, n - i);
+}
+#endif  // DELEX_SIMD_X86
+
+inline size_t CommonPrefixAt(Level level, const char* a, const char* b,
+                             size_t n) {
+#if DELEX_SIMD_X86
+  if (level == Level::kAvx2) return CommonPrefixAvx2(a, b, n);
+  if (level == Level::kSse2) return CommonPrefixSse2(a, b, n);
+#else
+  (void)level;
+#endif
+  return CommonPrefixScalar(a, b, n);
+}
+
+inline size_t CommonPrefix(const char* a, const char* b, size_t n) {
+  return CommonPrefixAt(ActiveLevel(), a, b, n);
+}
+
+// ---------------------------------------------------------------------------
+// CommonSuffix: largest s <= max_n with a[a_len-s, a_len) == b[b_len-s, b_len).
+
+inline size_t CommonSuffixScalar(const char* a, size_t a_len, const char* b,
+                                 size_t b_len, size_t max_n) {
+  size_t s = 0;
+  while (s < max_n && a[a_len - 1 - s] == b[b_len - 1 - s]) ++s;
+  return s;
+}
+
+#if DELEX_SIMD_X86
+inline size_t CommonSuffixSse2(const char* a, size_t a_len, const char* b,
+                               size_t b_len, size_t max_n) {
+  size_t s = 0;
+  for (; s + 16 <= max_n; s += 16) {
+    __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(
+        static_cast<const void*>(a + a_len - s - 16)));
+    __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(
+        static_cast<const void*>(b + b_len - s - 16)));
+    uint32_t eq = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) {
+      // Equal bytes at the *end* of the block == leading ones of the
+      // 16-bit mask; shift into the top half so clz counts them.
+      uint32_t ne = (~eq & 0xFFFFu) << 16;
+      return s + static_cast<size_t>(__builtin_clz(ne));
+    }
+  }
+  return s + CommonSuffixScalar(a, a_len - s, b, b_len - s, max_n - s);
+}
+
+inline __attribute__((target("avx2"))) size_t CommonSuffixAvx2(
+    const char* a, size_t a_len, const char* b, size_t b_len, size_t max_n) {
+  size_t s = 0;
+  for (; s + 32 <= max_n; s += 32) {
+    __m256i va = _mm256_loadu_si256(static_cast<const __m256i*>(
+        static_cast<const void*>(a + a_len - s - 32)));
+    __m256i vb = _mm256_loadu_si256(static_cast<const __m256i*>(
+        static_cast<const void*>(b + b_len - s - 32)));
+    uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFFFFFu) {
+      return s + static_cast<size_t>(__builtin_clz(~eq));
+    }
+  }
+  return s + CommonSuffixScalar(a, a_len - s, b, b_len - s, max_n - s);
+}
+#endif  // DELEX_SIMD_X86
+
+inline size_t CommonSuffixAt(Level level, const char* a, size_t a_len,
+                             const char* b, size_t b_len, size_t max_n) {
+#if DELEX_SIMD_X86
+  if (level == Level::kAvx2) return CommonSuffixAvx2(a, a_len, b, b_len, max_n);
+  if (level == Level::kSse2) return CommonSuffixSse2(a, a_len, b, b_len, max_n);
+#else
+  (void)level;
+#endif
+  return CommonSuffixScalar(a, a_len, b, b_len, max_n);
+}
+
+inline size_t CommonSuffix(const char* a, size_t a_len, const char* b,
+                           size_t b_len, size_t max_n) {
+  return CommonSuffixAt(ActiveLevel(), a, a_len, b, b_len, max_n);
+}
+
+// ---------------------------------------------------------------------------
+// BytesEqual: whole-buffer equality (the LinesEqual / identical-page kernel).
+
+inline bool BytesEqualScalar(const void* a, const void* b, size_t n) {
+  const char* pa = static_cast<const char*>(a);
+  const char* pb = static_cast<const char*>(b);
+  for (size_t i = 0; i < n; ++i) {
+    if (pa[i] != pb[i]) return false;
+  }
+  return true;
+}
+
+inline bool BytesEqualAt(Level level, const void* a, const void* b, size_t n) {
+  const char* pa = static_cast<const char*>(a);
+  const char* pb = static_cast<const char*>(b);
+  return CommonPrefixAt(level, pa, pb, n) == n;
+}
+
+inline bool BytesEqual(const void* a, const void* b, size_t n) {
+  return BytesEqualAt(ActiveLevel(), a, b, n);
+}
+
+// ---------------------------------------------------------------------------
+// FindByte: index of the first occurrence of `c` in data[0,n), or n.
+
+inline size_t FindByteScalar(const char* data, size_t n, char c) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] == c) return i;
+  }
+  return n;
+}
+
+#if DELEX_SIMD_X86
+inline size_t FindByteSse2(const char* data, size_t n, char c) {
+  __m128i needle = _mm_set1_epi8(c);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(
+        static_cast<const __m128i*>(static_cast<const void*>(data + i)));
+    uint32_t hit = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle)));
+    if (hit != 0) return i + static_cast<size_t>(__builtin_ctz(hit));
+  }
+  return i + FindByteScalar(data + i, n - i, c);
+}
+
+inline __attribute__((target("avx2"))) size_t FindByteAvx2(const char* data,
+                                                           size_t n, char c) {
+  __m256i needle = _mm256_set1_epi8(c);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(
+        static_cast<const __m256i*>(static_cast<const void*>(data + i)));
+    uint32_t hit = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+    if (hit != 0) return i + static_cast<size_t>(__builtin_ctz(hit));
+  }
+  return i + FindByteScalar(data + i, n - i, c);
+}
+#endif  // DELEX_SIMD_X86
+
+inline size_t FindByteAt(Level level, const char* data, size_t n, char c) {
+#if DELEX_SIMD_X86
+  if (level == Level::kAvx2) return FindByteAvx2(data, n, c);
+  if (level == Level::kSse2) return FindByteSse2(data, n, c);
+#else
+  (void)level;
+#endif
+  return FindByteScalar(data, n, c);
+}
+
+inline size_t FindByte(const char* data, size_t n, char c) {
+  return FindByteAt(ActiveLevel(), data, n, c);
+}
+
+/// Index of `c` in labels[0,n) or -1 — the suffix-automaton edge lookup
+/// over the struct-of-arrays label block.
+inline int FindByteIndexAt(Level level, const unsigned char* labels, size_t n,
+                           unsigned char c) {
+  size_t i = FindByteAt(
+      level, static_cast<const char*>(static_cast<const void*>(labels)), n,
+      static_cast<char>(c));
+  return i == n ? -1 : static_cast<int>(i);
+}
+
+inline int FindByteIndex(const unsigned char* labels, size_t n,
+                         unsigned char c) {
+  return FindByteIndexAt(ActiveLevel(), labels, n, c);
+}
+
+// ---------------------------------------------------------------------------
+// CountByte: occurrences of `c` in data[0,n).
+
+inline size_t CountByteScalar(const char* data, size_t n, char c) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += data[i] == c ? 1 : 0;
+  }
+  return count;
+}
+
+#if DELEX_SIMD_X86
+inline size_t CountByteSse2(const char* data, size_t n, char c) {
+  __m128i needle = _mm_set1_epi8(c);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(
+        static_cast<const __m128i*>(static_cast<const void*>(data + i)));
+    uint32_t hit = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle)));
+    count += static_cast<size_t>(__builtin_popcount(hit));
+  }
+  return count + CountByteScalar(data + i, n - i, c);
+}
+
+inline __attribute__((target("avx2"))) size_t CountByteAvx2(const char* data,
+                                                            size_t n, char c) {
+  __m256i needle = _mm256_set1_epi8(c);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(
+        static_cast<const __m256i*>(static_cast<const void*>(data + i)));
+    uint32_t hit = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+    count += static_cast<size_t>(__builtin_popcount(hit));
+  }
+  return count + CountByteScalar(data + i, n - i, c);
+}
+#endif  // DELEX_SIMD_X86
+
+inline size_t CountByteAt(Level level, const char* data, size_t n, char c) {
+#if DELEX_SIMD_X86
+  if (level == Level::kAvx2) return CountByteAvx2(data, n, c);
+  if (level == Level::kSse2) return CountByteSse2(data, n, c);
+#else
+  (void)level;
+#endif
+  return CountByteScalar(data, n, c);
+}
+
+inline size_t CountByte(const char* data, size_t n, char c) {
+  return CountByteAt(ActiveLevel(), data, n, c);
+}
+
+// ---------------------------------------------------------------------------
+// ByteSet + FindFirstInSet: batched membership classing. Used by the
+// suffix-automaton stream to skip runs of query bytes that have no root
+// transition (the automaton is parked at the root with length 0 across
+// such a run, so the skip is behavior-preserving).
+
+/// 256-bit byte membership set. Alongside the word bitmap it keeps the
+/// nibble-indexed row tables the AVX2 classifier needs: for byte b,
+/// row = rows[b & 15] (low table for b < 128, high table otherwise) and
+/// membership is bit ((b >> 4) & 7) of that row — a pshufb-gatherable
+/// layout (the simdjson / Mula byte-classification scheme).
+struct ByteSet {
+  std::array<uint64_t, 4> words{};
+  std::array<unsigned char, 16> lo_rows{};  // high nibble 0..7
+  std::array<unsigned char, 16> hi_rows{};  // high nibble 8..15
+
+  void Add(unsigned char c) {
+    words[c >> 6] |= uint64_t{1} << (c & 63);
+    unsigned char bit = static_cast<unsigned char>(1u << ((c >> 4) & 7));
+    if (c < 128) {
+      lo_rows[c & 15] = static_cast<unsigned char>(lo_rows[c & 15] | bit);
+    } else {
+      hi_rows[c & 15] = static_cast<unsigned char>(hi_rows[c & 15] | bit);
+    }
+  }
+
+  bool Contains(unsigned char c) const {
+    return (words[c >> 6] >> (c & 63)) & 1;
+  }
+};
+
+/// Index of the first byte of data[0,n) contained in `set`, or n.
+inline size_t FindFirstInSetScalar(const unsigned char* data, size_t n,
+                                   const ByteSet& set) {
+  for (size_t i = 0; i < n; ++i) {
+    if (set.Contains(data[i])) return i;
+  }
+  return n;
+}
+
+#if DELEX_SIMD_X86
+inline __attribute__((target("avx2"))) size_t FindFirstInSetAvx2(
+    const unsigned char* data, size_t n, const ByteSet& set) {
+  __m128i lo128 = _mm_loadu_si128(
+      static_cast<const __m128i*>(static_cast<const void*>(set.lo_rows.data())));
+  __m128i hi128 = _mm_loadu_si128(
+      static_cast<const __m128i*>(static_cast<const void*>(set.hi_rows.data())));
+  __m256i lo_tbl = _mm256_broadcastsi128_si256(lo128);
+  __m256i hi_tbl = _mm256_broadcastsi128_si256(hi128);
+  __m256i nibble_mask = _mm256_set1_epi8(0x0F);
+  __m256i bit_mask = _mm256_set1_epi8(0x07);
+  __m256i bit_tbl = _mm256_broadcastsi128_si256(
+      _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64,
+                    -128));
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(
+        static_cast<const __m256i*>(static_cast<const void*>(data + i)));
+    __m256i lo = _mm256_and_si256(v, nibble_mask);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nibble_mask);
+    __m256i row_lo = _mm256_shuffle_epi8(lo_tbl, lo);
+    __m256i row_hi = _mm256_shuffle_epi8(hi_tbl, lo);
+    // blendv selects by the sign bit of v, i.e. bytes >= 128 take row_hi.
+    __m256i row = _mm256_blendv_epi8(row_lo, row_hi, v);
+    __m256i bit = _mm256_shuffle_epi8(bit_tbl, _mm256_and_si256(hi, bit_mask));
+    __m256i member =
+        _mm256_cmpeq_epi8(_mm256_and_si256(row, bit), bit);
+    uint32_t hit = static_cast<uint32_t>(_mm256_movemask_epi8(member));
+    if (hit != 0) return i + static_cast<size_t>(__builtin_ctz(hit));
+  }
+  return i + FindFirstInSetScalar(data + i, n - i, set);
+}
+#endif  // DELEX_SIMD_X86
+
+inline size_t FindFirstInSetAt(Level level, const unsigned char* data,
+                               size_t n, const ByteSet& set) {
+#if DELEX_SIMD_X86
+  // The table-gather classifier needs pshufb (SSSE3+); the SSE2 tier uses
+  // the scalar bitmap walk — identical results, plain speed difference.
+  if (level == Level::kAvx2) return FindFirstInSetAvx2(data, n, set);
+#else
+  (void)level;
+#endif
+  return FindFirstInSetScalar(data, n, set);
+}
+
+inline size_t FindFirstInSet(const unsigned char* data, size_t n,
+                             const ByteSet& set) {
+  return FindFirstInSetAt(ActiveLevel(), data, n, set);
+}
+
+}  // namespace delex::simd
+
+#endif  // DELEX_COMMON_SIMD_H_

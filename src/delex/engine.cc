@@ -1,6 +1,7 @@
 #include "delex/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <filesystem>
 #include <mutex>
@@ -9,10 +10,12 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "delex/paranoid.h"
 #include "delex/region_derivation.h"
+#include "text/suffix_matcher.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -582,7 +585,9 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     // compare so a digest collision can never relocate wrong records.
     if (slot.q_page != nullptr && result_reader_ != nullptr &&
         slot.q_page->content_hash == page.content_hash &&
-        slot.q_page->content == page.content) {
+        slot.q_page->content.size() == page.content.size() &&
+        simd::BytesEqual(slot.q_page->content.data(), page.content.data(),
+                         page.content.size())) {
       slot.identical = true;
     }
   }
@@ -672,6 +677,24 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
   static obs::Gauge* generation_gauge =
       obs::MetricsRegistry::Global().GetGauge("engine.generation");
   generation_gauge->Set(generation_);
+  // Bridge the text-layer truncation tally into the metrics registry
+  // (delex_text cannot depend on obs) and WARN at most once per run.
+  {
+    static obs::Counter* truncated_counter =
+        obs::MetricsRegistry::Global().GetCounter(
+            "matcher.suffix.candidates_truncated");
+    static std::atomic<int64_t> truncated_seen{0};
+    int64_t truncated_total = SuffixCandidatesTruncatedTotal();
+    int64_t truncated_delta =
+        truncated_total -
+        truncated_seen.exchange(truncated_total, std::memory_order_relaxed);
+    if (truncated_delta > 0) {
+      truncated_counter->Increment(truncated_delta);
+      DELEX_LOG(WARN) << "suffix matcher truncated " << truncated_delta
+                      << " candidate list(s) this run; raise "
+                         "DELEX_SUFFIX_MAX_CANDIDATES if ST reuse looks thin";
+    }
+  }
   DELEX_LOG(INFO) << "snapshot run done: gen=" << generation_
                   << " pages=" << out_stats->pages
                   << " identical=" << out_stats->pages_identical

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "delex/engine.h"
 
 namespace delex {
@@ -139,14 +141,22 @@ Status DifferentialOracle(const xlog::PlanNodePtr& plan,
     const char* name;
     int num_threads;
     bool disable_fast_path;
+    bool force_scalar_simd;
   };
   const Config configs[] = {
-      {"serial", 1, false},
-      {"parallel", 3, false},
-      {"no-fast-path", 1, true},
+      {"serial", 1, false, false},
+      {"parallel", 3, false, false},
+      {"no-fast-path", 1, true, false},
+      // simd-on == simd-off: the vectorized kernels must be byte-identical
+      // to the scalar fallback (DELEX_SIMD=0 equivalence, in-process).
+      {"simd-off", 1, false, true},
   };
   std::vector<std::vector<std::vector<Tuple>>> per_config;
   for (const Config& config : configs) {
+    std::optional<simd::ScopedLevelOverride> scalar_guard;
+    if (config.force_scalar_simd) {
+      scalar_guard.emplace(simd::Level::kScalar);
+    }
     DelexEngine::Options options;
     options.work_dir = scratch_dir + "/oracle-" + config.name;
     options.num_threads = config.num_threads;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <optional>
 
 #include "baseline/plan_extractor.h"
 #include "baseline/runners.h"
@@ -70,7 +72,9 @@ class EngineSolution : public Solution {
  public:
   EngineSolution(std::string name, xlog::PlanNodePtr plan,
                  const std::string& work_dir, DelexSolutionOptions options)
-      : name_(std::move(name)), options_(std::move(options)) {
+      : name_(std::move(name)),
+        options_(std::move(options)),
+        work_dir_(work_dir) {
     DelexEngine::Options engine_options;
     engine_options.work_dir = work_dir;
     engine_options.num_threads = options_.num_threads;
@@ -85,8 +89,24 @@ class EngineSolution : public Solution {
     Optimizer::Options opt_options;
     opt_options.collector.sample_pages = options_.sample_pages;
     opt_options.history_snapshots = options_.history_snapshots;
+    opt_options.learn_coefficients = options_.learn_coefficients;
     optimizer_ = std::make_unique<Optimizer>(engine_->plan(),
                                              engine_->analysis(), opt_options);
+    // Resume learned coefficients persisted by an earlier process over
+    // this work dir (newest generation wins). A corrupt or missing file
+    // just means a fresh start — never a miscalibrated one.
+    if (optimizer_->LearningEnabled()) {
+      if (auto path = NewestCoefficientFile()) {
+        Status loaded = optimizer_->LoadCoefficients(*path);
+        if (loaded.ok()) {
+          DELEX_LOG(INFO) << name_ << ": resumed cost coefficients from "
+                          << *path;
+        } else {
+          DELEX_LOG(WARN) << name_ << ": ignoring " << *path << ": "
+                          << loaded.ToString();
+        }
+      }
+    }
     return Status::OK();
   }
 
@@ -131,6 +151,30 @@ class EngineSolution : public Solution {
       stats->phases.opt_us = opt_us;
       stats->phases.total_us += opt_us;
     }
+    // Close the self-tuning loop: feed the measured per-unit µs back into
+    // the cost model and persist the coefficients for the generation just
+    // completed, next to its reuse files.
+    last_drift_ = -1;
+    if (previous != nullptr && stats != nullptr && optimizer_->HasStats()) {
+      Status observed = optimizer_->ObserveMeasuredCosts(assignment, *stats);
+      if (observed.ok()) {
+        last_drift_ = optimizer_->LastDrift();
+        if (optimizer_->LearningEnabled()) {
+          int completed_gen = engine_->generation() - 1;
+          Status saved =
+              optimizer_->SaveCoefficients(CoefficientPath(completed_gen));
+          if (!saved.ok()) {
+            DELEX_LOG(WARN) << name_ << ": " << saved.ToString();
+          }
+          std::error_code ec;
+          std::filesystem::remove(CoefficientPath(completed_gen - 1), ec);
+        }
+      } else {
+        DELEX_LOG(WARN) << name_
+                        << ": measured-cost feedback skipped: "
+                        << observed.ToString();
+      }
+    }
     return results;
   }
 
@@ -150,6 +194,20 @@ class EngineSolution : public Solution {
     }
     optimizer->predicted_unit_us = last_predicted_unit_us_;
     optimizer->predicted_total_us = last_predicted_total_us_;
+    optimizer->learning_enabled = optimizer_->LearningEnabled();
+    optimizer->cost_drift = last_drift_;
+    optimizer->learned.clear();
+    for (MatcherKind kind : kAllMatcherKinds) {
+      const CoefficientLearner::KindModel& m = optimizer_->learner().model(kind);
+      if (m.samples == 0) continue;
+      obs::OptimizerReport::LearnedCoefficient row;
+      row.matcher = MatcherKindName(kind);
+      row.gain = m.gain;
+      row.bias = m.bias;
+      row.drift = m.drift;
+      row.samples = m.samples;
+      optimizer->learned.push_back(std::move(row));
+    }
   }
 
  private:
@@ -159,13 +217,35 @@ class EngineSolution : public Solution {
     for (double c : last_predicted_unit_us_) last_predicted_total_us_ += c;
   }
 
+  std::string CoefficientPath(int generation) const {
+    return work_dir_ + "/coeffs.gen" + std::to_string(generation);
+  }
+
+  /// The coeffs.gen<N> file with the largest N in the work dir, if any.
+  std::optional<std::string> NewestCoefficientFile() const {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(work_dir_, ec);
+    if (ec) return std::nullopt;
+    int best_gen = -1;
+    for (const auto& entry : it) {
+      std::string stem = entry.path().filename().string();
+      if (stem.rfind("coeffs.gen", 0) != 0) continue;
+      int gen = std::atoi(stem.c_str() + std::string_view("coeffs.gen").size());
+      if (gen > best_gen) best_gen = gen;
+    }
+    if (best_gen < 0) return std::nullopt;
+    return CoefficientPath(best_gen);
+  }
+
   std::string name_;
   DelexSolutionOptions options_;
+  std::string work_dir_;
   std::unique_ptr<DelexEngine> engine_;
   std::unique_ptr<Optimizer> optimizer_;
   MatcherAssignment last_assignment_;
   std::vector<double> last_predicted_unit_us_;
   double last_predicted_total_us_ = -1;
+  double last_drift_ = -1;
   bool last_had_previous_ = false;
 };
 

@@ -80,6 +80,10 @@ struct DelexSolutionOptions {
   bool disable_page_fast_path = false;
   /// Disable σ/π folding — reuse at bare-blackbox level (ablation, §4).
   bool fold_unit_operators = true;
+  /// Learn per-matcher cost coefficients online from measured per-unit µs
+  /// and persist them per generation alongside the reuse files (see
+  /// CoefficientLearner). DELEX_COST_LEARN=0 also forces this off.
+  bool learn_coefficients = true;
 };
 
 /// \brief Full Delex: per-unit reuse with cost-based matcher assignment.

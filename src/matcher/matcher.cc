@@ -60,9 +60,11 @@ class StMatcher : public Matcher {
                                   const TextSpan& q_region,
                                   MatchContext* ctx) const override {
     DELEX_TRACE_SPAN("match_st", p_region.length(), "matcher");
+    // Env-tuned once per process (DELEX_SUFFIX_MAX_CANDIDATES).
+    static const SuffixMatchOptions options = SuffixMatchOptions::FromEnv();
     std::vector<MatchSegment> segments =
         SuffixMatch(RegionText(p_content, p_region), p_region.start,
-                    RegionText(q_content, q_region), q_region.start);
+                    RegionText(q_content, q_region), q_region.start, options);
     if (ctx != nullptr) ctx->Record(p_region, q_region, segments);
     return segments;
   }

@@ -117,6 +117,23 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
     if (optimizer.predicted_total_us >= 0) {
       json.KV("predicted_total_us", optimizer.predicted_total_us);
     }
+    json.KV("learning", optimizer.learning_enabled);
+    if (optimizer.cost_drift >= 0) {
+      json.KV("cost_drift", optimizer.cost_drift);
+    }
+    if (!optimizer.learned.empty()) {
+      json.Key("coeffs").BeginArray();
+      for (const OptimizerReport::LearnedCoefficient& row : optimizer.learned) {
+        json.BeginObject()
+            .KV("matcher", row.matcher)
+            .KV("gain", row.gain)
+            .KV("bias", row.bias)
+            .KV("drift", row.drift)
+            .KV("samples", row.samples)
+            .EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
   }
 

@@ -13,7 +13,7 @@
 // --stats-json / DELEX_STATS_JSON is set; tests build lines directly.
 //
 // Schema v2 line shape (keys stable; additions bump the version):
-//   {"schema_version":2,"solution":"Delex","snapshot":2,"warmup":false,
+//   {"schema_version":3,"solution":"Delex","snapshot":2,"warmup":false,
 //    "threads":4,"fast_path":true,"histograms":true,"tag":"fig11-talk",
 //    "pages":N,"pages_with_previous":N,"pages_identical":N,
 //    "result_tuples":N,"raw_bytes_copied":N,"records_decoded_skipped":N,
@@ -47,6 +47,13 @@
 // (recorder state + dropped-event count), and per-unit extract-latency
 // percentiles. Latency summaries are present only when histograms were
 // enabled for the run.
+//
+// v2 → v3: the "optimizer" block gains the self-tuning cost-model state:
+// "learning" (coefficient learning enabled), "cost_drift" (mean relative
+// predicted-vs-measured per-unit error of this run, pre-update; omitted
+// before the first feedback), and "coeffs" (per-matcher learned
+// calibration rows {"matcher","gain","bias","drift","samples"}; omitted
+// until a kind has samples).
 
 #include <cstdint>
 #include <cstdio>
@@ -59,7 +66,7 @@
 namespace delex {
 namespace obs {
 
-inline constexpr int kRunReportSchemaVersion = 2;
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// \brief Run identity and execution-environment metadata for one line.
 struct RunReportMeta {
@@ -84,6 +91,21 @@ struct OptimizerReport {
   std::vector<double> predicted_unit_us;
   /// Cost-model estimate for the whole plan (µs); < 0 when unavailable.
   double predicted_total_us = -1;
+
+  /// One learned-calibration row per matcher kind with samples (v3).
+  struct LearnedCoefficient {
+    std::string matcher;   ///< "DN"/"UD"/"ST"/"RU"
+    double gain = 1.0;     ///< multiplicative correction
+    double bias = 0.0;     ///< additive correction (µs)
+    double drift = -1.0;   ///< EW mean relative error, pre-update
+    int64_t samples = 0;
+  };
+  /// Whether coefficient learning was enabled for this solution (v3).
+  bool learning_enabled = false;
+  /// Mean relative predicted-vs-measured per-unit error of this run,
+  /// computed before the update; < 0 before any feedback (v3).
+  double cost_drift = -1;
+  std::vector<LearnedCoefficient> learned;
 };
 
 /// \brief Builds one JSONL line (no trailing newline).

@@ -59,7 +59,12 @@ double EstimateUnitCost(const CostModelStats& stats, int u,
   cost += stats.w_io_us_per_block * unit.c_blocks +
           stats.w_copy_us * an * m1 * (a1 * m1 * f * h) / stats.v_buckets;
 
-  return cost;
+  // Learned affine correction, keyed by the kind the unit is priced as
+  // (RU calibrates as RU). Identity until the feedback loop has run.
+  const size_t ck = MatcherIndex(ru_priced ? MatcherKind::kRU : effective);
+  double calibrated =
+      stats.calibration.gain[ck] * cost + stats.calibration.bias[ck];
+  return calibrated > 0 ? calibrated : 0.0;
 }
 
 namespace {

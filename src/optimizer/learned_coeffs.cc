@@ -1,0 +1,143 @@
+#include "optimizer/learned_coeffs.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace delex {
+
+namespace {
+
+constexpr char kMagic[] = "delex-coeffs v1";
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %.17g round-trips IEEE doubles exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void CoefficientLearner::Observe(MatcherKind kind, double raw_us,
+                                 double measured_us) {
+  if (!std::isfinite(raw_us) || !std::isfinite(measured_us) || raw_us < 0 ||
+      measured_us < 0) {
+    return;
+  }
+  KindModel& m = models_[static_cast<size_t>(kind)];
+
+  // Pre-update drift: how far off the *current* calibration was.
+  double predicted = m.bias + m.gain * raw_us;
+  double rel_err =
+      std::fabs(predicted - measured_us) / std::max(measured_us, 1.0);
+  m.drift = m.drift < 0 ? rel_err : 0.5 * m.drift + 0.5 * rel_err;
+
+  // RLS with forgetting factor λ, regressor x = (1, raw_us):
+  //   k = P x / (λ + xᵀ P x);  θ += k (y − θᵀx);  P = (P − k xᵀ P) / λ.
+  const double x1 = raw_us;
+  const double px0 = m.p00 + m.p01 * x1;
+  const double px1 = m.p01 + m.p11 * x1;
+  const double denom = kForgetting + px0 + px1 * x1;
+  const double k0 = px0 / denom;
+  const double k1 = px1 / denom;
+  const double err = measured_us - predicted;
+  m.bias += k0 * err;
+  m.gain += k1 * err;
+  const double p00 = (m.p00 - k0 * px0) / kForgetting;
+  const double p01 = (m.p01 - k0 * px1) / kForgetting;
+  const double p11 = (m.p11 - k1 * px1) / kForgetting;
+  m.p00 = p00;
+  m.p01 = p01;
+  m.p11 = p11;
+  ++m.samples;
+}
+
+double CoefficientLearner::Calibrate(MatcherKind kind, double raw_us) const {
+  const KindModel& m = models_[static_cast<size_t>(kind)];
+  double v = m.bias + m.gain * raw_us;
+  return v > 0 ? v : 0.0;
+}
+
+CostCalibration CoefficientLearner::Calibration() const {
+  CostCalibration calibration;
+  for (size_t i = 0; i < kNumMatcherKinds; ++i) {
+    if (models_[i].samples == 0) continue;  // identity until observed
+    calibration.gain[i] = models_[i].gain;
+    calibration.bias[i] = models_[i].bias;
+  }
+  return calibration;
+}
+
+int64_t CoefficientLearner::TotalSamples() const {
+  int64_t total = 0;
+  for (const KindModel& m : models_) total += m.samples;
+  return total;
+}
+
+Status CoefficientLearner::Save(const std::string& path) const {
+  std::ostringstream payload;
+  payload << kMagic << "\n";
+  for (MatcherKind kind : kAllMatcherKinds) {
+    const KindModel& m = models_[static_cast<size_t>(kind)];
+    payload << MatcherKindName(kind) << ' ' << FormatDouble(m.bias) << ' '
+            << FormatDouble(m.gain) << ' ' << FormatDouble(m.p00) << ' '
+            << FormatDouble(m.p01) << ' ' << FormatDouble(m.p11) << ' '
+            << m.samples << ' ' << FormatDouble(m.drift) << "\n";
+  }
+  std::string body = payload.str();
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "checksum %016" PRIx64 "\n",
+                Fnv1a64(body));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for write");
+  out << body << checksum;
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status CoefficientLearner::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  size_t checksum_at = content.rfind("checksum ");
+  if (checksum_at == std::string::npos) {
+    return Status::Corruption(path + ": missing checksum line");
+  }
+  std::string body = content.substr(0, checksum_at);
+  uint64_t stored = 0;
+  if (std::sscanf(content.c_str() + checksum_at, "checksum %" SCNx64,
+                  &stored) != 1 ||
+      stored != Fnv1a64(body)) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  std::istringstream lines(body);
+  std::string magic;
+  std::getline(lines, magic);
+  if (magic != kMagic) {
+    return Status::Corruption(path + ": bad magic '" + magic + "'");
+  }
+  std::array<KindModel, kNumMatcherKinds> parsed;
+  for (MatcherKind kind : kAllMatcherKinds) {
+    std::string name;
+    KindModel m;
+    if (!(lines >> name >> m.bias >> m.gain >> m.p00 >> m.p01 >> m.p11 >>
+          m.samples >> m.drift)) {
+      return Status::Corruption(path + ": truncated model row");
+    }
+    if (name != MatcherKindName(kind)) {
+      return Status::Corruption(path + ": unexpected matcher '" + name + "'");
+    }
+    parsed[static_cast<size_t>(kind)] = m;
+  }
+  models_ = parsed;
+  return Status::OK();
+}
+
+}  // namespace delex

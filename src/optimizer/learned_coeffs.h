@@ -1,0 +1,84 @@
+#ifndef DELEX_OPTIMIZER_LEARNED_COEFFS_H_
+#define DELEX_OPTIMIZER_LEARNED_COEFFS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "matcher/matcher.h"
+#include "optimizer/cost_model.h"
+
+namespace delex {
+
+/// \brief Online calibration of the cost model: per matcher kind, a
+/// two-parameter recursive-least-squares fit of
+///
+///     measured_us ≈ bias + gain · raw_us
+///
+/// where raw_us is the *uncalibrated* analytic estimate and measured_us
+/// the per-unit wall time from RunStats. RLS with a forgetting factor
+/// tracks drift (hardware changes, data shape changes across generations)
+/// without storing samples; the covariance starts huge so the first few
+/// observations dominate the identity prior.
+///
+/// The learner is plain state — persistence (one small text file per
+/// generation, alongside the reuse files) round-trips it exactly, so a
+/// resumed engine continues from the coefficients it had learned, not
+/// from scratch.
+class CoefficientLearner {
+ public:
+  /// Forgetting factor λ: weight of history decays by λ per observation.
+  static constexpr double kForgetting = 0.9;
+  /// Initial covariance diagonal — effectively an uninformative prior.
+  static constexpr double kInitVariance = 1e6;
+
+  struct KindModel {
+    double bias = 0.0;
+    double gain = 1.0;
+    // Symmetric 2x2 RLS covariance [[p00, p01], [p01, p11]].
+    double p00 = kInitVariance;
+    double p01 = 0.0;
+    double p11 = kInitVariance;
+    int64_t samples = 0;
+    /// Exponentially-weighted mean of the *pre-update* relative error
+    /// |predicted − measured| / max(measured, 1); negative = no data yet.
+    double drift = -1.0;
+
+    bool operator==(const KindModel&) const = default;
+  };
+
+  /// Feeds one (analytic estimate, measurement) pair for a unit priced as
+  /// `kind`. Non-finite or negative inputs are ignored.
+  void Observe(MatcherKind kind, double raw_us, double measured_us);
+
+  /// The learned correction for `kind` applied to a raw estimate.
+  double Calibrate(MatcherKind kind, double raw_us) const;
+
+  /// All kinds' corrections in the cost model's plug-in form. Kinds with
+  /// no samples stay at the identity.
+  CostCalibration Calibration() const;
+
+  const KindModel& model(MatcherKind kind) const {
+    return models_[static_cast<size_t>(kind)];
+  }
+  int64_t TotalSamples() const;
+
+  /// Persists the models as a small versioned, checksummed text file.
+  Status Save(const std::string& path) const;
+
+  /// Replaces the models from a file written by Save. Any mismatch —
+  /// version, matcher names, field count, checksum — returns Corruption
+  /// and leaves the learner untouched (the caller degrades to a fresh
+  /// start rather than risk miscalibration).
+  Status Load(const std::string& path);
+
+  bool operator==(const CoefficientLearner&) const = default;
+
+ private:
+  std::array<KindModel, kNumMatcherKinds> models_;
+};
+
+}  // namespace delex
+
+#endif  // DELEX_OPTIMIZER_LEARNED_COEFFS_H_

@@ -2,8 +2,10 @@
 #define DELEX_OPTIMIZER_OPTIMIZER_H_
 
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "optimizer/learned_coeffs.h"
 #include "optimizer/search.h"
 #include "optimizer/stats_collector.h"
 
@@ -18,6 +20,11 @@ class Optimizer {
     /// How many recent snapshot pairs feed the averaged statistics
     /// (Fig 13b's knob).
     int history_snapshots = 3;
+
+    /// Learn per-matcher cost-coefficient calibration online from measured
+    /// per-unit µs (recursive least squares; see CoefficientLearner).
+    /// DELEX_COST_LEARN=0 in the environment forces this off.
+    bool learn_coefficients = true;
   };
 
   Optimizer(xlog::PlanNodePtr plan, const UnitAnalysis& analysis,
@@ -38,9 +45,35 @@ class Optimizer {
   Result<double> EstimateCost(const MatcherAssignment& assignment);
 
   /// Predicted per-unit cost (µs, index-aligned with the assignment) under
-  /// the current statistics — the run report's predicted column.
+  /// the current statistics — the run report's predicted column. Includes
+  /// the learned calibration once the feedback loop has observed a run.
   Result<std::vector<double>> EstimatePerUnitCost(
       const MatcherAssignment& assignment);
+
+  /// The uncalibrated analytic per-unit estimate (the RLS regressor);
+  /// exposed for the feedback loop and its tests.
+  Result<std::vector<double>> EstimateRawPerUnitCost(
+      const MatcherAssignment& assignment);
+
+  /// Closes the self-tuning loop: compares the calibrated prediction for
+  /// `assignment` against the measured per-unit µs in `stats`, records the
+  /// mean relative error as LastDrift(), and (when learning is enabled)
+  /// feeds each (raw estimate, measurement) pair to the RLS learner so the
+  /// *next* generation's predictions — and plan choice — adapt.
+  Status ObserveMeasuredCosts(const MatcherAssignment& assignment,
+                              const RunStats& stats);
+
+  /// Mean relative per-unit prediction error of the last observed run
+  /// (pre-update), or a negative value before any ObserveMeasuredCosts.
+  double LastDrift() const { return last_drift_; }
+
+  bool LearningEnabled() const { return learn_enabled_; }
+  const CoefficientLearner& learner() const { return learner_; }
+
+  /// Persists / restores the learned coefficients (see
+  /// CoefficientLearner::Save for the format and corruption handling).
+  Status SaveCoefficients(const std::string& path) const;
+  Status LoadCoefficients(const std::string& path);
 
   /// All 4^n plans (Fig 12); requires few units.
   std::vector<MatcherAssignment> EnumerateAllPlans() const;
@@ -57,6 +90,9 @@ class Optimizer {
   ChainStructure chains_;
   std::deque<CostModelStats> history_;
   CostModelStats averaged_;  // refreshed by Averaged()
+  CoefficientLearner learner_;
+  bool learn_enabled_ = true;
+  double last_drift_ = -1.0;
 };
 
 }  // namespace delex

@@ -4,23 +4,36 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace delex {
 namespace {
 
-// A line with its absolute span and content hash; equality compares the
-// hash first and falls back to bytes to rule out collisions.
+// A line with its relative span and content hash; equality compares the
+// hash first and falls back to bytes to rule out collisions. Lines inside
+// the byte-proven common prefix/suffix (see DiffMatch) are never compared
+// and carry hash 0 — both sides of any compared pair are always hashed.
 struct Line {
   TextSpan span;  // relative to the region text
   uint64_t hash;
 };
 
-std::vector<Line> HashLines(std::string_view text) {
+// Builds the Line vector, hashing only indices in [hash_begin, hash_end);
+// the rest are already known byte-equal and skipping their hashes is the
+// bulk of the win on slowly-changing pages.
+std::vector<Line> HashLines(std::string_view text,
+                            const std::vector<TextSpan>& spans,
+                            size_t hash_begin, size_t hash_end) {
   std::vector<Line> lines;
-  for (const TextSpan& s : SplitLines(text)) {
-    lines.push_back(
-        {s, Fnv1a64(text.substr(static_cast<size_t>(s.start),
-                                static_cast<size_t>(s.length())))});
+  lines.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TextSpan& s = spans[i];
+    uint64_t hash = 0;
+    if (i >= hash_begin && i < hash_end) {
+      hash = Fnv1a64(text.substr(static_cast<size_t>(s.start),
+                                 static_cast<size_t>(s.length())));
+    }
+    lines.push_back({s, hash});
   }
   return lines;
 }
@@ -28,10 +41,9 @@ std::vector<Line> HashLines(std::string_view text) {
 bool LinesEqual(std::string_view p_text, const Line& a, std::string_view q_text,
                 const Line& b) {
   if (a.hash != b.hash || a.span.length() != b.span.length()) return false;
-  return p_text.substr(static_cast<size_t>(a.span.start),
-                       static_cast<size_t>(a.span.length())) ==
-         q_text.substr(static_cast<size_t>(b.span.start),
-                       static_cast<size_t>(b.span.length()));
+  return simd::BytesEqual(p_text.data() + a.span.start,
+                          q_text.data() + b.span.start,
+                          static_cast<size_t>(a.span.length()));
 }
 
 // Appends the char-level segment covering matched line pair (pi, qi),
@@ -55,15 +67,14 @@ void EmitMatchedLine(const std::vector<Line>& p_lines,
 
 std::vector<TextSpan> SplitLines(std::string_view text) {
   std::vector<TextSpan> out;
-  int64_t start = 0;
-  for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
-    if (text[static_cast<size_t>(i)] == '\n') {
-      out.emplace_back(start, i + 1);
-      start = i + 1;
-    }
-  }
-  if (start < static_cast<int64_t>(text.size())) {
-    out.emplace_back(start, static_cast<int64_t>(text.size()));
+  const size_t n = text.size();
+  size_t start = 0;
+  while (start < n) {
+    size_t nl = simd::FindByte(text.data() + start, n - start, '\n');
+    size_t end = start + nl;
+    if (end < n) ++end;  // include the terminating '\n'
+    out.emplace_back(static_cast<int64_t>(start), static_cast<int64_t>(end));
+    start = end;
   }
   return out;
 }
@@ -74,21 +85,53 @@ std::vector<MatchSegment> DiffMatch(std::string_view p_text, int64_t p_base,
   std::vector<MatchSegment> out;
   if (p_text.empty() || q_text.empty()) return out;
 
-  std::vector<Line> p_lines = HashLines(p_text);
-  std::vector<Line> q_lines = HashLines(q_text);
+  std::vector<TextSpan> p_spans = SplitLines(p_text);
+  std::vector<TextSpan> q_spans = SplitLines(q_text);
+  const size_t np = p_spans.size();
+  const size_t nq = q_spans.size();
 
-  // Trim the common prefix and suffix of the line sequences — on slowly
-  // changing pages this does nearly all of the work.
-  size_t prefix = 0;
-  while (prefix < p_lines.size() && prefix < q_lines.size() &&
+  // Byte-level SIMD bounds for the line trim loops. Every '\n'-terminated
+  // line lying wholly inside the common byte prefix (B bytes) is equal on
+  // both sides, so the per-line loop can start past them; symmetrically
+  // for the common byte suffix (S bytes, capped so it cannot overlap the
+  // prefix). The last byte of the suffix window is excluded when counting
+  // so a trailing line is only claimed together with the '\n' *preceding*
+  // it. The scalar per-line loops below then extend past the bounds (a
+  // final unterminated line, a '\n' landing exactly on the boundary), so
+  // the trim result is exactly what the old all-scalar loops produced.
+  const size_t min_len = std::min(p_text.size(), q_text.size());
+  const size_t byte_prefix = simd::CommonPrefix(p_text.data(), q_text.data(),
+                                                min_len);
+  const size_t byte_suffix =
+      simd::CommonSuffix(p_text.data(), p_text.size(), q_text.data(),
+                         q_text.size(), min_len - byte_prefix);
+  const size_t prefix_bound = simd::CountByte(p_text.data(), byte_prefix, '\n');
+  const size_t suffix_bound =
+      byte_suffix > 1
+          ? simd::CountByte(p_text.data() + (p_text.size() - byte_suffix),
+                            byte_suffix - 1, '\n')
+          : 0;
+
+  // On slowly changing pages the trimmed region is nearly everything, and
+  // skipping its per-line hashes is most of the speedup.
+  std::vector<Line> p_lines =
+      HashLines(p_text, p_spans, prefix_bound, np - suffix_bound);
+  std::vector<Line> q_lines =
+      HashLines(q_text, q_spans, prefix_bound, nq - suffix_bound);
+
+  size_t prefix = prefix_bound;
+  for (size_t i = 0; i < prefix; ++i) {
+    EmitMatchedLine(p_lines, q_lines, p_base, q_base, i, i, &out);
+  }
+  while (prefix < np && prefix < nq &&
          LinesEqual(p_text, p_lines[prefix], q_text, q_lines[prefix])) {
     EmitMatchedLine(p_lines, q_lines, p_base, q_base, prefix, prefix, &out);
     ++prefix;
   }
-  size_t suffix = 0;
-  while (prefix + suffix < p_lines.size() && prefix + suffix < q_lines.size() &&
-         LinesEqual(p_text, p_lines[p_lines.size() - 1 - suffix], q_text,
-                    q_lines[q_lines.size() - 1 - suffix])) {
+  size_t suffix = suffix_bound;
+  while (prefix + suffix < np && prefix + suffix < nq &&
+         LinesEqual(p_text, p_lines[np - 1 - suffix], q_text,
+                    q_lines[nq - 1 - suffix])) {
     ++suffix;
   }
 

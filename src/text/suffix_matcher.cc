@@ -1,11 +1,48 @@
 #include "text/suffix_matcher.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "text/interval_set.h"
 
 namespace delex {
+namespace {
+
+std::atomic<int64_t> g_truncated_total{0};
+
+void NoteTruncation(size_t max_candidates) {
+  g_truncated_total.fetch_add(1, std::memory_order_relaxed);
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    DELEX_LOG(WARN) << "SuffixMatch candidate list truncated at "
+                    << max_candidates
+                    << " (raise DELEX_SUFFIX_MAX_CANDIDATES to keep more; "
+                       "matches stay correct but may be less complete)";
+  }
+}
+
+}  // namespace
+
+int64_t SuffixCandidatesTruncatedTotal() {
+  return g_truncated_total.load(std::memory_order_relaxed);
+}
+
+SuffixMatchOptions SuffixMatchOptions::FromEnv() {
+  SuffixMatchOptions options;
+  const char* env = std::getenv("DELEX_SUFFIX_MAX_CANDIDATES");
+  if (env != nullptr && *env != '\0') {
+    long long value = std::atoll(env);
+    if (value > 0) {
+      options.max_candidates = static_cast<size_t>(value);
+    } else {
+      DELEX_LOG(WARN) << "ignoring DELEX_SUFFIX_MAX_CANDIDATES='" << env
+                      << "' (want a positive integer)";
+    }
+  }
+  return options;
+}
 
 SuffixAutomaton::SuffixAutomaton(std::string_view text) {
   states_.reserve(2 * text.size() + 2);
@@ -46,6 +83,11 @@ SuffixAutomaton::SuffixAutomaton(std::string_view text) {
       }
     }
     last = cur;
+  }
+  for (int b = 0; b < 256; ++b) {
+    if (root_next_[static_cast<size_t>(b)] >= 0) {
+      root_alphabet_.Add(static_cast<unsigned char>(b));
+    }
   }
 }
 
@@ -100,14 +142,19 @@ std::vector<MatchSegment> SuffixMatch(std::string_view p_text, int64_t p_base,
     int64_t length;
   };
   std::vector<Candidate> candidates;
+  bool truncated = false;
 
   SuffixAutomaton automaton(q_text);
   automaton.ScanMaximalMatches(
       p_text, options.min_match_length,
       [&](int64_t p_end, int64_t q_end, int64_t len) {
-        if (candidates.size() >= options.max_candidates) return;
+        if (candidates.size() >= options.max_candidates) {
+          truncated = true;
+          return;
+        }
         candidates.push_back({p_end - len + 1, q_end - len + 1, len});
       });
+  if (truncated) NoteTruncation(options.max_candidates);
 
   // Greedy tiling: longest candidates first, rejecting any that overlaps an
   // already-claimed stretch on either side. Ties broken by position to keep

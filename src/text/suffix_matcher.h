@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.h"
 #include "text/match_segment.h"
 
 namespace delex {
@@ -18,8 +19,14 @@ struct SuffixMatchOptions {
   int64_t min_match_length = 24;
 
   /// Safety valve on the number of candidate maximal matches considered by
-  /// the greedy tiling step.
+  /// the greedy tiling step. Hitting it truncates the candidate list (the
+  /// result is still correct, just potentially less complete); truncation
+  /// bumps the process-wide tally below and the engine WARNs once per run.
   size_t max_candidates = 1 << 16;
+
+  /// Defaults overridden by the environment: DELEX_SUFFIX_MAX_CANDIDATES
+  /// (positive integer) replaces max_candidates.
+  static SuffixMatchOptions FromEnv();
 };
 
 /// \brief Finds common substrings between region `p_text` (absolute offset
@@ -34,6 +41,11 @@ struct SuffixMatchOptions {
 std::vector<MatchSegment> SuffixMatch(
     std::string_view p_text, int64_t p_base, std::string_view q_text,
     int64_t q_base, const SuffixMatchOptions& options = SuffixMatchOptions());
+
+/// Process-wide count of SuffixMatch calls whose candidate list was
+/// truncated at max_candidates. Monotone; the engine publishes deltas to
+/// the metrics registry (the text layer cannot depend on obs).
+int64_t SuffixCandidatesTruncatedTotal();
 
 /// \brief Suffix automaton over a byte string; exposed for testing and for
 /// longest-common-substring queries.
@@ -71,6 +83,7 @@ class SuffixAutomaton {
 
   std::vector<State> states_;
   std::array<int32_t, 256> root_next_;  // state 0's edges, O(1) lookup
+  simd::ByteSet root_alphabet_;         // bytes with a root transition
 };
 
 template <typename Sink>
@@ -81,18 +94,23 @@ void SuffixAutomaton::ScanMaximalMatches(std::string_view query,
   int64_t length = 0;
   int32_t prev_state = 0;
   int64_t prev_length = 0;
-  for (int64_t i = 0; i < static_cast<int64_t>(query.size()); ++i) {
+  const int64_t n = static_cast<int64_t>(query.size());
+  for (int64_t i = 0; i < n; ++i) {
     unsigned char c = static_cast<unsigned char>(query[static_cast<size_t>(i)]);
     while (state != 0 && Transition(state, c) < 0) {
       state = states_[static_cast<size_t>(state)].link;
       length = states_[static_cast<size_t>(state)].len;
     }
     int32_t to = Transition(state, c);
+    bool root_miss = false;
     if (to >= 0) {
       state = to;
       ++length;
     } else {
+      // The while loop above only stops on a missing transition when it
+      // has fallen all the way back to the root, so state == 0 here.
       length = 0;
+      root_miss = true;
     }
     // The match ending at i-1 was locally maximal iff it could not be
     // extended by query[i].
@@ -102,10 +120,23 @@ void SuffixAutomaton::ScanMaximalMatches(std::string_view query,
     }
     prev_state = state;
     prev_length = length;
+    if (root_miss && min_length > 0 && i + 1 < n) {
+      // Batched character classing: while the next bytes have no root
+      // transition the automaton stays parked at the root with length 0
+      // and (min_length > 0) nothing can be sunk, so skip the whole run
+      // with one SIMD membership scan. Behavior-preserving by the same
+      // argument the per-byte loop would make, one byte at a time.
+      size_t skip = simd::FindFirstInSet(
+          static_cast<const unsigned char*>(
+              static_cast<const void*>(query.data())) +
+              i + 1,
+          static_cast<size_t>(n - i - 1), root_alphabet_);
+      i += static_cast<int64_t>(skip);  // loop ++i lands on the next member
+    }
   }
   if (prev_length >= min_length) {
-    sink(static_cast<int64_t>(query.size()) - 1,
-         states_[static_cast<size_t>(prev_state)].first_end, prev_length);
+    sink(n - 1, states_[static_cast<size_t>(prev_state)].first_end,
+         prev_length);
   }
 }
 

@@ -1,0 +1,355 @@
+// Tests for the self-tuning cost model: RLS convergence of the
+// per-matcher calibration, the optimizer feedback loop shrinking its
+// predicted-vs-measured drift across generations, coefficient
+// persistence (round-trip + corruption fallback), and the harness-level
+// per-generation coeffs.genN lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "optimizer/learned_coeffs.h"
+#include "optimizer/optimizer.h"
+
+namespace delex {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A scratch directory that starts empty (removed, then recreated).
+fs::path FreshDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() / ("delex-costlearn-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(CoefficientLearner, RecoversLinearModelFromCleanSamples) {
+  CoefficientLearner learner;
+  // Ground truth: measured = 500 + 3 * raw.
+  for (int i = 0; i < 40; ++i) {
+    double raw = 100.0 + 37.0 * (i % 25);
+    learner.Observe(MatcherKind::kUD, raw, 500.0 + 3.0 * raw);
+  }
+  const CoefficientLearner::KindModel& m = learner.model(MatcherKind::kUD);
+  EXPECT_EQ(m.samples, 40);
+  EXPECT_NEAR(m.gain, 3.0, 0.05);
+  EXPECT_NEAR(m.bias, 500.0, 25.0);
+  EXPECT_NEAR(learner.Calibrate(MatcherKind::kUD, 400.0), 1700.0, 20.0);
+  // Untouched kinds stay at the identity.
+  EXPECT_DOUBLE_EQ(learner.Calibrate(MatcherKind::kST, 400.0), 400.0);
+  EXPECT_EQ(learner.model(MatcherKind::kST).samples, 0);
+}
+
+TEST(CoefficientLearner, IgnoresNonFiniteAndNegativeInputs) {
+  CoefficientLearner learner;
+  learner.Observe(MatcherKind::kDN, -1.0, 100.0);
+  learner.Observe(MatcherKind::kDN, 100.0, -1.0);
+  learner.Observe(MatcherKind::kDN, std::numeric_limits<double>::quiet_NaN(),
+                  100.0);
+  learner.Observe(MatcherKind::kDN, 100.0,
+                  std::numeric_limits<double>::infinity());
+  EXPECT_EQ(learner.model(MatcherKind::kDN).samples, 0);
+  EXPECT_EQ(learner, CoefficientLearner());
+}
+
+TEST(CoefficientLearner, CalibrationExportsLearnedKindsOnly) {
+  CoefficientLearner learner;
+  for (int i = 0; i < 30; ++i) {
+    double raw = 50.0 + 11.0 * (i % 17);
+    learner.Observe(MatcherKind::kST, raw, 200.0 + 2.0 * raw);
+  }
+  CostCalibration cal = learner.Calibration();
+  size_t st = MatcherIndex(MatcherKind::kST);
+  size_t dn = MatcherIndex(MatcherKind::kDN);
+  EXPECT_NEAR(cal.gain[st], 2.0, 0.05);
+  EXPECT_NEAR(cal.bias[st], 200.0, 15.0);
+  EXPECT_DOUBLE_EQ(cal.gain[dn], 1.0);
+  EXPECT_DOUBLE_EQ(cal.bias[dn], 0.0);
+}
+
+TEST(CoefficientLearner, SaveLoadRoundTripsExactly) {
+  fs::path dir = FreshDir("roundtrip");
+  CoefficientLearner learner;
+  for (int i = 0; i < 12; ++i) {
+    learner.Observe(MatcherKind::kUD, 100.0 + i * 13.0, 700.0 + i * 29.0);
+    learner.Observe(MatcherKind::kRU, 90.0 + i * 7.0, 1000.0 + i * 3.0);
+  }
+  std::string path = (dir / "coeffs.gen3").string();
+  ASSERT_TRUE(learner.Save(path).ok());
+
+  CoefficientLearner loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded, learner);
+  fs::remove_all(dir);
+}
+
+TEST(CoefficientLearner, CorruptFileIsRejectedAndLearnerUntouched) {
+  fs::path dir = FreshDir("corrupt");
+  CoefficientLearner learner;
+  for (int i = 0; i < 8; ++i) {
+    learner.Observe(MatcherKind::kST, 100.0 + i * 10.0, 400.0 + i * 20.0);
+  }
+  std::string path = (dir / "coeffs.gen1").string();
+  ASSERT_TRUE(learner.Save(path).ok());
+
+  // Flip a payload digit without fixing the checksum line.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  size_t digit = contents.find_first_of("0123456789", contents.find('\n'));
+  ASSERT_NE(digit, std::string::npos);
+  contents[digit] = contents[digit] == '9' ? '8' : '9';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  CoefficientLearner before_load;
+  for (int i = 0; i < 3; ++i) {
+    before_load.Observe(MatcherKind::kDN, 10.0 + i, 20.0 + i);
+  }
+  CoefficientLearner loaded = before_load;
+  Status status = loaded.Load(path);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_EQ(loaded, before_load);  // untouched on failure
+
+  // Truncated file: drop the checksum line entirely.
+  std::string truncated = contents.substr(0, contents.rfind("checksum"));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << truncated;
+  }
+  EXPECT_FALSE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded, before_load);
+
+  // Missing file.
+  EXPECT_FALSE(loaded.Load((dir / "nope").string()).ok());
+  EXPECT_EQ(loaded, before_load);
+  fs::remove_all(dir);
+}
+
+/// Fabricates a RunStats whose per-unit measured time follows a fixed
+/// linear law of the optimizer's *raw* (uncalibrated) estimate, so the
+/// feedback loop has a learnable ground truth.
+RunStats MeasuredStats(const std::vector<double>& raw_us) {
+  RunStats stats;
+  stats.units.resize(raw_us.size());
+  for (size_t u = 0; u < raw_us.size(); ++u) {
+    stats.units[u].match_us = static_cast<int64_t>(2.5 * raw_us[u] + 1500.0);
+  }
+  return stats;
+}
+
+TEST(OptimizerLearning, DriftShrinksAcrossGenerations) {
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 40;
+  std::vector<Snapshot> series = GenerateSeries(profile, 3, 17);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  Optimizer optimizer(spec.plan, *analysis);
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[1], series[0], 1).ok());
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[2], series[1], 2).ok());
+  ASSERT_TRUE(optimizer.LearningEnabled());
+  EXPECT_LT(optimizer.LastDrift(), 0);  // no feedback yet
+
+  auto assignment = optimizer.ChooseAssignment();
+  ASSERT_TRUE(assignment.ok());
+
+  // Simulated generations: the "machine" consistently runs at
+  // measured = 2.5 * raw + 1500 µs per unit. The statistics are frozen
+  // (no new ObserveSnapshotPair), so every drift change is attributable
+  // to the learned calibration alone.
+  std::vector<double> drift;
+  for (int gen = 0; gen < 4; ++gen) {
+    auto raw = optimizer.EstimateRawPerUnitCost(*assignment);
+    ASSERT_TRUE(raw.ok());
+    RunStats stats = MeasuredStats(*raw);
+    ASSERT_TRUE(optimizer.ObserveMeasuredCosts(*assignment, stats).ok());
+    drift.push_back(optimizer.LastDrift());
+    ASSERT_GE(drift.back(), 0);
+  }
+  // First generation predicts with the identity calibration — way off.
+  // After feedback the fit is near-exact, so drift collapses.
+  EXPECT_GT(drift.front(), 0.2);
+  EXPECT_LT(drift.back(), drift.front() * 0.25);
+  EXPECT_LT(drift.back(), 0.05);
+
+  // The learned calibration now steers EstimatePerUnitCost.
+  auto raw = optimizer.EstimateRawPerUnitCost(*assignment);
+  auto calibrated = optimizer.EstimatePerUnitCost(*assignment);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(calibrated.ok());
+  ASSERT_EQ(raw->size(), calibrated->size());
+  for (size_t u = 0; u < raw->size(); ++u) {
+    double truth = 2.5 * (*raw)[u] + 1500.0;
+    EXPECT_NEAR((*calibrated)[u], truth, 0.05 * truth + 50.0) << "unit " << u;
+  }
+}
+
+TEST(OptimizerLearning, DisabledLearningStillMeasuresDrift) {
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 40;
+  std::vector<Snapshot> series = GenerateSeries(profile, 3, 17);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  Optimizer::Options options;
+  options.learn_coefficients = false;
+  Optimizer optimizer(spec.plan, *analysis, options);
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[1], series[0], 1).ok());
+  EXPECT_FALSE(optimizer.LearningEnabled());
+  auto assignment = optimizer.ChooseAssignment();
+  ASSERT_TRUE(assignment.ok());
+
+  std::vector<double> drift;
+  for (int gen = 0; gen < 3; ++gen) {
+    auto raw = optimizer.EstimateRawPerUnitCost(*assignment);
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(
+        optimizer.ObserveMeasuredCosts(*assignment, MeasuredStats(*raw)).ok());
+    drift.push_back(optimizer.LastDrift());
+  }
+  // Drift is reported but never improves: no coefficients are learned.
+  EXPECT_GE(drift.back(), drift.front() * 0.9);
+  EXPECT_EQ(optimizer.learner().TotalSamples(), 0);
+}
+
+TEST(OptimizerLearning, ObserveRejectsMismatchedAssignment) {
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 40;
+  std::vector<Snapshot> series = GenerateSeries(profile, 2, 17);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  Optimizer optimizer(spec.plan, *analysis);
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[1], series[0], 1).ok());
+  MatcherAssignment wrong = MatcherAssignment::Uniform(1, MatcherKind::kDN);
+  RunStats stats;
+  stats.units.resize(analysis->units.size());
+  if (analysis->units.size() != 1) {
+    EXPECT_FALSE(optimizer.ObserveMeasuredCosts(wrong, stats).ok());
+  }
+}
+
+/// Counts work_dir files named coeffs.genN and returns the largest N
+/// (-1 when none exist).
+int NewestCoefficientGeneration(const fs::path& dir, int* count = nullptr) {
+  int newest = -1;
+  int seen = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("coeffs.gen", 0) != 0) continue;
+    ++seen;
+    newest = std::max(newest, std::atoi(name.c_str() + 10));
+  }
+  if (count != nullptr) *count = seen;
+  return newest;
+}
+
+TEST(HarnessLearning, CoefficientsPersistPerGenerationAndResume) {
+  fs::path dir = FreshDir("harness");
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 20;
+  std::vector<Snapshot> series = GenerateSeries(profile, 5, 99);
+
+  {
+    auto solution = MakeDelexSolution(spec, dir.string());
+    RunStats stats;
+    const Snapshot* previous = nullptr;
+    for (size_t i = 0; i < 4; ++i) {
+      stats = RunStats();
+      auto result = solution->RunSnapshot(series[i], previous, &stats);
+      ASSERT_TRUE(result.ok()) << "snapshot " << i;
+      previous = &series[i];
+    }
+    obs::RunReportMeta meta;
+    obs::OptimizerReport optimizer;
+    solution->DescribeRun(&meta, &optimizer);
+    EXPECT_TRUE(optimizer.has_optimizer);
+    EXPECT_TRUE(optimizer.learning_enabled);
+    EXPECT_GE(optimizer.cost_drift, 0);  // feedback ran on the later runs
+    EXPECT_FALSE(optimizer.learned.empty());
+    for (const obs::OptimizerReport::LearnedCoefficient& row :
+         optimizer.learned) {
+      EXPECT_GT(row.samples, 0) << row.matcher;
+    }
+  }
+
+  // Only the newest generation's coefficient file is kept, mirroring the
+  // reuse-file lifecycle.
+  int count = 0;
+  int newest = NewestCoefficientGeneration(dir, &count);
+  EXPECT_EQ(count, 1);
+  EXPECT_GE(newest, 2);
+
+  // A fresh solution over the same work_dir resumes from the persisted
+  // coefficients. After its own warm-up + one feedback run, the learned
+  // sample counts exceed what a single run could have produced alone —
+  // proof the prior solution's observations were loaded, not relearned.
+  {
+    auto analysis = AnalyzeUnits(spec.plan);
+    ASSERT_TRUE(analysis.ok());
+    auto solution = MakeDelexSolution(spec, dir.string());
+    RunStats stats;
+    ASSERT_TRUE(solution->RunSnapshot(series[3], nullptr, &stats).ok());
+    stats = RunStats();
+    ASSERT_TRUE(solution->RunSnapshot(series[4], &series[3], &stats).ok());
+    obs::RunReportMeta meta;
+    obs::OptimizerReport optimizer;
+    solution->DescribeRun(&meta, &optimizer);
+    ASSERT_FALSE(optimizer.learned.empty());
+    int64_t total_samples = 0;
+    for (const obs::OptimizerReport::LearnedCoefficient& row :
+         optimizer.learned) {
+      total_samples += row.samples;
+    }
+    EXPECT_GT(total_samples, static_cast<int64_t>(analysis->units.size()));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(HarnessLearning, LearningCanBeDisabledPerSolution) {
+  fs::path dir = FreshDir("harness-off");
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 20;
+  std::vector<Snapshot> series = GenerateSeries(profile, 3, 7);
+
+  DelexSolutionOptions options;
+  options.learn_coefficients = false;
+  auto solution = MakeDelexSolution(spec, dir.string(), options);
+  RunStats stats;
+  const Snapshot* previous = nullptr;
+  for (size_t i = 0; i < 3; ++i) {
+    stats = RunStats();
+    ASSERT_TRUE(solution->RunSnapshot(series[i], previous, &stats).ok());
+    previous = &series[i];
+  }
+  obs::RunReportMeta meta;
+  obs::OptimizerReport optimizer;
+  solution->DescribeRun(&meta, &optimizer);
+  EXPECT_FALSE(optimizer.learning_enabled);
+  EXPECT_TRUE(optimizer.learned.empty());
+  int count = 0;
+  NewestCoefficientGeneration(dir, &count);
+  EXPECT_EQ(count, 0);  // nothing persisted when learning is off
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace delex

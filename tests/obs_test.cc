@@ -1301,7 +1301,7 @@ TEST(RunReportTest, SchemaV2CarriesLatencyFastPathAndTraceBlocks) {
 
   obs::OptimizerReport no_opt;
   JsonValue line = MustParse(obs::RunReportLine(meta, stats, no_opt));
-  EXPECT_EQ(line.At("schema_version").number, 2);
+  EXPECT_EQ(line.At("schema_version").number, obs::kRunReportSchemaVersion);
   EXPECT_TRUE(line.At("histograms").boolean);
 
   const JsonValue& fast = line.At("fast_path_counters");

@@ -1,0 +1,276 @@
+// Tests for the SIMD kernel layer: every dispatch level must return
+// byte-identical results for every kernel, the DELEX_SIMD override
+// machinery must behave, and the higher-level users (DiffMatch,
+// SuffixMatch) must produce identical output no matter which level the
+// kernels dispatch to — the in-process version of the differential
+// oracle's simd-off leg.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "text/diff.h"
+#include "text/suffix_matcher.h"
+
+namespace delex {
+namespace {
+
+using simd::Level;
+
+std::vector<Level> Levels() { return simd::SupportedLevels(); }
+
+/// Random buffer over the full byte range (non-ASCII included), with NULs.
+std::string RandomBytes(Rng* rng, size_t n) {
+  std::string s(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>(rng->Uniform(256));
+  }
+  return s;
+}
+
+TEST(SimdDispatch, SupportedLevelsStartAtScalarAndAreOrdered) {
+  std::vector<Level> levels = Levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  for (size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(static_cast<int>(levels[i - 1]), static_cast<int>(levels[i]));
+  }
+}
+
+TEST(SimdDispatch, ScopedOverrideForcesAndRestores) {
+  Level before = simd::ActiveLevel();
+  {
+    simd::ScopedLevelOverride guard(Level::kScalar);
+    EXPECT_EQ(simd::ActiveLevel(), Level::kScalar);
+    {
+      simd::ScopedLevelOverride nested(simd::DetectCpuLevel());
+      EXPECT_EQ(simd::ActiveLevel(), simd::DetectCpuLevel());
+    }
+    EXPECT_EQ(simd::ActiveLevel(), Level::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveLevel(), before);
+}
+
+TEST(SimdDispatch, LevelFromSpecParsesKnobValues) {
+  const Level fb = Level::kAvx2;  // stand-in for "detected best"
+  EXPECT_EQ(simd::LevelFromSpec(nullptr, fb), fb);
+  EXPECT_EQ(simd::LevelFromSpec("", fb), fb);
+  EXPECT_EQ(simd::LevelFromSpec("0", fb), Level::kScalar);
+  EXPECT_EQ(simd::LevelFromSpec("scalar", fb), Level::kScalar);
+  EXPECT_EQ(simd::LevelFromSpec("off", fb), Level::kScalar);
+  EXPECT_EQ(simd::LevelFromSpec("1", fb), Level::kSse2);
+  EXPECT_EQ(simd::LevelFromSpec("sse2", fb), Level::kSse2);
+  EXPECT_EQ(simd::LevelFromSpec("2", fb), Level::kAvx2);
+  EXPECT_EQ(simd::LevelFromSpec("avx2", fb), Level::kAvx2);
+  EXPECT_EQ(simd::LevelFromSpec("bogus", fb), fb);
+}
+
+TEST(SimdKernels, CommonPrefixAgreesAcrossLevels) {
+  Rng rng(0xA11CE);
+  for (int round = 0; round < 200; ++round) {
+    size_t n = rng.Uniform(200);
+    std::string a = RandomBytes(&rng, n);
+    std::string b = a;
+    if (n > 0 && rng.Uniform(2) == 0) {
+      size_t at = rng.Uniform(n);
+      b[at] = static_cast<char>(b[at] ^ 0x40);
+    }
+    size_t expect = simd::CommonPrefixScalar(a.data(), b.data(), n);
+    for (Level level : Levels()) {
+      EXPECT_EQ(simd::CommonPrefixAt(level, a.data(), b.data(), n), expect)
+          << "level=" << simd::LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, CommonSuffixAgreesAcrossLevels) {
+  Rng rng(0xB0B);
+  for (int round = 0; round < 200; ++round) {
+    size_t na = 1 + rng.Uniform(200);
+    size_t nb = 1 + rng.Uniform(200);
+    std::string a = RandomBytes(&rng, na);
+    std::string b = RandomBytes(&rng, nb);
+    // Plant a shared tail half the time.
+    size_t tail = rng.Uniform(std::min(na, nb) + 1);
+    if (rng.Uniform(2) == 0) {
+      for (size_t i = 0; i < tail; ++i) b[nb - 1 - i] = a[na - 1 - i];
+    }
+    size_t max_n = std::min(na, nb);
+    size_t expect =
+        simd::CommonSuffixScalar(a.data(), na, b.data(), nb, max_n);
+    for (Level level : Levels()) {
+      EXPECT_EQ(simd::CommonSuffixAt(level, a.data(), na, b.data(), nb, max_n),
+                expect)
+          << "level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernels, BytesEqualFindByteCountByteAgreeAcrossLevels) {
+  Rng rng(0xC4B1E);
+  for (int round = 0; round < 200; ++round) {
+    size_t n = rng.Uniform(300);
+    std::string a = RandomBytes(&rng, n);
+    std::string b = rng.Uniform(2) == 0 ? a : RandomBytes(&rng, n);
+    char needle = static_cast<char>(rng.Uniform(256));
+    bool eq = simd::BytesEqualScalar(a.data(), b.data(), n);
+    size_t find = simd::FindByteScalar(a.data(), n, needle);
+    size_t count = simd::CountByteScalar(a.data(), n, needle);
+    for (Level level : Levels()) {
+      EXPECT_EQ(simd::BytesEqualAt(level, a.data(), b.data(), n), eq);
+      EXPECT_EQ(simd::FindByteAt(level, a.data(), n, needle), find);
+      EXPECT_EQ(simd::CountByteAt(level, a.data(), n, needle), count);
+    }
+  }
+}
+
+TEST(SimdKernels, FindFirstInSetAgreesAcrossLevels) {
+  Rng rng(0xD1CE);
+  for (int round = 0; round < 200; ++round) {
+    simd::ByteSet set;
+    // Sparse or dense sets, always exercising the 0x7F/0x80 boundary rows.
+    size_t members = 1 + rng.Uniform(80);
+    for (size_t i = 0; i < members; ++i) {
+      set.Add(static_cast<unsigned char>(rng.Uniform(256)));
+    }
+    if (round % 4 == 0) {
+      set.Add(0x00);
+      set.Add(0x7F);
+      set.Add(0x80);
+      set.Add(0xFF);
+    }
+    size_t n = rng.Uniform(300);
+    std::string data = RandomBytes(&rng, n);
+    const unsigned char* bytes =
+        static_cast<const unsigned char*>(static_cast<const void*>(data.data()));
+    size_t expect = simd::FindFirstInSetScalar(bytes, n, set);
+    for (Level level : Levels()) {
+      EXPECT_EQ(simd::FindFirstInSetAt(level, bytes, n, set), expect)
+          << "level=" << simd::LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, ByteSetContainsMatchesMembership) {
+  simd::ByteSet set;
+  for (int c : {0, 1, 10, 127, 128, 200, 255}) {
+    set.Add(static_cast<unsigned char>(c));
+  }
+  for (int c = 0; c < 256; ++c) {
+    bool member = c == 0 || c == 1 || c == 10 || c == 127 || c == 128 ||
+                  c == 200 || c == 255;
+    EXPECT_EQ(set.Contains(static_cast<unsigned char>(c)), member) << c;
+  }
+}
+
+/// A page pair that exercises trims, the Myers middle, relocations and
+/// non-ASCII bytes: random lines, a fraction mutated/inserted/deleted.
+std::pair<std::string, std::string> MutatedPagePair(Rng* rng) {
+  auto random_line = [&](size_t len) {
+    std::string line;
+    for (size_t i = 0; i < len; ++i) {
+      // Mostly printable, some high / control bytes, no '\n'.
+      unsigned char c = static_cast<unsigned char>(rng->Uniform(256));
+      if (c == '\n') c = 'x';
+      line.push_back(static_cast<char>(c));
+    }
+    line.push_back('\n');
+    return line;
+  };
+  size_t lines = 4 + rng->Uniform(60);
+  std::vector<std::string> q_lines;
+  for (size_t i = 0; i < lines; ++i) {
+    q_lines.push_back(random_line(1 + rng->Uniform(90)));
+  }
+  std::vector<std::string> p_lines = q_lines;
+  size_t edits = rng->Uniform(1 + lines / 4);
+  for (size_t e = 0; e < edits && !p_lines.empty(); ++e) {
+    size_t at = rng->Uniform(p_lines.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        p_lines[at] = random_line(1 + rng->Uniform(90));
+        break;
+      case 1:
+        p_lines.erase(p_lines.begin() + static_cast<int64_t>(at));
+        break;
+      default:
+        p_lines.insert(p_lines.begin() + static_cast<int64_t>(at),
+                       random_line(1 + rng->Uniform(90)));
+        break;
+    }
+  }
+  if (rng->Uniform(4) == 0 && !p_lines.empty()) {
+    p_lines.back().pop_back();  // drop the final '\n' sometimes
+  }
+  std::string p;
+  std::string q;
+  for (const std::string& l : p_lines) p += l;
+  for (const std::string& l : q_lines) q += l;
+  return {p, q};
+}
+
+TEST(SimdEquivalence, DiffMatchIsByteIdenticalAcrossLevels) {
+  Rng rng(0x5EED);
+  for (int round = 0; round < 60; ++round) {
+    auto [p, q] = MutatedPagePair(&rng);
+    std::vector<std::vector<MatchSegment>> per_level;
+    for (Level level : Levels()) {
+      simd::ScopedLevelOverride guard(level);
+      per_level.push_back(DiffMatch(p, 7, q, 13));
+    }
+    for (size_t i = 1; i < per_level.size(); ++i) {
+      EXPECT_EQ(per_level[i], per_level[0])
+          << "round " << round << ": " << simd::LevelName(Levels()[i])
+          << " diverges from scalar";
+    }
+  }
+}
+
+TEST(SimdEquivalence, SuffixMatchIsByteIdenticalAcrossLevels) {
+  Rng rng(0xFACADE);
+  for (int round = 0; round < 40; ++round) {
+    auto [p, q] = MutatedPagePair(&rng);
+    SuffixMatchOptions options;
+    options.min_match_length = 8;
+    std::vector<std::vector<MatchSegment>> per_level;
+    for (Level level : Levels()) {
+      simd::ScopedLevelOverride guard(level);
+      per_level.push_back(SuffixMatch(p, 0, q, 0, options));
+    }
+    for (size_t i = 1; i < per_level.size(); ++i) {
+      EXPECT_EQ(per_level[i], per_level[0])
+          << "round " << round << ": " << simd::LevelName(Levels()[i])
+          << " diverges from scalar";
+    }
+  }
+}
+
+TEST(SimdEquivalence, LongestCommonSubstringAgreesAcrossLevels) {
+  Rng rng(0xACE);
+  for (int round = 0; round < 40; ++round) {
+    std::string text = RandomBytes(&rng, 50 + rng.Uniform(400));
+    std::string query = RandomBytes(&rng, 50 + rng.Uniform(400));
+    if (rng.Uniform(2) == 0) {
+      // Plant a shared run so matches actually exist.
+      size_t len = 10 + rng.Uniform(30);
+      size_t from = rng.Uniform(text.size() - len);
+      size_t to = rng.Uniform(query.size() - len);
+      query.replace(to, len, text.substr(from, len));
+    }
+    SuffixAutomaton automaton(text);
+    std::vector<int64_t> per_level;
+    for (Level level : Levels()) {
+      simd::ScopedLevelOverride guard(level);
+      per_level.push_back(automaton.LongestCommonSubstring(query));
+    }
+    for (size_t i = 1; i < per_level.size(); ++i) {
+      EXPECT_EQ(per_level[i], per_level[0]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace delex

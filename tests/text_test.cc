@@ -194,6 +194,94 @@ TEST(DiffMatch, RelocatedBlockNotFound) {
   EXPECT_LT(TotalMatchedLength(segments), 12);
 }
 
+// Edge shapes aimed at the vectorized prefix/suffix trim: empty inputs,
+// single lines, fully-identical pages, overlapping prefix/suffix claims
+// on repetitive texts, and bytes outside ASCII through the trim loops.
+
+TEST(DiffMatch, EmptyPages) {
+  EXPECT_TRUE(DiffMatch("", 0, "", 0).empty());
+  EXPECT_TRUE(DiffMatch("", 0, "aaa\nbbb\n", 0).empty());
+  EXPECT_TRUE(DiffMatch("aaa\nbbb\n", 0, "", 0).empty());
+}
+
+TEST(DiffMatch, SingleLineShapes) {
+  // Terminated, equal.
+  auto eq = DiffMatch("hello\n", 0, "hello\n", 0);
+  EXPECT_EQ(TotalMatchedLength(eq), 6);
+  ExpectSegmentsValid(eq, "hello\n", "hello\n", true);
+  // Unterminated, equal.
+  auto bare = DiffMatch("hello", 0, "hello", 0);
+  EXPECT_EQ(TotalMatchedLength(bare), 5);
+  // Terminated vs unterminated: different lines, no match.
+  EXPECT_EQ(TotalMatchedLength(DiffMatch("hello\n", 0, "hello", 0)), 0);
+  // Unequal single lines.
+  EXPECT_EQ(TotalMatchedLength(DiffMatch("hello\n", 0, "world\n", 0)), 0);
+}
+
+TEST(DiffMatch, AllIdenticalPageIsOneCoalescedSegment) {
+  std::string text;
+  for (int i = 0; i < 64; ++i) text += "row " + std::to_string(i) + "\n";
+  auto segments = DiffMatch(text, 0, text, 0);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].p, TextSpan(0, static_cast<int64_t>(text.size())));
+  EXPECT_EQ(segments[0].q, TextSpan(0, static_cast<int64_t>(text.size())));
+}
+
+TEST(DiffMatch, RepetitiveTextWherePrefixAndSuffixClaimsOverlap) {
+  // Every line identical: the byte prefix and byte suffix each cover the
+  // shorter side entirely, so the trim bounds must not double-count.
+  std::string q = "aaa\naaa\naaa\n";
+  std::string p = "aaa\naaa\naaa\naaa\naaa\n";
+  auto segments = DiffMatch(p, 0, q, 0);
+  ExpectSegmentsValid(segments, p, q, true);
+  EXPECT_EQ(TotalMatchedLength(segments), static_cast<int64_t>(q.size()));
+  // And symmetrically with the longer page as q.
+  auto reversed = DiffMatch(q, 0, p, 0);
+  ExpectSegmentsValid(reversed, q, p, true);
+  EXPECT_EQ(TotalMatchedLength(reversed), static_cast<int64_t>(q.size()));
+}
+
+TEST(DiffMatch, SharedPrefixAndSuffixAroundMiddleEdit) {
+  // Long shared flanks (exercising full SIMD blocks + scalar tails around
+  // the 16/32-byte boundaries) with a one-line middle edit.
+  std::string flank_top;
+  std::string flank_bottom;
+  for (int i = 0; i < 40; ++i) {
+    flank_top += "top line with some padding " + std::to_string(i) + "\n";
+    flank_bottom += "bottom line with padding " + std::to_string(i) + "\n";
+  }
+  std::string q = flank_top + "OLD MIDDLE\n" + flank_bottom;
+  std::string p = flank_top + "NEW MIDDLE LINE\n" + flank_bottom;
+  auto segments = DiffMatch(p, 0, q, 0);
+  ExpectSegmentsValid(segments, p, q, true);
+  EXPECT_EQ(TotalMatchedLength(segments),
+            static_cast<int64_t>(flank_top.size() + flank_bottom.size()));
+}
+
+TEST(DiffMatch, NonAsciiAndNulBytesThroughTrimLoops) {
+  std::string line1 = "caf\xc3\xa9 na\xc3\xafve\n";
+  std::string line2 = std::string("nul\0byte\x80\xff\n", 11);
+  std::string line3 = "\xe2\x82\xac euro line \x7f\n";
+  std::string q = line1 + line2 + line3;
+  std::string p = line1 + "edited \xc2\xa9 middle\n" + line3;
+  auto segments = DiffMatch(p, 0, q, 0);
+  ExpectSegmentsValid(segments, p, q, true);
+  EXPECT_EQ(TotalMatchedLength(segments),
+            static_cast<int64_t>(line1.size() + line3.size()));
+  // Identical high-bit-heavy pages still fully match.
+  auto same = DiffMatch(q, 0, q, 0);
+  EXPECT_EQ(TotalMatchedLength(same), static_cast<int64_t>(q.size()));
+}
+
+TEST(SplitLines, NonAsciiAndNulBytes) {
+  std::string text = std::string("a\0b\n", 4) + "\xc3\xa9\n" + "\n";
+  auto lines = SplitLines(text);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], TextSpan(0, 4));
+  EXPECT_EQ(lines[1], TextSpan(4, 7));
+  EXPECT_EQ(lines[2], TextSpan(7, 8));
+}
+
 class DiffProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DiffProperty, RandomEditsYieldValidInOrderSegments) {
