@@ -13,6 +13,8 @@
 //                                           (1 = serial, 0 = all cores)
 //   DELEX_FAST_PATH                         identical-page fast path
 //                                           (1 = on, default; 0 = off)
+//   DELEX_SHARDS                            hash-partitioned engine shards
+//                                           (1 = unsharded, default)
 //   DELEX_BENCH_REPS                        min-of-N repetitions where a
 //                                           bench repeats timed runs
 //
@@ -71,6 +73,13 @@ inline int Threads() { return static_cast<int>(EnvInt("DELEX_THREADS", 1)); }
 /// Identical-page fast path; results are identical either way.
 inline bool FastPath() { return EnvInt("DELEX_FAST_PATH", 1) != 0; }
 
+/// Engine shards for Delex (hash-partitioned pages on one shared pool);
+/// results are identical at any setting.
+inline int Shards() {
+  int shards = static_cast<int>(EnvInt("DELEX_SHARDS", 1));
+  return shards > 1 ? shards : 1;
+}
+
 /// Min-of-N repetitions for benches that repeat timed runs.
 inline int BenchReps() {
   int reps = static_cast<int>(EnvInt("DELEX_BENCH_REPS", 3));
@@ -94,6 +103,7 @@ inline std::string MetaJson() {
       .KV("pages_dblife", EnvInt("DELEX_PAGES_DBLIFE", 250))
       .KV("pages_wiki", EnvInt("DELEX_PAGES_WIKI", 180))
       .KV("fast_path", FastPath())
+      .KV("shards", static_cast<int64_t>(Shards()))
       .EndObject();
   return json.str();
 }
@@ -184,6 +194,7 @@ inline Lineup MakeLineup(const ProgramSpec& spec, const std::string& tag) {
   DelexSolutionOptions delex_options;
   delex_options.num_threads = Threads();
   delex_options.disable_page_fast_path = !FastPath();
+  delex_options.num_shards = Shards();
   lineup.delex = MakeDelexSolution(spec, work + "/delex", delex_options);
   return lineup;
 }

@@ -12,6 +12,10 @@ Supported inputs (auto-detected from the JSON shape):
       metrics: off/on wall seconds per identical-fraction row
   - bench_parallel_scaling:   {"bench": "parallel_scaling", "programs": [...]}
       metrics: wall seconds per (program, thread-count) row
+  - bench_shard_scaling:      {"bench": "shard_scaling", "grid": [...]}
+      metrics: wall seconds per (threads, shards) grid point (p99 latency
+      is informational and not gated — a percentile on a busy box is far
+      noisier than a whole-series wall clock)
   - bench_cost_drift:         {"bench": "cost_drift", "runs": [...]}
       metrics: learn-on/off wall seconds per snapshot (drift columns are
       informational and not gated)
@@ -85,6 +89,22 @@ def metrics_parallel_scaling(doc):
     return out
 
 
+def metrics_shard_scaling(doc):
+    """Wall seconds per (threads, shards) grid point, lower is better.
+    A grid point whose merged output diverged from the unsharded run is a
+    correctness failure, not a perf number — refuse to compare it."""
+    out = {}
+    for row in doc.get("grid", []):
+        if not row.get("results_match", False):
+            fail_usage("shard_scaling grid point t%d/s%d has "
+                       "results_match=false" % (int(row["threads"]),
+                                                int(row["shards"])))
+        name = "shardscale_t%d_s%d_seconds" % (int(row["threads"]),
+                                               int(row["shards"]))
+        out[name] = float(row["seconds"])
+    return out
+
+
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
@@ -110,6 +130,8 @@ def extract_metrics(doc, path):
         return metrics_cost_drift(doc)
     if kind == "parallel_scaling":
         return metrics_parallel_scaling(doc)
+    if kind == "shard_scaling":
+        return metrics_shard_scaling(doc)
     fail_usage("unrecognized bench JSON shape in %s" % path)
 
 

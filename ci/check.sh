@@ -138,6 +138,42 @@ assert delex_lines > 0, "no non-warm-up Delex report lines"
 print(f"traced smoke OK: {delex_lines} Delex report lines")
 EOF
 
+  # Sharded smoke: the same portal hash-partitioned into 4 engine shards
+  # on a shared pool. Every non-warm-up Delex report line must carry the
+  # schema-v4 merged view: num_shards, a 4-entry per-shard summary whose
+  # pages and result_tuples fold exactly into the merged totals.
+  echo "=== Release: sharded dblife smoke (DELEX_SHARDS=4) ==="
+  shard_tmp="$(scratch_dir)"
+  DELEX_SHARDS=4 \
+    DELEX_THREADS=2 \
+    DELEX_STATS_JSON="${shard_tmp}/stats.jsonl" \
+    ./build-release/examples/dblife_portal 16 3 >/dev/null
+  python3 - "${shard_tmp}/stats.jsonl" <<'EOF'
+import json, sys
+
+delex_lines = 0
+with open(sys.argv[1]) as f:
+    for raw in f:
+        line = json.loads(raw)
+        assert line["schema_version"] == 4, line["schema_version"]
+        if line["solution"] != "Delex" or line["warmup"]:
+            continue
+        delex_lines += 1
+        assert line["num_shards"] == 4, line
+        shards = line["shards"]
+        assert len(shards) == 4, shards
+        for entry in shards:
+            for key in ("shard", "pages", "pages_identical",
+                        "result_tuples", "total_us", "reuse_corrupt_drops"):
+                assert key in entry, f"shard summary missing {key}"
+        assert [s["shard"] for s in shards] == [0, 1, 2, 3], shards
+        assert sum(s["pages"] for s in shards) == line["pages"], line
+        assert sum(s["result_tuples"] for s in shards) == \
+            line["result_tuples"], line
+assert delex_lines > 0, "no non-warm-up sharded Delex report lines"
+print(f"sharded smoke OK: {delex_lines} merged report lines")
+EOF
+
   # Metrics exposition smoke: run the portal with the stats server and the
   # periodic snapshot writer on, scrape /metrics and /healthz live with
   # curl, and validate the scrape against the Prometheus text-format
@@ -250,7 +286,7 @@ EOF
   echo "=== Release: bench baseline gate ==="
   bench_tmp="$(scratch_dir)"
   bench_env=(DELEX_PAGES_DBLIFE=24 DELEX_PAGES_WIKI=24 DELEX_SNAPSHOTS=3
-             DELEX_BENCH_REPS=2 DELEX_THREADS=1)
+             DELEX_PAGES_SYN1M=1200 DELEX_BENCH_REPS=2 DELEX_THREADS=1)
   env "${bench_env[@]}" ./build-release/bench/bench_identical_fraction \
     > "${bench_tmp}/identical_fraction.json"
   env "${bench_env[@]}" ./build-release/bench/bench_parallel_scaling \
@@ -260,8 +296,10 @@ EOF
     > "${bench_tmp}/matchers_micro.json" 2>/dev/null
   env "${bench_env[@]}" ./build-release/bench/bench_cost_drift \
     > "${bench_tmp}/cost_drift.json"
+  env "${bench_env[@]}" ./build-release/bench/bench_shard_scaling \
+    > "${bench_tmp}/shard_scaling.json"
   for bench in identical_fraction parallel_scaling matchers_micro \
-               cost_drift; do
+               cost_drift shard_scaling; do
     python3 ci/bench_compare.py "bench/baselines/${bench}.json" \
       "${bench_tmp}/${bench}.json"
   done

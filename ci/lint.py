@@ -23,6 +23,11 @@ Rules (each has an id; suppress a finding with a trailing or preceding
                          kernels so the scalar tier stays complete.
   header-guard           headers under src/ carry the canonical
                          DELEX_<PATH>_H_ guard, derived from the path.
+  shard-storage-include  src/shard/ drives whole engines through the
+                         DelexEngine API and must never include the
+                         storage internals (reuse_file.h, result_cache.h,
+                         record_file.h) directly — the shard layer has no
+                         business decoding on-disk records.
 
 Format rules (clang-format is not in the CI image, so the invariants that
 matter are enforced here; .clang-format remains the source of truth for
@@ -127,6 +132,13 @@ TOKEN_RULES = [
      "libstdc++ internal header",
      lambda p: True,
      True),
+    ("shard-storage-include",
+     re.compile(r"#\s*include\s+\"storage/(reuse_file|result_cache|"
+                r"record_file)\.h\""),
+     "shard layer reaching into storage internals (go through the "
+     "DelexEngine API)",
+     lambda p: p.startswith("src/shard/"),
+     True),  # raw: the offending path is inside the quoted literal
     ("simd-intrinsics",
      re.compile(r"#\s*include\s+<[a-z0-9]*intrin\.h>|_mm\d*_|"
                 r"\b__m(128|256|512)i?\b"),
@@ -217,6 +229,9 @@ SELF_TEST_CASES = {
         "src/common/bad.h",
         "#ifndef DELEX_COMMON_BAD_H_\n#define DELEX_COMMON_BAD_H_\n"
         "#include <bits/stdc++.h>\n#endif\n"),
+    "shard-storage-include": (
+        "src/shard/bad.cc",
+        "#include \"storage/reuse_file.h\"\n"),
     "simd-intrinsics": (
         "src/text/bad_simd.cc",
         "#include <immintrin.h>\n"
@@ -248,6 +263,9 @@ SELF_TEST_CLEAN = {
     "src/common/ok.h":
         "#ifndef DELEX_COMMON_OK_H_\n#define DELEX_COMMON_OK_H_\n"
         "#endif  // DELEX_COMMON_OK_H_\n",
+    "src/shard/ok.cc":
+        "#include \"storage/snapshot.h\"\n"  # snapshot API is fair game
+        "#include \"delex/engine.h\"\n",
     "src/common/simd.h":
         "#ifndef DELEX_COMMON_SIMD_H_\n#define DELEX_COMMON_SIMD_H_\n"
         "#include <immintrin.h>\n"

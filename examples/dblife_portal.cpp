@@ -6,10 +6,11 @@
 //
 //   ./dblife_portal [pages] [days]
 //
-// Honors DELEX_THREADS for the engine-backed solutions, and the
-// observability knobs (DELEX_TRACE, DELEX_STATS_JSON, DELEX_LOG_LEVEL,
-// DELEX_METRICS_PORT, DELEX_METRICS_SNAPSHOT_MS) — the CI traced-smoke
-// and metrics-scrape legs drive this binary.
+// Honors DELEX_THREADS and DELEX_SHARDS for the engine-backed solutions,
+// and the observability knobs (DELEX_TRACE, DELEX_STATS_JSON,
+// DELEX_LOG_LEVEL, DELEX_METRICS_PORT, DELEX_METRICS_SNAPSHOT_MS) — the
+// CI traced-smoke, metrics-scrape, and sharded-smoke legs drive this
+// binary.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
   obs::MaybeStartExportersFromEnv();
   const char* threads_env = std::getenv("DELEX_THREADS");
   int threads = threads_env != nullptr ? std::atoi(threads_env) : 1;
+  const char* shards_env = std::getenv("DELEX_SHARDS");
+  int shards = shards_env != nullptr ? std::atoi(shards_env) : 1;
 
   std::string work =
       (std::filesystem::temp_directory_path() / "delex-dblife").string();
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
     auto cyclex = MakeCyclexSolution(spec, work + "/cyclex-" + task, threads);
     DelexSolutionOptions delex_options;
     delex_options.num_threads = threads;
+    delex_options.num_shards = shards;
     auto delex = MakeDelexSolution(spec, work + "/delex-" + task,
                                    delex_options);
 

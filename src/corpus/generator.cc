@@ -68,6 +68,24 @@ DatasetProfile DatasetProfile::Wikipedia() {
   return p;
 }
 
+DatasetProfile DatasetProfile::Synthetic1M() {
+  DatasetProfile p;
+  p.name = "Synthetic1M";
+  p.num_sources = 1000000;
+  p.identical_fraction = 0.97;
+  // Short pages: the profile stresses page *count* (scheduling, shard
+  // routing, merge) rather than per-page extraction cost.
+  p.min_paragraphs = 1;
+  p.max_paragraphs = 3;
+  p.min_edits = 1;
+  p.max_edits = 1;
+  p.page_delete_rate = 0.002;
+  p.page_add_rate = 0.002;
+  p.entity_sentence_rate = 0.10;
+  p.wiki_style = false;
+  return p;
+}
+
 CorpusGenerator::CorpusGenerator(DatasetProfile profile, uint64_t seed)
     : profile_(std::move(profile)), rng_(seed) {}
 

@@ -56,6 +56,12 @@ struct DatasetProfile {
 
   static DatasetProfile DBLife();
   static DatasetProfile Wikipedia();
+  /// Web-archive scale profile for shard-scaling benches: 1M short pages
+  /// (1–3 paragraphs — page count, not page size, is the stressor) with
+  /// DBLife-like churn. Generate snapshots in a rolling prev/cur window —
+  /// never materialize a whole series — and scale num_sources down via
+  /// DELEX_PAGES_SYN1M for CI-sized runs.
+  static DatasetProfile Synthetic1M();
 };
 
 /// \brief Deterministic generator of consecutive corpus snapshots.

@@ -135,12 +135,19 @@ struct DelexEngine::PageSlot {
 };
 
 /// Shared coordination state of one parallel run.
+///
+/// `submitted`/`finished` track this run's tasks only: with a shared pool
+/// (sharded execution) ThreadPool::Wait() would block on other engines'
+/// work, so run completion — and the every-task-settled guarantee the
+/// stack-owned slots depend on — comes from these counters instead.
 struct DelexEngine::RunState {
   std::mutex mu;               // guards done flags, counters, error
   std::condition_variable cv;  // completion / window-space signal
   std::mutex commit_mu;        // serializes the ordered write-back stage
   size_t next_commit = 0;      // first page index not yet committed
   size_t in_flight = 0;        // submitted but not finished pages
+  size_t submitted = 0;        // tasks handed to the pool by this run
+  size_t finished = 0;         // tasks fully done (incl. their drain pass)
   Status error;                // first evaluation/commit failure
 };
 
@@ -208,6 +215,9 @@ std::string DelexEngine::ResultCachePath(int generation) const {
 }
 
 int DelexEngine::EffectiveThreads() const {
+  if (options_.shared_pool != nullptr) {
+    return options_.shared_pool->num_threads();
+  }
   if (options_.num_threads > 0) return options_.num_threads;
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -420,7 +430,15 @@ Status DelexEngine::RunPagesSerial(std::vector<PageSlot>* slots) {
 Status DelexEngine::RunPagesParallel(int num_threads,
                                      std::vector<PageSlot>* slots) {
   RunState state;
-  ThreadPool pool(num_threads);
+  // Two-level scheduling: a caller-provided shared pool (sharded
+  // execution) or a run-local one. Either way the reader and write-back
+  // stages stay on this thread; only page evaluation goes to the pool.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options_.shared_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = owned_pool.get();
+  }
   // Bound on submitted-but-unfinished pages: keeps the reader stage a few
   // pages ahead of the workers without prefetching the whole previous
   // generation into memory.
@@ -451,11 +469,14 @@ Status DelexEngine::RunPagesParallel(int num_threads,
     }
   };
 
+  Status prefetch_error;
   for (size_t i = 0; i < slots->size(); ++i) {
     PageSlot* slot = &(*slots)[i];
     // Reader stage: one strictly-forward scan per reuse file, kept on this
-    // thread and in snapshot page order (§5.2).
-    DELEX_RETURN_NOT_OK(PrefetchSlot(slot));
+    // thread and in snapshot page order (§5.2). On error we cannot return
+    // yet: in-flight tasks still reference `state` and the slots.
+    prefetch_error = PrefetchSlot(slot);
+    if (!prefetch_error.ok()) break;
     if (slot->identical) {
       // Fast-path pages bypass the worker stage: rows are already
       // recovered and nothing needs evaluating, but the commit still must
@@ -477,8 +498,9 @@ Status DelexEngine::RunPagesParallel(int num_threads,
       });
       if (!state.error.ok()) break;
       ++state.in_flight;
+      ++state.submitted;
     }
-    pool.Submit([this, slot, &state, &drain_commits]() -> Status {
+    pool->Submit([this, slot, &state, &drain_commits]() -> Status {
       PageContext page_ctx;
       page_ctx.page = slot->page;
       page_ctx.q_page = slot->q_page;
@@ -497,12 +519,41 @@ Status DelexEngine::RunPagesParallel(int num_threads,
         }
       }
       state.cv.notify_all();
-      if (!rows.ok()) return rows.status();
-      return drain_commits();
+      Status task_status = rows.ok() ? drain_commits() : rows.status();
+      // The finished mark must come last: the settle wait below treats a
+      // finished task as one that will never touch `state` or the slots
+      // again, including its drain pass.
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        ++state.finished;
+        // Notify while still holding the lock: the settling thread
+        // destroys `state` the moment it observes finished == submitted,
+        // and it cannot re-acquire `mu` (and thus return from its wait)
+        // until this guard releases — an unlocked notify here could
+        // broadcast on an already-destroyed condvar.
+        state.cv.notify_all();
+      }
+      return task_status;
     });
   }
-  Status pool_status = pool.Wait();
-  DELEX_RETURN_NOT_OK(pool_status);
+  // Settle: every task this run submitted must finish before the stack
+  // state can be torn down. ThreadPool::Wait() is deliberately not used —
+  // with a shared pool it would block on (and steal the sticky error of)
+  // other engines' tasks.
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock,
+                  [&state] { return state.finished == state.submitted; });
+  }
+  DELEX_RETURN_NOT_OK(prefetch_error);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    DELEX_RETURN_NOT_OK(state.error);
+  }
+  // Defensive final drain: covers a trailing fast-path slot marked done
+  // after the last worker's drain pass (the inline drain above normally
+  // commits it already).
+  DELEX_RETURN_NOT_OK(drain_commits());
   std::lock_guard<std::mutex> lock(state.mu);
   DELEX_RETURN_NOT_OK(state.error);
   DELEX_CHECK(state.next_commit == slots->size());
@@ -592,10 +643,14 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
     }
   }
 
+  // With a shared pool, always go through it — even a 1-wide pool — so a
+  // sharded run's total compute is bounded by the pool width rather than
+  // by the number of engine driver threads.
   const int num_threads = EffectiveThreads();
-  Status run_status = num_threads <= 1 || slots.size() <= 1
-                          ? RunPagesSerial(&slots)
-                          : RunPagesParallel(num_threads, &slots);
+  const bool parallel = options_.shared_pool != nullptr ||
+                        (num_threads > 1 && slots.size() > 1);
+  Status run_status = parallel ? RunPagesParallel(num_threads, &slots)
+                               : RunPagesSerial(&slots);
   if (!run_status.ok()) {
     writers_.clear();
     readers_.clear();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "delex/ie_unit.h"
 #include "delex/run_stats.h"
 #include "matcher/matcher.h"
@@ -45,8 +46,21 @@ class DelexEngine {
     /// ordered write-back stage commits captures in snapshot page order,
     /// so results and next-generation reuse files are byte-identical at
     /// every thread count. 1 = serial in-caller execution (the exact
-    /// legacy path, no pool); 0 = one worker per hardware thread.
+    /// legacy path, no pool); 0 = one worker per hardware thread. Ignored
+    /// when `shared_pool` is set.
     int num_threads = 1;
+
+    /// Worker pool shared with other engines (non-owning; must outlive the
+    /// engine). When set, page-evaluation tasks are submitted here instead
+    /// of a run-local pool, so N sharded engines × M pages never
+    /// oversubscribe the machine: the pool's width bounds total compute
+    /// while each engine keeps its own reader-prefetch and ordered
+    /// write-back stages on the calling thread. Run completion is tracked
+    /// per engine (ThreadPool::Wait would block on *other* engines'
+    /// tasks), and results/reuse files remain byte-identical to serial
+    /// execution — the ordered write-back commits in snapshot page order
+    /// regardless of which pool ran the page.
+    ThreadPool* shared_pool = nullptr;
 
     /// Maximum old input regions matched per new input region when no
     /// exact-content candidate exists (ŝ of the cost model).

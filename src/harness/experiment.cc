@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "delex/engine.h"
 #include "optimizer/optimizer.h"
+#include "shard/sharded_engine.h"
 
 namespace delex {
 
@@ -249,6 +250,270 @@ class EngineSolution : public Solution {
   bool last_had_previous_ = false;
 };
 
+/// Delex over a shard::ShardedEngine: pages hash-partitioned into N
+/// engine shards on one shared pool, with one optimizer PER SHARD. Each
+/// shard observes its own sub-snapshot pair, picks its own assignment,
+/// receives its own measured-cost feedback, and persists its own
+/// `shard<K>/coeffs.gen<G>` — so shards calibrate (and degrade after
+/// state corruption) independently.
+class ShardedEngineSolution : public Solution {
+ public:
+  ShardedEngineSolution(std::string name, xlog::PlanNodePtr plan,
+                        const std::string& work_dir,
+                        DelexSolutionOptions options)
+      : name_(std::move(name)), options_(std::move(options)) {
+    shard::ShardedEngine::Options engine_options;
+    engine_options.work_dir = work_dir;
+    engine_options.num_shards = options_.num_shards;
+    engine_options.num_threads = options_.num_threads;
+    engine_options.disable_exact_fast_path = options_.disable_exact_fast_path;
+    engine_options.disable_page_fast_path = options_.disable_page_fast_path;
+    engine_options.fold_unit_operators = options_.fold_unit_operators;
+    engine_ = std::make_unique<shard::ShardedEngine>(std::move(plan),
+                                                     engine_options);
+  }
+
+  Status Prepare() {
+    DELEX_RETURN_NOT_OK(engine_->Init());
+    Optimizer::Options opt_options;
+    opt_options.collector.sample_pages = options_.sample_pages;
+    opt_options.history_snapshots = options_.history_snapshots;
+    opt_options.learn_coefficients = options_.learn_coefficients;
+    for (int k = 0; k < engine_->num_shards(); ++k) {
+      optimizers_.push_back(std::make_unique<Optimizer>(
+          engine_->plan(), engine_->analysis(), opt_options));
+      Optimizer* optimizer = optimizers_.back().get();
+      if (!optimizer->LearningEnabled()) continue;
+      if (auto path = NewestCoefficientFile(k)) {
+        Status loaded = optimizer->LoadCoefficients(*path);
+        if (loaded.ok()) {
+          DELEX_LOG(INFO) << name_ << ": shard " << k
+                          << " resumed cost coefficients from " << *path;
+        } else {
+          DELEX_LOG(WARN) << name_ << ": shard " << k << " ignoring "
+                          << *path << ": " << loaded.ToString();
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& Name() const override { return name_; }
+
+  Result<std::vector<Tuple>> RunSnapshot(const Snapshot& current,
+                                         const Snapshot* previous,
+                                         RunStats* stats) override {
+    const int num_shards = engine_->num_shards();
+    std::vector<MatcherAssignment> assignments(
+        static_cast<size_t>(num_shards),
+        MatcherAssignment::Uniform(engine_->NumUnits(), MatcherKind::kDN));
+    int64_t opt_us = 0;
+    last_predicted_unit_us_.clear();
+    last_predicted_total_us_ = -1;
+    if (previous != nullptr) {
+      if (!options_.forced_assignment.per_unit.empty()) {
+        for (MatcherAssignment& a : assignments) {
+          a = options_.forced_assignment;
+        }
+      } else {
+        // Feed every shard's optimizer the sub-snapshot pair its engine
+        // will actually see. The split of `current` is cached and reused
+        // as the previous split on the next call (consecutive snapshots
+        // are the only legal pattern), saving one corpus copy per run.
+        Stopwatch opt_watch;
+        std::vector<Snapshot> prev_split;
+        const std::vector<Snapshot>* prev_parts = nullptr;
+        if (previous == last_split_source_) {
+          prev_parts = &last_split_;
+        } else {
+          prev_split = shard::SplitSnapshot(*previous, num_shards);
+          prev_parts = &prev_split;
+        }
+        std::vector<Snapshot> cur_split =
+            shard::SplitSnapshot(current, num_shards);
+        std::vector<double> predicted_totals(static_cast<size_t>(num_shards),
+                                             -1);
+        for (int k = 0; k < num_shards; ++k) {
+          Optimizer* optimizer = optimizers_[static_cast<size_t>(k)].get();
+          const uint64_t seed =
+              0xC0FFEE ^ static_cast<uint64_t>(engine_->generation()) ^
+              (static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL);
+          DELEX_RETURN_NOT_OK(optimizer->ObserveSnapshotPair(
+              cur_split[static_cast<size_t>(k)],
+              (*prev_parts)[static_cast<size_t>(k)], seed));
+          DELEX_ASSIGN_OR_RETURN(assignments[static_cast<size_t>(k)],
+                                 optimizer->ChooseAssignment());
+          DELEX_ASSIGN_OR_RETURN(
+              std::vector<double> predicted,
+              optimizer->EstimatePerUnitCost(
+                  assignments[static_cast<size_t>(k)]));
+          AccumulatePrediction(predicted);
+        }
+        last_split_ = std::move(cur_split);
+        last_split_source_ = &current;
+        opt_us = opt_watch.ElapsedMicros();
+      }
+    }
+    last_assignments_ = assignments;
+    last_had_previous_ = previous != nullptr;
+    shard::ShardedEngine::ShardRunStats shard_stats;
+    DELEX_ASSIGN_OR_RETURN(
+        std::vector<Tuple> results,
+        engine_->RunSnapshot(current, previous, assignments, stats,
+                             &shard_stats));
+    if (stats != nullptr) {
+      stats->phases.opt_us = opt_us;
+      stats->phases.total_us += opt_us;
+    }
+    last_shard_stats_ = std::move(shard_stats);
+    // Close each shard's self-tuning loop with its own measured costs.
+    last_drift_ = -1;
+    if (previous != nullptr) {
+      double drift_sum = 0;
+      int drift_count = 0;
+      for (int k = 0; k < num_shards; ++k) {
+        Optimizer* optimizer = optimizers_[static_cast<size_t>(k)].get();
+        if (!optimizer->HasStats()) continue;
+        Status observed = optimizer->ObserveMeasuredCosts(
+            assignments[static_cast<size_t>(k)],
+            last_shard_stats_.per_shard[static_cast<size_t>(k)]);
+        if (!observed.ok()) {
+          DELEX_LOG(WARN) << name_ << ": shard " << k
+                          << " measured-cost feedback skipped: "
+                          << observed.ToString();
+          continue;
+        }
+        if (optimizer->LastDrift() >= 0) {
+          drift_sum += optimizer->LastDrift();
+          ++drift_count;
+        }
+        if (optimizer->LearningEnabled()) {
+          int completed_gen = engine_->generation() - 1;
+          Status saved =
+              optimizer->SaveCoefficients(CoefficientPath(k, completed_gen));
+          if (!saved.ok()) {
+            DELEX_LOG(WARN) << name_ << ": " << saved.ToString();
+          }
+          std::error_code ec;
+          std::filesystem::remove(CoefficientPath(k, completed_gen - 1), ec);
+        }
+      }
+      if (drift_count > 0) last_drift_ = drift_sum / drift_count;
+    }
+    return results;
+  }
+
+  std::string LastAssignment() const override {
+    if (last_assignments_.empty()) return "";
+    // One string when every shard picked the same plan (the common case);
+    // otherwise all of them, '|'-separated in shard order.
+    bool uniform = true;
+    for (const MatcherAssignment& a : last_assignments_) {
+      if (a.per_unit != last_assignments_[0].per_unit) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) return last_assignments_[0].ToString();
+    std::string joined;
+    for (const MatcherAssignment& a : last_assignments_) {
+      if (!joined.empty()) joined += "|";
+      joined += a.ToString();
+    }
+    return joined;
+  }
+
+  void DescribeRun(obs::RunReportMeta* meta,
+                   obs::OptimizerReport* optimizer) const override {
+    meta->num_threads = options_.num_threads;
+    meta->fast_path_enabled = !options_.disable_page_fast_path;
+    meta->num_shards = engine_->num_shards();
+    meta->shards.clear();
+    for (size_t k = 0; k < last_shard_stats_.per_shard.size(); ++k) {
+      const RunStats& s = last_shard_stats_.per_shard[k];
+      obs::RunReportMeta::ShardSummary summary;
+      summary.shard = static_cast<int>(k);
+      summary.pages = s.pages;
+      summary.pages_identical = s.pages_identical;
+      summary.result_tuples = s.result_tuples;
+      summary.total_us = s.phases.total_us;
+      summary.reuse_corrupt_drops = s.reuse_corrupt_drops;
+      meta->shards.push_back(summary);
+    }
+    optimizer->has_optimizer = last_had_previous_;
+    if (!last_had_previous_ || last_assignments_.empty()) return;
+    // Per-unit matchers from shard 0 (shards usually agree; LastAssignment
+    // surfaces disagreement); predicted µs summed across shards so the
+    // total still compares against the merged measured phases.
+    optimizer->unit_matchers.clear();
+    for (MatcherKind kind : last_assignments_[0].per_unit) {
+      optimizer->unit_matchers.emplace_back(MatcherKindName(kind));
+    }
+    optimizer->predicted_unit_us = last_predicted_unit_us_;
+    optimizer->predicted_total_us = last_predicted_total_us_;
+    optimizer->learning_enabled = optimizers_[0]->LearningEnabled();
+    optimizer->cost_drift = last_drift_;
+    optimizer->learned.clear();
+    for (MatcherKind kind : kAllMatcherKinds) {
+      const CoefficientLearner::KindModel& m =
+          optimizers_[0]->learner().model(kind);
+      if (m.samples == 0) continue;
+      obs::OptimizerReport::LearnedCoefficient row;
+      row.matcher = MatcherKindName(kind);
+      row.gain = m.gain;
+      row.bias = m.bias;
+      row.drift = m.drift;
+      row.samples = m.samples;
+      optimizer->learned.push_back(std::move(row));
+    }
+  }
+
+ private:
+  void AccumulatePrediction(const std::vector<double>& predicted) {
+    if (last_predicted_unit_us_.size() < predicted.size()) {
+      last_predicted_unit_us_.resize(predicted.size(), 0);
+    }
+    if (last_predicted_total_us_ < 0) last_predicted_total_us_ = 0;
+    for (size_t u = 0; u < predicted.size(); ++u) {
+      last_predicted_unit_us_[u] += predicted[u];
+      last_predicted_total_us_ += predicted[u];
+    }
+  }
+
+  std::string CoefficientPath(int shard, int generation) const {
+    return engine_->ShardWorkDir(shard) + "/coeffs.gen" +
+           std::to_string(generation);
+  }
+
+  std::optional<std::string> NewestCoefficientFile(int shard) const {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(engine_->ShardWorkDir(shard), ec);
+    if (ec) return std::nullopt;
+    int best_gen = -1;
+    for (const auto& entry : it) {
+      std::string stem = entry.path().filename().string();
+      if (stem.rfind("coeffs.gen", 0) != 0) continue;
+      int gen = std::atoi(stem.c_str() + std::string_view("coeffs.gen").size());
+      if (gen > best_gen) best_gen = gen;
+    }
+    if (best_gen < 0) return std::nullopt;
+    return CoefficientPath(shard, best_gen);
+  }
+
+  std::string name_;
+  DelexSolutionOptions options_;
+  std::unique_ptr<shard::ShardedEngine> engine_;
+  std::vector<std::unique_ptr<Optimizer>> optimizers_;  // one per shard
+  std::vector<MatcherAssignment> last_assignments_;
+  shard::ShardedEngine::ShardRunStats last_shard_stats_;
+  std::vector<Snapshot> last_split_;
+  const Snapshot* last_split_source_ = nullptr;
+  std::vector<double> last_predicted_unit_us_;
+  double last_predicted_total_us_ = -1;
+  double last_drift_ = -1;
+  bool last_had_previous_ = false;
+};
+
 }  // namespace
 
 std::unique_ptr<Solution> MakeNoReuseSolution(const ProgramSpec& spec) {
@@ -277,6 +542,15 @@ std::unique_ptr<Solution> MakeCyclexSolution(const ProgramSpec& spec,
 std::unique_ptr<Solution> MakeDelexSolution(const ProgramSpec& spec,
                                             const std::string& work_dir,
                                             DelexSolutionOptions options) {
+  // Same solution name either way: sharding is an execution strategy, not
+  // a different contender — results are identical, only scaling differs.
+  if (options.num_shards > 1) {
+    auto solution = std::make_unique<ShardedEngineSolution>(
+        "Delex", spec.plan, work_dir, std::move(options));
+    Status st = solution->Prepare();
+    DELEX_CHECK_MSG(st.ok(), st.ToString());
+    return solution;
+  }
   auto solution = std::make_unique<EngineSolution>("Delex", spec.plan,
                                                    work_dir, std::move(options));
   Status st = solution->Prepare();

@@ -84,6 +84,12 @@ struct DelexSolutionOptions {
   /// and persist them per generation alongside the reuse files (see
   /// CoefficientLearner). DELEX_COST_LEARN=0 also forces this off.
   bool learn_coefficients = true;
+  /// Hash-partition pages into this many engine shards sharing one worker
+  /// pool (shard::ShardedEngine; DELEX_SHARDS). Each shard gets its own
+  /// optimizer, statistics, and `shard<K>/coeffs.gen<N>` persistence, so
+  /// corrupting one shard's state degrades only that shard. Merged results
+  /// are byte-identical to num_shards = 1 at every setting.
+  int num_shards = 1;
 };
 
 /// \brief Full Delex: per-unit reuse with cost-based matcher assignment.

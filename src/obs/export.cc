@@ -42,6 +42,66 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// A registry name split into Prometheus family + label set. Registry
+/// names may carry labels after a '#' as comma-separated k=v pairs
+/// ("shard.pages#shard=3" — the sharded engine's per-shard series);
+/// they render as real Prometheus labels so one family aggregates across
+/// shards. Base and keys are sanitized like names; values are escaped per
+/// the text-format rules (backslash, quote, newline).
+struct PromName {
+  std::string base;    // sanitized family name, "delex_" prefixed
+  std::string labels;  // rendered `k="v",k2="v2"`, empty when unlabeled
+};
+
+PromName ParsePromName(const std::string& name) {
+  PromName out;
+  const size_t hash = name.find('#');
+  out.base = PrometheusName(name.substr(0, hash));
+  if (hash == std::string::npos) return out;
+  size_t start = hash + 1;
+  while (start < name.size()) {
+    size_t comma = name.find(',', start);
+    if (comma == std::string::npos) comma = name.size();
+    const std::string pair = name.substr(start, comma - start);
+    const size_t eq = pair.find('=');
+    const std::string key = pair.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : pair.substr(eq + 1);
+    if (!key.empty()) {
+      if (!out.labels.empty()) out.labels += ',';
+      for (char c : key) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.labels += ok ? c : '_';
+      }
+      out.labels += "=\"";
+      for (char c : value) {
+        if (c == '\\' || c == '"') out.labels += '\\';
+        if (c == '\n') {
+          out.labels += "\\n";
+          continue;
+        }
+        out.labels += c;
+      }
+      out.labels += '"';
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// One sample line: family name, optional extra label set merged with the
+/// parsed ones, value appended by the caller.
+void AppendSampleName(std::string* out, const std::string& family,
+                      const std::string& labels) {
+  *out += family;
+  if (!labels.empty()) {
+    *out += '{';
+    *out += labels;
+    *out += '}';
+  }
+}
+
 int64_t UptimeMs() {
   static const std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
@@ -59,42 +119,64 @@ void AppendInt(std::string* out, int64_t v) {
 }  // namespace
 
 std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  // The snapshot maps are name-sorted and '#' sorts below every
+  // [a-z0-9._] name character, so all labeled series of one family are
+  // contiguous — emit HELP/TYPE once per family, then every sample.
   std::string out;
+  std::string last_family;
   for (const auto& [name, value] : snapshot.counters) {
-    std::string prom = PrometheusName(name);
-    out += "# HELP " + prom + "_total Delex counter " + name + "\n";
-    out += "# TYPE " + prom + "_total counter\n";
-    out += prom + "_total ";
+    PromName prom = ParsePromName(name);
+    const std::string family = prom.base + "_total";
+    if (family != last_family) {
+      out += "# HELP " + family + " Delex counter " + prom.base + "\n";
+      out += "# TYPE " + family + " counter\n";
+      last_family = family;
+    }
+    AppendSampleName(&out, family, prom.labels);
+    out += ' ';
     AppendInt(&out, value);
     out += '\n';
   }
+  last_family.clear();
   for (const auto& [name, value] : snapshot.gauges) {
-    std::string prom = PrometheusName(name);
-    out += "# HELP " + prom + " Delex gauge " + name + "\n";
-    out += "# TYPE " + prom + " gauge\n";
-    out += prom + ' ';
+    PromName prom = ParsePromName(name);
+    if (prom.base != last_family) {
+      out += "# HELP " + prom.base + " Delex gauge " + prom.base + "\n";
+      out += "# TYPE " + prom.base + " gauge\n";
+      last_family = prom.base;
+    }
+    AppendSampleName(&out, prom.base, prom.labels);
+    out += ' ';
     AppendInt(&out, value);
     out += '\n';
   }
+  last_family.clear();
   for (const auto& [name, hist] : snapshot.histograms) {
-    std::string prom = PrometheusName(name);
-    out += "# HELP " + prom + " Delex latency histogram " + name +
-           " (microseconds)\n";
-    out += "# TYPE " + prom + " histogram\n";
+    PromName prom = ParsePromName(name);
+    if (prom.base != last_family) {
+      out += "# HELP " + prom.base + " Delex latency histogram " + prom.base +
+             " (microseconds)\n";
+      out += "# TYPE " + prom.base + " histogram\n";
+      last_family = prom.base;
+    }
+    const std::string le_prefix =
+        prom.labels.empty() ? "" : prom.labels + ",";
     for (int64_t bound : kPrometheusBucketBoundsUs) {
-      out += prom + "_bucket{le=\"";
+      out += prom.base + "_bucket{" + le_prefix + "le=\"";
       AppendInt(&out, bound);
       out += "\"} ";
       AppendInt(&out, hist.CumulativeLE(bound));
       out += '\n';
     }
-    out += prom + "_bucket{le=\"+Inf\"} ";
+    out += prom.base + "_bucket{" + le_prefix + "le=\"+Inf\"} ";
     AppendInt(&out, hist.count());
     out += '\n';
-    out += prom + "_sum ";
+    AppendSampleName(&out, prom.base + "_sum", prom.labels);
+    out += ' ';
     AppendInt(&out, hist.sum());
     out += '\n';
-    out += prom + "_count ";
+    AppendSampleName(&out, prom.base + "_count", prom.labels);
+    out += ' ';
     AppendInt(&out, hist.count());
     out += '\n';
   }

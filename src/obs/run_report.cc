@@ -47,6 +47,21 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
   json.KV("threads", meta.num_threads);
   json.KV("fast_path", meta.fast_path_enabled);
   json.KV("histograms", meta.histograms_enabled);
+  json.KV("num_shards", meta.num_shards);
+  if (meta.num_shards > 1 && !meta.shards.empty()) {
+    json.Key("shards").BeginArray();
+    for (const RunReportMeta::ShardSummary& shard : meta.shards) {
+      json.BeginObject()
+          .KV("shard", shard.shard)
+          .KV("pages", shard.pages)
+          .KV("pages_identical", shard.pages_identical)
+          .KV("result_tuples", shard.result_tuples)
+          .KV("total_us", shard.total_us)
+          .KV("reuse_corrupt_drops", shard.reuse_corrupt_drops)
+          .EndObject();
+    }
+    json.EndArray();
+  }
 
   json.KV("pages", stats.pages);
   json.KV("pages_with_previous", stats.pages_with_previous);

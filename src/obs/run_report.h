@@ -12,9 +12,10 @@
 // Producers: RunSeries (src/harness) writes a line per snapshot when
 // --stats-json / DELEX_STATS_JSON is set; tests build lines directly.
 //
-// Schema v2 line shape (keys stable; additions bump the version):
-//   {"schema_version":3,"solution":"Delex","snapshot":2,"warmup":false,
-//    "threads":4,"fast_path":true,"histograms":true,"tag":"fig11-talk",
+// Schema line shape (keys stable; additions bump the version):
+//   {"schema_version":4,"solution":"Delex","snapshot":2,"warmup":false,
+//    "threads":4,"fast_path":true,"histograms":true,"num_shards":1,
+//    "tag":"fig11-talk",
 //    "pages":N,"pages_with_previous":N,"pages_identical":N,
 //    "result_tuples":N,"raw_bytes_copied":N,"records_decoded_skipped":N,
 //    "phases":{"match_us":..,"extract_us":..,"copy_us":..,"opt_us":..,
@@ -54,6 +55,15 @@
 // before the first feedback), and "coeffs" (per-matcher learned
 // calibration rows {"matcher","gain","bias","drift","samples"}; omitted
 // until a kind has samples).
+//
+// v3 → v4: sharded execution. The meta block gains "num_shards" (always
+// present; 1 for unsharded runs), and when num_shards > 1 a "shards"
+// array with one summary per shard:
+//   {"shard":K,"pages":N,"pages_identical":N,"result_tuples":N,
+//    "total_us":..,"reuse_corrupt_drops":N}
+// The top-level stats blocks then describe the MERGED view (counters
+// summed, phase components summed, total_us = sharded wall clock,
+// histograms folded across shards).
 
 #include <cstdint>
 #include <cstdio>
@@ -66,7 +76,7 @@
 namespace delex {
 namespace obs {
 
-inline constexpr int kRunReportSchemaVersion = 3;
+inline constexpr int kRunReportSchemaVersion = 4;
 
 /// \brief Run identity and execution-environment metadata for one line.
 struct RunReportMeta {
@@ -79,6 +89,21 @@ struct RunReportMeta {
   /// Whether latency histograms were recording (DELEX_HISTOGRAMS); the
   /// "latency" block and per-unit percentiles are emitted only when true.
   bool histograms_enabled = true;
+
+  /// Engine shards the run was partitioned into (v4; 1 = unsharded).
+  int num_shards = 1;
+
+  /// Per-shard rollup emitted as the "shards" array when num_shards > 1
+  /// (v4). The top-level stats blocks carry the merged view.
+  struct ShardSummary {
+    int shard = 0;
+    int64_t pages = 0;
+    int64_t pages_identical = 0;
+    int64_t result_tuples = 0;
+    int64_t total_us = 0;  ///< shard wall clock (driver thread)
+    int64_t reuse_corrupt_drops = 0;
+  };
+  std::vector<ShardSummary> shards;
 };
 
 /// \brief The optimizer's decisions for one run, when a plan was chosen.

@@ -1,0 +1,26 @@
+#include "shard/partition.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace delex {
+namespace shard {
+
+int ShardOfUrl(std::string_view url, int num_shards) {
+  DELEX_CHECK(num_shards >= 1);
+  if (num_shards == 1) return 0;
+  return static_cast<int>(Fnv1a64(url) % static_cast<uint64_t>(num_shards));
+}
+
+std::vector<Snapshot> SplitSnapshot(const Snapshot& snapshot, int num_shards) {
+  DELEX_CHECK(num_shards >= 1);
+  std::vector<Snapshot> shards(static_cast<size_t>(num_shards));
+  for (const Page& page : snapshot.pages()) {
+    shards[static_cast<size_t>(ShardOfUrl(page.url, num_shards))]
+        .AddExistingPage(page);
+  }
+  return shards;
+}
+
+}  // namespace shard
+}  // namespace delex

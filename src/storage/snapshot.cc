@@ -17,6 +17,12 @@ Page& Snapshot::AddPage(std::string url, std::string content) {
   return pages_.back();
 }
 
+Page& Snapshot::AddExistingPage(const Page& page) {
+  by_url_[page.url] = pages_.size();
+  pages_.push_back(page);
+  return pages_.back();
+}
+
 int64_t Snapshot::TotalBytes() const {
   int64_t total = 0;
   for (const Page& p : pages_) total += static_cast<int64_t>(p.content.size());

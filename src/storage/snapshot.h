@@ -43,6 +43,14 @@ class Snapshot {
   /// Appends a page, assigning it the next document id.
   Page& AddPage(std::string url, std::string content);
 
+  /// Appends a verbatim copy of `page`, keeping its did and content hash.
+  /// The shard router uses this to build per-shard sub-snapshots that
+  /// carry *global* dids: reuse files only require dids to be monotone in
+  /// append order, and a hash-partitioned subsequence of an ordered
+  /// snapshot stays ordered — so per-shard output rows come out carrying
+  /// the same dids an unsharded run would assign.
+  Page& AddExistingPage(const Page& page);
+
   const std::vector<Page>& pages() const { return pages_; }
   std::vector<Page>& mutable_pages() { return pages_; }
   size_t NumPages() const { return pages_.size(); }

@@ -20,6 +20,7 @@
 #include "delex/engine.h"
 #include "harness/experiment.h"
 #include "harness/programs.h"
+#include "shard/sharded_engine.h"
 
 namespace delex {
 namespace {
@@ -257,6 +258,48 @@ TEST_F(CorruptInputTest, ResultCacheMagicSwapDisablesFastPath) {
   EXPECT_EQ(rows, baseline_);
   // Open rejects the cache, so no page takes the identical fast path.
   EXPECT_EQ(stats.pages_identical, 0);
+}
+
+TEST_F(CorruptInputTest, TornShardReuseFileDegradesOnlyThatShard) {
+  // Sharded run with one shard's reuse file torn mid-record (a crash
+  // during capture): the damaged shard drops its reuse and recomputes;
+  // the OTHER shards' files are untouched and the merged results still
+  // equal the clean baseline.
+  const std::string dir = FreshDir("torn-shard");
+  const int num_shards = 3;
+  shard::ShardedEngine::Options options;
+  options.work_dir = dir;
+  options.num_shards = num_shards;
+  options.num_threads = 2;
+  {
+    shard::ShardedEngine engine(plan_, options);
+    ASSERT_TRUE(engine.Init().ok());
+    ASSERT_TRUE(
+        engine.RunSnapshot(series_[0], nullptr, Assignment(), nullptr).ok());
+  }
+  // Tear shard 1's unit reuse input mid-record.
+  const std::string torn_path = dir + "/shard1/unit0.gen0.in";
+  std::string torn_bytes = ReadFile(torn_path);
+  ASSERT_GT(torn_bytes.size(), 2u);
+  WriteFile(torn_path, torn_bytes.substr(0, torn_bytes.size() / 2));
+
+  shard::ShardedEngine engine(plan_, options);
+  ASSERT_TRUE(engine.Init().ok());
+  ASSERT_TRUE(engine.Resume(1).ok());
+  RunStats stats;
+  shard::ShardedEngine::ShardRunStats shard_stats;
+  std::vector<MatcherAssignment> assignments(
+      static_cast<size_t>(num_shards), Assignment());
+  auto rows = engine.RunSnapshot(series_[1], &series_[0], assignments, &stats,
+                                 &shard_stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(Canonicalize(std::move(*rows)), baseline_);
+  // Only the torn shard registered corruption; the others reused cleanly.
+  ASSERT_EQ(shard_stats.per_shard.size(), static_cast<size_t>(num_shards));
+  EXPECT_GT(shard_stats.per_shard[1].reuse_corrupt_drops, 0);
+  EXPECT_EQ(shard_stats.per_shard[0].reuse_corrupt_drops, 0);
+  EXPECT_EQ(shard_stats.per_shard[2].reuse_corrupt_drops, 0);
+  EXPECT_GT(stats.reuse_corrupt_drops, 0);  // merged view folds the drop in
 }
 
 TEST_F(CorruptInputTest, EveryArtifactCorruptSimultaneously) {

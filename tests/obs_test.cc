@@ -996,6 +996,41 @@ TEST(PrometheusTest, ExpositionIsWellFormed) {
   registry.ResetAll();
 }
 
+TEST(PrometheusTest, ShardLabelsRenderAsPromLabelSets) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  // The `#k=v` naming convention (used by the shard layer) must render as
+  // a Prometheus label set, with HELP/TYPE emitted once per family even
+  // though each labeled series is a distinct registry entry.
+  registry.GetCounter("obs_test.lbl.pages#shard=0")->Increment(4);
+  registry.GetCounter("obs_test.lbl.pages#shard=1")->Increment(6);
+  registry.GetGauge("obs_test.lbl.gen#shard=1")->Set(3);
+  registry.GetHistogram("obs_test.lbl.hist_us#shard=2")->Record(25);
+
+  std::string text = obs::PrometheusText();
+  EXPECT_NE(text.find("delex_obs_test_lbl_pages_total{shard=\"0\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("delex_obs_test_lbl_pages_total{shard=\"1\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("delex_obs_test_lbl_gen{shard=\"1\"} 3"),
+            std::string::npos);
+  // Bucket lines put the shard label before the le label.
+  EXPECT_NE(
+      text.find("delex_obs_test_lbl_hist_us_bucket{shard=\"2\",le=\"+Inf\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("delex_obs_test_lbl_hist_us_count{shard=\"2\"} 1"),
+            std::string::npos);
+  // One TYPE declaration per family, not one per labeled series.
+  std::string type_line = "# TYPE delex_obs_test_lbl_pages_total counter";
+  size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos)
+      << "TYPE repeated for labeled series";
+  registry.ResetAll();
+}
+
 // ---------------------------------------------------------------------------
 // Exporters: snapshot writer + stats server
 // ---------------------------------------------------------------------------
@@ -1151,6 +1186,39 @@ TEST(RunReportTest, LineCarriesSchemaPhasesAndOptimizer) {
   EXPECT_EQ(unit0.At("predicted_us").number, 123.5);
   EXPECT_EQ(unit0.At("actual_us").number, 300);
   EXPECT_TRUE(line.Has("counters"));
+}
+
+TEST(RunReportTest, ShardSummariesEmittedWhenSharded) {
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::RunReportMeta meta;
+  meta.solution = "Delex";
+  meta.snapshot_index = 1;
+  RunStats stats;
+  stats.pages = 8;
+  obs::OptimizerReport optimizer;
+
+  // Unsharded: num_shards present (v4) but no shards array.
+  JsonValue line = MustParse(obs::RunReportLine(meta, stats, optimizer));
+  EXPECT_EQ(line.At("schema_version").number, obs::kRunReportSchemaVersion);
+  EXPECT_EQ(line.At("num_shards").number, 1);
+  EXPECT_FALSE(line.Has("shards"));
+
+  meta.num_shards = 2;
+  meta.shards.resize(2);
+  meta.shards[0] = {/*shard=*/0, /*pages=*/5, /*pages_identical=*/2,
+                    /*result_tuples=*/11, /*total_us=*/900,
+                    /*reuse_corrupt_drops=*/0};
+  meta.shards[1] = {1, 3, 1, 7, 700, 2};
+  line = MustParse(obs::RunReportLine(meta, stats, optimizer));
+  EXPECT_EQ(line.At("num_shards").number, 2);
+  ASSERT_EQ(line.At("shards").array.size(), 2u);
+  const JsonValue& shard0 = line.At("shards").array[0];
+  EXPECT_EQ(shard0.At("shard").number, 0);
+  EXPECT_EQ(shard0.At("pages").number, 5);
+  EXPECT_EQ(shard0.At("result_tuples").number, 11);
+  const JsonValue& shard1 = line.At("shards").array[1];
+  EXPECT_EQ(shard1.At("total_us").number, 700);
+  EXPECT_EQ(shard1.At("reuse_corrupt_drops").number, 2);
 }
 
 TEST(RunReportTest, WriterAppendsOneParseableLinePerRun) {

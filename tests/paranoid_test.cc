@@ -17,6 +17,7 @@
 #include "harness/experiment.h"
 #include "harness/programs.h"
 #include "matcher/matcher.h"
+#include "shard/sharded_engine.h"
 #include "storage/reuse_file.h"
 
 namespace delex {
@@ -85,6 +86,27 @@ TEST(ParanoidTest, DifferentialOracleAcceptsRealSeries) {
 
   Status verdict = paranoid::DifferentialOracle(
       program->plan, series, full, FreshDir("oracle"));
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+}
+
+TEST(ParanoidTest, ShardedDifferentialOracleAcceptsRealSeries) {
+  // The sharded==unsharded leg: 2- and 3-shard runs on a shared pool must
+  // be byte-identical (exact row order, not set-equal) to the serial
+  // unsharded engine across the series.
+  auto program = MakeProgram("chair");
+  ASSERT_TRUE(program.ok());
+  DatasetProfile profile = DatasetProfile::DBLife();
+  profile.num_sources = 8;
+  std::vector<Snapshot> series = GenerateSeries(profile, 3, /*seed=*/33);
+  DelexEngine::Options probe_options;
+  probe_options.work_dir = FreshDir("shard-oracle-probe");
+  DelexEngine probe(program->plan, probe_options);
+  ASSERT_TRUE(probe.Init().ok());
+  const MatcherAssignment full =
+      MatcherAssignment::Uniform(probe.NumUnits(), MatcherKind::kST);
+
+  Status verdict = shard::ShardedDifferentialOracle(
+      program->plan, series, full, FreshDir("shard-oracle"));
   EXPECT_TRUE(verdict.ok()) << verdict.ToString();
 }
 
