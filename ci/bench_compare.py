@@ -173,7 +173,7 @@ def main():
     for name in only_cur:
         print("  note: metric %s only in current (skipped)" % name)
 
-    ratios = []
+    rows = []
     print("%-42s %12s %12s %8s" % ("metric", "baseline", "current", "ratio"))
     for name in shared:
         base_value = baseline[name]
@@ -183,23 +183,34 @@ def main():
                   name)
             continue
         ratio = cur_value / base_value
-        ratios.append(ratio)
+        rows.append((name, base_value, cur_value, ratio))
         marker = "  <-- slow" if ratio > 1.0 + args.threshold else ""
         print("%-42s %12.4g %12.4g %7.3fx%s" %
               (name, base_value, cur_value, ratio, marker))
-    if not ratios:
+    if not rows:
         fail_usage("no comparable metrics (all baselines non-positive)")
 
-    median = statistics.median(ratios)
+    median = statistics.median(ratio for _, _, _, ratio in rows)
     limit = 1.0 + args.threshold
     verdict = "PASS" if median <= limit else "FAIL"
     print("median ratio over %d metrics: %.3fx (limit %.3fx) -> %s" %
-          (len(ratios), median, limit, verdict))
+          (len(rows), median, limit, verdict))
     if verdict == "FAIL":
-        print("bench_compare: median regression exceeds %d%% — if this "
-              "slowdown is intentional, re-baseline with "
-              "DELEX_BENCH_BASELINE_UPDATE=1" % round(args.threshold * 100),
+        # The table above goes to stdout, which CI may swallow — repeat
+        # every over-limit metric with its baseline-vs-measured values on
+        # stderr, worst first, so the failure log alone tells the story.
+        print("bench_compare: median regression exceeds %d%% "
+              "(median %.3fx over %d metrics, limit %.3fx)" %
+              (round(args.threshold * 100), median, len(rows), limit),
               file=sys.stderr)
+        regressed = sorted((r for r in rows if r[3] > limit),
+                           key=lambda r: r[3], reverse=True)
+        for name, base_value, cur_value, ratio in regressed:
+            print("bench_compare:   %s: baseline %.4g -> measured %.4g "
+                  "(%.3fx)" % (name, base_value, cur_value, ratio),
+                  file=sys.stderr)
+        print("bench_compare: if this slowdown is intentional, re-baseline "
+              "with DELEX_BENCH_BASELINE_UPDATE=1", file=sys.stderr)
         return 1
     return 0
 

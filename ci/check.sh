@@ -140,7 +140,7 @@ EOF
 
   # Sharded smoke: the same portal hash-partitioned into 4 engine shards
   # on a shared pool. Every non-warm-up Delex report line must carry the
-  # schema-v4 merged view: num_shards, a 4-entry per-shard summary whose
+  # schema-v5 merged view: num_shards, a 4-entry per-shard summary whose
   # pages and result_tuples fold exactly into the merged totals.
   echo "=== Release: sharded dblife smoke (DELEX_SHARDS=4) ==="
   shard_tmp="$(scratch_dir)"
@@ -155,7 +155,7 @@ delex_lines = 0
 with open(sys.argv[1]) as f:
     for raw in f:
         line = json.loads(raw)
-        assert line["schema_version"] == 4, line["schema_version"]
+        assert line["schema_version"] == 5, line["schema_version"]
         if line["solution"] != "Delex" or line["warmup"]:
             continue
         delex_lines += 1
@@ -278,6 +278,132 @@ with open(sys.argv[1]) as f:
 assert lines > 0, "snapshot writer produced no lines"
 print(f"snapshot writer OK: {lines} lines")
 EOF
+
+  # Generation-history + introspection smoke: a 3-generation portal run
+  # with the stats server up. TMPDIR points at CI scratch so the portal's
+  # work dirs land there. Validates every task's history.jsonl at the
+  # byte level (fixed-offset FNV-1a checksums, one record per generation,
+  # monotone gap-free gens), scrapes /statusz and /varz live, streams
+  # /history as NDJSON, and requires delex_inspect diff to attribute at
+  # least one matcher switch to its audited cost margin.
+  echo "=== Release: generation-history + introspection smoke ==="
+  history_tmp="$(scratch_dir)"
+  history_port=19465
+  # 64 pages (not 16): at 16 every page is identical across days, the
+  # optimizer never leaves DN, and there is no matcher switch to audit.
+  TMPDIR="${history_tmp}" \
+    DELEX_METRICS_PORT="${history_port}" \
+    DELEX_METRICS_LINGER_MS=8000 \
+    DELEX_THREADS=2 \
+    ./build-release/examples/dblife_portal 64 3 >/dev/null &
+  history_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:${history_port}/healthz" \
+        >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  # The linger window keeps the endpoints alive after the run finishes
+  # (but only until the process exits): poll /history until the final
+  # task's store shows all three generations, scrape everything, THEN
+  # wait for the portal.
+  for _ in $(seq 1 300); do
+    if curl -fsS "http://127.0.0.1:${history_port}/history" \
+        -o "${history_tmp}/history.ndjson" 2>/dev/null \
+        && [[ "$(wc -l < "${history_tmp}/history.ndjson")" -ge 3 ]]; then
+      break
+    fi
+    sleep 0.1
+  done
+  curl -fsS "http://127.0.0.1:${history_port}/statusz" \
+    -o "${history_tmp}/statusz.html"
+  grep -q "<title>delex /statusz</title>" "${history_tmp}/statusz.html"
+  grep -q "DELEX_HISTORY_RETAIN" "${history_tmp}/statusz.html"
+  grep -q "Last generation" "${history_tmp}/statusz.html"
+  curl -fsS "http://127.0.0.1:${history_port}/varz" \
+    -o "${history_tmp}/varz.json"
+  wait "${history_pid}"
+  python3 - "${history_tmp}/varz.json" <<'EOF'
+import json, sys
+
+varz = json.load(open(sys.argv[1]))
+for key in ("uptime_ms", "counters", "gauges", "histograms"):
+    assert key in varz, f"/varz missing {key}"
+print("varz OK")
+EOF
+  for task in talk chair advise; do
+    python3 - "${history_tmp}/delex-dblife/delex-${task}/history.jsonl" 3 \
+        <<'EOF'
+import json, sys
+
+FNV_OFFSET, FNV_PRIME, MASK = 0xCBF29CE484222325, 0x100000001B3, 2**64 - 1
+
+
+def fnv1a64(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK
+    return h
+
+
+path, days = sys.argv[1], int(sys.argv[2])
+gens = []
+with open(path, "rb") as f:
+    for raw in f:
+        line = raw.rstrip(b"\n")
+        assert line[:8] == b'{"crc":"', f"bad envelope prefix: {line[:8]!r}"
+        assert line[24:32] == b'","rec":', f"bad rec marker: {line[24:32]!r}"
+        assert line[-1:] == b"}", "envelope not closed"
+        assert int(line[8:24], 16) == fnv1a64(line[32:-1]), \
+            f"checksum mismatch in {path}"
+        gens.append(json.loads(line[32:-1])["gen"])
+assert gens == list(range(1, days + 1)), \
+    f"{path}: want one record per generation 1..{days}, got {gens}"
+print(f"history OK: {path} ({len(gens)} generations)")
+EOF
+  done
+  python3 - "${history_tmp}/history.ndjson" <<'EOF'
+import json, sys
+
+FNV_OFFSET, FNV_PRIME, MASK = 0xCBF29CE484222325, 0x100000001B3, 2**64 - 1
+
+
+def fnv1a64(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK
+    return h
+
+
+gens = []
+with open(sys.argv[1], "rb") as f:
+    for raw in f:
+        line = raw.rstrip(b"\n")
+        assert int(line[8:24], 16) == fnv1a64(line[32:-1]), \
+            "/history line failed its checksum"
+        gens.append(json.loads(line[32:-1])["gen"])
+assert gens and gens == sorted(set(gens)), f"/history gens not monotone: {gens}"
+print(f"/history endpoint OK: {len(gens)} records")
+EOF
+  inspect=./build-release/src/tools/delex_inspect
+  switch_attributed=0
+  for task in talk chair advise; do
+    hist="${history_tmp}/delex-dblife/delex-${task}/history.jsonl"
+    "${inspect}" summary "${hist}" >/dev/null
+    "${inspect}" decisions "${hist}" 2 >/dev/null
+    "${inspect}" diff "${hist}" >/dev/null  # default pair: last two gens
+    diff_out="$("${inspect}" diff "${hist}" 1 2)"
+    if grep -q "audited margin" <<<"${diff_out}"; then
+      switch_attributed=1
+      echo "--- ${task}: matcher switch attributed to audited margin"
+      grep "switched" <<<"${diff_out}"
+    fi
+  done
+  if [[ "${switch_attributed}" != "1" ]]; then
+    echo "FAIL: no matcher switch attributed to an audited cost margin" >&2
+    exit 1
+  fi
 
   # Perf-regression gate: re-run the gated benches at the pinned
   # quick scale and compare against the committed baselines; the median

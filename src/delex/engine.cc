@@ -750,6 +750,19 @@ Result<std::vector<Tuple>> DelexEngine::RunSnapshot(
                          "DELEX_SUFFIX_MAX_CANDIDATES if ST reuse looks thin";
     }
   }
+  // Reuse-state corruption degrades silently to re-extraction (results
+  // stay correct); surface it once so an operator notices without
+  // scraping run reports.
+  if (out_stats->reuse_corrupt_drops > 0) {
+    static std::atomic<bool> corrupt_warned{false};
+    if (!corrupt_warned.exchange(true, std::memory_order_relaxed)) {
+      DELEX_LOG(WARN) << "dropped " << out_stats->reuse_corrupt_drops
+                      << " corrupt previous-generation artifact(s) in gen "
+                      << generation_
+                      << "; affected pages re-extracted from scratch — "
+                         "check the work dir's storage";
+    }
+  }
   DELEX_LOG(INFO) << "snapshot run done: gen=" << generation_
                   << " pages=" << out_stats->pages
                   << " identical=" << out_stats->pages_identical

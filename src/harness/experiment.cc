@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <optional>
@@ -10,6 +11,9 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "delex/engine.h"
+#include "obs/export.h"
+#include "obs/history.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "shard/sharded_engine.h"
 
@@ -66,6 +70,36 @@ class ShortcutSolution : public Solution {
   std::string name_;
   ShortcutRunner runner_;
 };
+
+/// Converts the optimizer's last-choice audit into the run report's v5
+/// "decisions" rows (invalid audits — warm-up, forced plans, audit
+/// disabled by env — leave the array empty).
+void FillDecisions(const Optimizer::DecisionAudit& audit,
+                   obs::OptimizerReport* optimizer) {
+  optimizer->decisions.clear();
+  if (!audit.valid) return;
+  for (size_t u = 0; u < audit.units.size(); ++u) {
+    const Optimizer::DecisionAudit::Unit& unit = audit.units[u];
+    obs::OptimizerReport::UnitDecision d;
+    d.unit = static_cast<int>(u);
+    d.winner = MatcherKindName(unit.winner);
+    d.runner_up = MatcherKindName(unit.runner_up);
+    d.margin_us = unit.margin_us;
+    for (MatcherKind kind : kAllMatcherKinds) {
+      d.candidate_us.emplace_back(MatcherKindName(kind),
+                                  unit.candidate_plan_us[MatcherIndex(kind)]);
+    }
+    d.f = audit.f;
+    d.m = audit.m;
+    d.a = unit.a;
+    d.l = unit.l;
+    d.gain = unit.gain;
+    d.bias = unit.bias;
+    d.samples = unit.samples;
+    d.history_window = audit.history_window;
+    optimizer->decisions.push_back(std::move(d));
+  }
+}
 
 /// Shared by Cyclex (wrapped single-blackbox plan) and Delex (full plan):
 /// engine + per-snapshot optimizer.
@@ -183,10 +217,13 @@ class EngineSolution : public Solution {
     return last_assignment_.ToString();
   }
 
+  std::string HistoryDir() const override { return work_dir_; }
+
   void DescribeRun(obs::RunReportMeta* meta,
                    obs::OptimizerReport* optimizer) const override {
     meta->num_threads = options_.num_threads;
     meta->fast_path_enabled = !options_.disable_page_fast_path;
+    meta->generation = engine_->generation();
     optimizer->has_optimizer = last_had_previous_;
     if (!last_had_previous_) return;
     optimizer->unit_matchers.clear();
@@ -209,6 +246,7 @@ class EngineSolution : public Solution {
       row.samples = m.samples;
       optimizer->learned.push_back(std::move(row));
     }
+    FillDecisions(optimizer_->LastAudit(), optimizer);
   }
 
  private:
@@ -261,7 +299,9 @@ class ShardedEngineSolution : public Solution {
   ShardedEngineSolution(std::string name, xlog::PlanNodePtr plan,
                         const std::string& work_dir,
                         DelexSolutionOptions options)
-      : name_(std::move(name)), options_(std::move(options)) {
+      : name_(std::move(name)),
+        options_(std::move(options)),
+        work_dir_(work_dir) {
     shard::ShardedEngine::Options engine_options;
     engine_options.work_dir = work_dir;
     engine_options.num_shards = options_.num_shards;
@@ -423,11 +463,14 @@ class ShardedEngineSolution : public Solution {
     return joined;
   }
 
+  std::string HistoryDir() const override { return work_dir_; }
+
   void DescribeRun(obs::RunReportMeta* meta,
                    obs::OptimizerReport* optimizer) const override {
     meta->num_threads = options_.num_threads;
     meta->fast_path_enabled = !options_.disable_page_fast_path;
     meta->num_shards = engine_->num_shards();
+    meta->generation = engine_->generation();
     meta->shards.clear();
     for (size_t k = 0; k < last_shard_stats_.per_shard.size(); ++k) {
       const RunStats& s = last_shard_stats_.per_shard[k];
@@ -438,6 +481,12 @@ class ShardedEngineSolution : public Solution {
       summary.result_tuples = s.result_tuples;
       summary.total_us = s.phases.total_us;
       summary.reuse_corrupt_drops = s.reuse_corrupt_drops;
+      if (k < last_assignments_.size() && last_had_previous_) {
+        summary.assignment = last_assignments_[k].ToString();
+      }
+      if (k < optimizers_.size()) {
+        summary.cost_drift = optimizers_[k]->LastDrift();
+      }
       meta->shards.push_back(summary);
     }
     optimizer->has_optimizer = last_had_previous_;
@@ -466,6 +515,9 @@ class ShardedEngineSolution : public Solution {
       row.samples = m.samples;
       optimizer->learned.push_back(std::move(row));
     }
+    // Decisions from shard 0's audit, matching the unit_matchers
+    // convention above; per-shard divergence shows in meta->shards.
+    FillDecisions(optimizers_[0]->LastAudit(), optimizer);
   }
 
  private:
@@ -502,6 +554,7 @@ class ShardedEngineSolution : public Solution {
 
   std::string name_;
   DelexSolutionOptions options_;
+  std::string work_dir_;
   std::unique_ptr<shard::ShardedEngine> engine_;
   std::vector<std::unique_ptr<Optimizer>> optimizers_;  // one per shard
   std::vector<MatcherAssignment> last_assignments_;
@@ -587,6 +640,11 @@ Result<SeriesRun> RunSeries(Solution* solution,
   if (!report_path.empty()) {
     DELEX_RETURN_NOT_OK(report.Open(report_path));
   }
+  const std::string history_dir = solution->HistoryDir();
+  const bool write_history =
+      !history_dir.empty() && obs::HistoryEnabledFromEnv();
+  obs::HistoryStore::Options history_options;
+  history_options.retain_gens = obs::HistoryRetainFromEnv();
   for (size_t i = 0; i < series.size(); ++i) {
     const Snapshot* previous = i == 0 ? nullptr : &series[i - 1];
     RunStats stats;
@@ -595,16 +653,62 @@ Result<SeriesRun> RunSeries(Solution* solution,
         std::vector<Tuple> results,
         solution->RunSnapshot(series[i], previous, &stats));
     double seconds = watch.ElapsedSeconds();
+    obs::RunReportMeta meta;
+    meta.solution = solution->Name();
+    meta.tag = tag;
+    meta.snapshot_index = static_cast<int>(i) + 1;
+    meta.warmup = i == 0;
+    meta.histograms_enabled = obs::HistogramsEnabled();
+    obs::OptimizerReport optimizer;
+    solution->DescribeRun(&meta, &optimizer);
     if (report.is_open()) {
-      obs::RunReportMeta meta;
-      meta.solution = solution->Name();
-      meta.tag = tag;
-      meta.snapshot_index = static_cast<int>(i) + 1;
-      meta.warmup = i == 0;
-      meta.histograms_enabled = obs::HistogramsEnabled();
-      obs::OptimizerReport optimizer;
-      solution->DescribeRun(&meta, &optimizer);
       DELEX_RETURN_NOT_OK(report.Append(meta, stats, optimizer));
+    }
+    // Generation history (observability layer 3): one checksummed record
+    // per completed generation in the solution's work dir, plus a pared
+    // per-shard view in each shard<K>/ dir. A failed append degrades to a
+    // WARN — telemetry must never fail the run it describes.
+    if (write_history && meta.generation >= 0) {
+      obs::HistoryStore store(history_dir + "/" + obs::kHistoryFileName,
+                              history_options);
+      obs::HistoryRecord rec = obs::MakeHistoryRecord(
+          meta, stats, optimizer, solution->LastAssignment());
+      Status appended = store.Append(rec);
+      if (!appended.ok()) {
+        DELEX_LOG(WARN) << "history append: " << appended.ToString();
+      } else {
+        obs::PublishHistoryForStatus(store.path(),
+                                     obs::HistoryStore::FormatLine(rec));
+      }
+      for (const obs::RunReportMeta::ShardSummary& s : meta.shards) {
+        obs::HistoryRecord view;
+        view.gen = meta.generation;
+        view.shard = s.shard;
+        view.solution = meta.solution;
+        view.tag = meta.tag;
+        view.warmup = meta.warmup;
+        view.threads = meta.num_threads;
+        view.num_shards = meta.num_shards;
+        view.fast_path = meta.fast_path_enabled;
+        view.assignment = s.assignment;
+        view.pages = s.pages;
+        view.pages_identical = s.pages_identical;
+        view.result_tuples = s.result_tuples;
+        view.total_us = s.total_us;
+        view.reuse_corrupt_drops = s.reuse_corrupt_drops;
+        view.has_optimizer = optimizer.has_optimizer;
+        view.learning = optimizer.learning_enabled;
+        view.cost_drift = s.cost_drift;
+        obs::HistoryStore shard_store(history_dir + "/shard" +
+                                          std::to_string(s.shard) + "/" +
+                                          obs::kHistoryFileName,
+                                      history_options);
+        Status shard_appended = shard_store.Append(view);
+        if (!shard_appended.ok()) {
+          DELEX_LOG(WARN) << "shard history append: "
+                          << shard_appended.ToString();
+        }
+      }
     }
     if (i == 0) continue;  // warm-up snapshot, not reported (as in §8)
     run.seconds.push_back(seconds);
@@ -613,6 +717,18 @@ Result<SeriesRun> RunSeries(Solution* solution,
     if (keep_results) run.results.push_back(Canonicalize(std::move(results)));
   }
   if (report.is_open()) DELEX_RETURN_NOT_OK(report.Close());
+  // Degradation the operator should see without scraping report files:
+  // trace-buffer overflow means spans were silently lost. WARN once per
+  // process — the count is cumulative, repeating it every series is noise.
+  {
+    const int64_t dropped = obs::TraceRecorder::Global().DroppedEventCount();
+    static std::atomic<bool> warned_dropped{false};
+    if (dropped > 0 && !warned_dropped.exchange(true)) {
+      DELEX_LOG(WARN) << "trace recorder dropped " << dropped
+                      << " event(s); raise the trace buffer or narrow the "
+                         "traced window";
+    }
+  }
   return run;
 }
 

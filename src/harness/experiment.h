@@ -44,6 +44,11 @@ class Solution {
     (void)meta;
     (void)optimizer;
   }
+
+  /// The work directory where this solution keeps its generation state —
+  /// RunSeries appends `history.jsonl` records there after every run.
+  /// Empty (the default) for stateless baselines: no history is written.
+  virtual std::string HistoryDir() const { return ""; }
 };
 
 /// \brief Re-extracts everything from scratch each snapshot.

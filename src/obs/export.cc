@@ -11,8 +11,18 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/history.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
+
+// Build provenance for /statusz (global compile definitions; the
+// fallbacks keep non-CMake builds of this TU compiling).
+#ifndef DELEX_GIT_SHA
+#define DELEX_GIT_SHA "unknown"
+#endif
+#ifndef DELEX_BUILD_TYPE
+#define DELEX_BUILD_TYPE "unknown"
+#endif
 
 namespace delex {
 namespace obs {
@@ -114,6 +124,227 @@ void AppendInt(std::string* out, int64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
   *out += buf;
+}
+
+// ---- /statusz helpers --------------------------------------------------
+
+/// Published generation-history state (see PublishHistoryForStatus).
+struct PublishedHistory {
+  std::mutex mu;
+  std::string path;
+  std::string line;
+};
+
+PublishedHistory& PublishedHistorySlot() {
+  static PublishedHistory* slot = new PublishedHistory();
+  return *slot;
+}
+
+std::string HtmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendRow(std::string* out, std::string_view key, std::string_view val) {
+  *out += "<tr><td>";
+  *out += HtmlEscape(key);
+  *out += "</td><td>";
+  *out += HtmlEscape(val);
+  *out += "</td></tr>\n";
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// The operational knobs /statusz reports — one row per env var, so an
+/// operator sees the effective configuration without shell access.
+constexpr const char* kStatusKnobs[] = {
+    "DELEX_THREADS",          "DELEX_SHARDS",
+    "DELEX_SIMD",             "DELEX_COST_LEARN",
+    "DELEX_HISTORY",          "DELEX_HISTORY_RETAIN",
+    "DELEX_DECISION_AUDIT",   "DELEX_HISTOGRAMS",
+    "DELEX_TRACE",            "DELEX_STATS_JSON",
+    "DELEX_PARANOID",         "DELEX_LOG_LEVEL",
+    "DELEX_METRICS_PORT",     "DELEX_METRICS_SNAPSHOT_MS",
+    "DELEX_METRICS_LINGER_MS",
+};
+
+void AppendLastGenSection(std::string* html) {
+  std::string line;
+  {
+    PublishedHistory& slot = PublishedHistorySlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    line = slot.line;
+  }
+  *html += "<h2>Last generation</h2>\n";
+  if (line.empty()) {
+    *html += "<p>(no generation completed yet)</p>\n";
+    return;
+  }
+  HistoryRecord rec;
+  Status st = HistoryStore::ParseLine(line, &rec);
+  if (!st.ok()) {
+    *html += "<p>unparseable history record: " + HtmlEscape(st.ToString()) +
+             "</p>\n";
+    return;
+  }
+  *html += "<table>\n";
+  AppendRow(html, "generation", std::to_string(rec.gen));
+  AppendRow(html, "solution", rec.solution);
+  if (!rec.tag.empty()) AppendRow(html, "tag", rec.tag);
+  AppendRow(html, "assignment", rec.assignment);
+  AppendRow(html, "pages", std::to_string(rec.pages));
+  AppendRow(html, "pages_identical", std::to_string(rec.pages_identical));
+  AppendRow(html, "result_tuples", std::to_string(rec.result_tuples));
+  AppendRow(html, "total_us", std::to_string(rec.total_us));
+  AppendRow(html,
+            "phases (match/extract/copy/opt/capture/others µs)",
+            std::to_string(rec.match_us) + " / " +
+                std::to_string(rec.extract_us) + " / " +
+                std::to_string(rec.copy_us) + " / " +
+                std::to_string(rec.opt_us) + " / " +
+                std::to_string(rec.capture_us) + " / " +
+                std::to_string(rec.others_us));
+  if (rec.has_optimizer) {
+    if (rec.predicted_total_us >= 0) {
+      AppendRow(html, "predicted_total_us",
+                FormatDouble(rec.predicted_total_us));
+    }
+    if (rec.cost_drift >= 0) {
+      AppendRow(html, "cost_drift", FormatDouble(rec.cost_drift));
+    }
+    AppendRow(html, "audited decisions", std::to_string(rec.decisions.size()));
+  }
+  AppendRow(html, "reuse_corrupt_drops",
+            std::to_string(rec.reuse_corrupt_drops));
+  AppendRow(html, "trace_dropped_events",
+            std::to_string(rec.trace_dropped_events));
+  *html += "</table>\n";
+
+  if (!rec.shards.empty()) {
+    *html += "<h2>Shards (last generation)</h2>\n<table>\n";
+    *html +=
+        "<tr><th>shard</th><th>pages</th><th>identical</th>"
+        "<th>tuples</th><th>total µs</th><th>corrupt drops</th>"
+        "<th>assignment</th><th>cost drift</th></tr>\n";
+    for (const RunReportMeta::ShardSummary& s : rec.shards) {
+      *html += "<tr><td>" + std::to_string(s.shard) + "</td><td>" +
+               std::to_string(s.pages) + "</td><td>" +
+               std::to_string(s.pages_identical) + "</td><td>" +
+               std::to_string(s.result_tuples) + "</td><td>" +
+               std::to_string(s.total_us) + "</td><td>" +
+               std::to_string(s.reuse_corrupt_drops) + "</td><td>" +
+               HtmlEscape(s.assignment) + "</td><td>" +
+               (s.cost_drift >= 0 ? FormatDouble(s.cost_drift)
+                                  : std::string("-")) +
+               "</td></tr>\n";
+    }
+    *html += "</table>\n";
+  }
+}
+
+std::string StatuszHtml() {
+  std::string html =
+      "<!DOCTYPE html>\n<html><head><title>delex /statusz</title>"
+      "<style>body{font-family:monospace}table{border-collapse:collapse}"
+      "td,th{border:1px solid #999;padding:2px 8px;text-align:left}"
+      "</style></head><body>\n<h1>delex /statusz</h1>\n";
+
+  html += "<table>\n";
+  AppendRow(&html, "uptime_ms", std::to_string(UptimeMs()));
+  AppendRow(&html, "git_sha", DELEX_GIT_SHA);
+  AppendRow(&html, "build_type", DELEX_BUILD_TYPE);
+  {
+    PublishedHistory& slot = PublishedHistorySlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    AppendRow(&html, "history_path",
+              slot.path.empty() ? "(none)" : slot.path);
+  }
+  html += "</table>\n";
+
+  html += "<h2>Knobs</h2>\n<table>\n";
+  for (const char* knob : kStatusKnobs) {
+    const char* value = std::getenv(knob);
+    AppendRow(&html, knob, value == nullptr ? "(unset)" : value);
+  }
+  html += "</table>\n";
+
+  AppendLastGenSection(&html);
+
+  // The label-aware renderer's view of the labeled families — the same
+  // split /metrics uses, shown as family{labels} rows (per-shard series
+  // group together because snapshots are name-sorted).
+  MetricsSnapshot snapshot = MetricsRegistry::Global().FullSnapshot();
+  std::string labeled;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.find('#') == std::string::npos) continue;
+    PromName prom = ParsePromName(name);
+    std::string sample;
+    AppendSampleName(&sample, prom.base + "_total", prom.labels);
+    labeled += "<tr><td>" + HtmlEscape(sample) + "</td><td>" +
+               std::to_string(value) + "</td></tr>\n";
+  }
+  if (!labeled.empty()) {
+    html += "<h2>Labeled counters</h2>\n<table>\n";
+    html += labeled;
+    html += "</table>\n";
+  }
+
+  html += "</body></html>\n";
+  return html;
+}
+
+/// Serves the published history file verbatim; falls back to the last
+/// published line so /history works even for disabled-on-disk stores.
+bool HistoryBody(std::string* body) {
+  std::string path;
+  std::string line;
+  {
+    PublishedHistory& slot = PublishedHistorySlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    path = slot.path;
+    line = slot.line;
+  }
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      char buf[1 << 14];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        body->append(buf, n);
+      }
+      std::fclose(f);
+      return true;
+    }
+  }
+  if (!line.empty()) {
+    *body = line;
+    *body += '\n';
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -359,11 +590,15 @@ void StatsServer::Serve() {
       if (errno == EINTR) continue;
       return;  // listen socket shut down or broken
     }
-    // Bounded read: only the request line matters, and a stalled client
-    // must not wedge the accept loop.
+    // Bounded read AND write: only the request line matters, and a
+    // stalled client (connect-and-hang, or one that never drains its
+    // receive window) must not wedge the single accept loop. The send
+    // loop additionally enforces an overall deadline — SO_SNDTIMEO only
+    // bounds each send() call, not a drip-feeding reader.
     timeval tv{};
     tv.tv_sec = 2;
     ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     char buf[2048];
     ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
     std::string target;
@@ -386,6 +621,22 @@ void StatsServer::Serve() {
     } else if (target == "/healthz") {
       status_line = "HTTP/1.1 200 OK";
       body = "ok\n";
+    } else if (target == "/statusz") {
+      status_line = "HTTP/1.1 200 OK";
+      content_type = "text/html; charset=utf-8";
+      body = StatuszHtml();
+    } else if (target == "/varz") {
+      status_line = "HTTP/1.1 200 OK";
+      content_type = "application/json; charset=utf-8";
+      body = MetricsSnapshotJsonLine();
+      body += '\n';
+    } else if (target == "/history") {
+      if (HistoryBody(&body)) {
+        status_line = "HTTP/1.1 200 OK";
+        content_type = "application/x-ndjson; charset=utf-8";
+      } else {
+        body = "no history published\n";
+      }
     } else {
       body = "not found\n";
     }
@@ -395,12 +646,15 @@ void StatsServer::Serve() {
     response += "\r\nContent-Length: " + std::to_string(body.size());
     response += "\r\nConnection: close\r\n\r\n";
     response += body;
+    const auto send_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
     size_t sent = 0;
     while (sent < response.size()) {
       ssize_t w = ::send(client, response.data() + sent, response.size() - sent,
                          0);
-      if (w <= 0) break;
+      if (w <= 0) break;  // error or SO_SNDTIMEO expiry — give up on client
       sent += static_cast<size_t>(w);
+      if (std::chrono::steady_clock::now() > send_deadline) break;
     }
     ::close(client);
   }
@@ -434,6 +688,28 @@ bool StatsServer::running() const {
 int StatsServer::port() const {
   std::lock_guard<std::mutex> lock(mu_);
   return port_;
+}
+
+// ---- Introspection publication -----------------------------------------
+
+void PublishHistoryForStatus(const std::string& history_path,
+                             const std::string& line) {
+  PublishedHistory& slot = PublishedHistorySlot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (!history_path.empty()) slot.path = history_path;
+  if (!line.empty()) slot.line = line;
+}
+
+std::string PublishedHistoryPath() {
+  PublishedHistory& slot = PublishedHistorySlot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.path;
+}
+
+std::string PublishedHistoryLine() {
+  PublishedHistory& slot = PublishedHistorySlot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.line;
 }
 
 // ---- Env wiring --------------------------------------------------------

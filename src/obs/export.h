@@ -17,8 +17,11 @@
 //                                  (lets CI scrape a fast-finishing run)
 //
 // Endpoints: GET /metrics (text/plain; version=0.0.4), GET /healthz
-// ("ok"). Loopback only — this is an operational surface, not a public
-// one.
+// ("ok"), and — observability layer 3 — GET /statusz (human-readable
+// HTML: uptime, build stamp, env knobs, last-generation summary,
+// per-shard table), GET /varz (the JSON metrics snapshot), GET /history
+// (the published generation-history file, application/x-ndjson).
+// Loopback only — this is an operational surface, not a public one.
 
 #include <atomic>
 #include <condition_variable>
@@ -114,6 +117,18 @@ class StatsServer {
 /// Starts the stats server and/or snapshot writer per the DELEX_METRICS_*
 /// environment knobs. Idempotent; failures log a WARN and continue.
 void MaybeStartExportersFromEnv();
+
+/// Publishes the newest generation-history state for the introspection
+/// endpoints: `history_path` is the merged store the running solution
+/// appends to (served verbatim by /history), `line` the latest framed
+/// record (parsed into /statusz's last-generation summary). Thread-safe,
+/// last write wins; empty strings leave the corresponding slot untouched.
+void PublishHistoryForStatus(const std::string& history_path,
+                             const std::string& line);
+
+/// The published slots (empty until the first publication).
+std::string PublishedHistoryPath();
+std::string PublishedHistoryLine();
 
 }  // namespace obs
 }  // namespace delex

@@ -1,0 +1,501 @@
+#include "obs/history.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/hash.h"
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+
+namespace delex {
+namespace obs {
+
+namespace {
+
+// Envelope layout constants — see the header comment. The crc hex field
+// sits at a fixed offset so validators can check lines without a JSON
+// parser: prefix [0,8), hex [8,24), mid [24,32), rec [32,len-1).
+constexpr std::string_view kEnvelopePrefix = "{\"crc\":\"";
+constexpr std::string_view kEnvelopeMid = "\",\"rec\":";
+constexpr size_t kRecOffset = 32;
+constexpr size_t kMinLineSize = kRecOffset + 3;  // "{}" rec + final '}'
+
+std::string RecordBody(const HistoryRecord& r) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("gen", r.gen);
+  if (r.shard >= 0) json.KV("shard", r.shard);
+  json.KV("solution", r.solution);
+  if (!r.tag.empty()) json.KV("tag", r.tag);
+  json.KV("warmup", r.warmup);
+  json.KV("threads", r.threads);
+  json.KV("num_shards", r.num_shards);
+  json.KV("fast_path", r.fast_path);
+  if (!r.assignment.empty()) json.KV("assignment", r.assignment);
+  json.KV("pages", r.pages);
+  json.KV("pages_identical", r.pages_identical);
+  json.KV("result_tuples", r.result_tuples);
+  json.Key("phases")
+      .BeginObject()
+      .KV("match_us", r.match_us)
+      .KV("extract_us", r.extract_us)
+      .KV("copy_us", r.copy_us)
+      .KV("opt_us", r.opt_us)
+      .KV("capture_us", r.capture_us)
+      .KV("total_us", r.total_us)
+      .KV("others_us", r.others_us)
+      .KV("phase_drift_us", r.phase_drift_us)
+      .EndObject();
+  json.Key("counters")
+      .BeginObject()
+      .KV("demote_result_cache", r.demote_result_cache)
+      .KV("demote_missing_group", r.demote_missing_group)
+      .KV("decode_copy_groups", r.decode_copy_groups)
+      .KV("reuse_corrupt_drops", r.reuse_corrupt_drops)
+      .KV("trace_dropped_events", r.trace_dropped_events)
+      .EndObject();
+  if (r.has_optimizer) {
+    json.Key("optimizer").BeginObject();
+    json.KV("learning", r.learning);
+    if (r.predicted_total_us >= 0) {
+      json.KV("predicted_total_us", r.predicted_total_us);
+    }
+    if (r.cost_drift >= 0) json.KV("cost_drift", r.cost_drift);
+    if (!r.coeffs.empty()) {
+      json.Key("coeffs").BeginArray();
+      for (const OptimizerReport::LearnedCoefficient& row : r.coeffs) {
+        WriteLearnedCoefficient(row, &json);
+      }
+      json.EndArray();
+    }
+    if (!r.decisions.empty()) {
+      json.Key("decisions").BeginArray();
+      for (const OptimizerReport::UnitDecision& d : r.decisions) {
+        WriteUnitDecision(d, &json);
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+  }
+  if (!r.units.empty()) {
+    json.Key("units").BeginArray();
+    for (const HistoryRecord::UnitSummary& u : r.units) {
+      json.BeginObject().KV("matcher", u.matcher);
+      if (u.predicted_us >= 0) json.KV("predicted_us", u.predicted_us);
+      json.KV("actual_us", u.actual_us).EndObject();
+    }
+    json.EndArray();
+  }
+  if (!r.shards.empty()) {
+    json.Key("shards").BeginArray();
+    for (const RunReportMeta::ShardSummary& s : r.shards) {
+      json.BeginObject()
+          .KV("shard", s.shard)
+          .KV("pages", s.pages)
+          .KV("pages_identical", s.pages_identical)
+          .KV("result_tuples", s.result_tuples)
+          .KV("total_us", s.total_us)
+          .KV("reuse_corrupt_drops", s.reuse_corrupt_drops);
+      if (!s.assignment.empty()) json.KV("assignment", s.assignment);
+      if (s.cost_drift >= 0) json.KV("cost_drift", s.cost_drift);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+bool ParseHex16(std::string_view hex, uint64_t* out) {
+  *out = 0;
+  if (hex.size() != 16) return false;
+  for (char c : hex) {
+    *out <<= 4;
+    if (c >= '0' && c <= '9') {
+      *out |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      *out |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ParseCoefficient(const JsonValue& v,
+                      OptimizerReport::LearnedCoefficient* row) {
+  row->matcher = v.At("matcher").StringOr("");
+  row->gain = v.At("gain").NumberOr(1.0);
+  row->bias = v.At("bias").NumberOr(0.0);
+  row->drift = v.At("drift").NumberOr(-1.0);
+  row->samples = v.At("samples").IntOr(0);
+}
+
+void ParseDecision(const JsonValue& v, OptimizerReport::UnitDecision* d) {
+  d->unit = static_cast<int>(v.At("unit").IntOr(0));
+  d->winner = v.At("winner").StringOr("");
+  d->runner_up = v.At("runner_up").StringOr("");
+  d->margin_us = v.At("margin_us").NumberOr(0);
+  for (const auto& [matcher, est] : v.At("candidates").object) {
+    d->candidate_us.emplace_back(matcher, est.NumberOr(0));
+  }
+  const JsonValue& in = v.At("inputs");
+  d->f = in.At("f").NumberOr(0);
+  d->m = in.At("m").NumberOr(0);
+  d->a = in.At("a").NumberOr(0);
+  d->l = in.At("l").NumberOr(0);
+  d->gain = in.At("gain").NumberOr(1.0);
+  d->bias = in.At("bias").NumberOr(0);
+  d->samples = in.At("samples").IntOr(0);
+  d->history_window = static_cast<int>(in.At("history").IntOr(0));
+}
+
+void ParseShardRow(const JsonValue& v, RunReportMeta::ShardSummary* s) {
+  s->shard = static_cast<int>(v.At("shard").IntOr(0));
+  s->pages = v.At("pages").IntOr(0);
+  s->pages_identical = v.At("pages_identical").IntOr(0);
+  s->result_tuples = v.At("result_tuples").IntOr(0);
+  s->total_us = v.At("total_us").IntOr(0);
+  s->reuse_corrupt_drops = v.At("reuse_corrupt_drops").IntOr(0);
+  s->assignment = v.At("assignment").StringOr("");
+  s->cost_drift = v.At("cost_drift").NumberOr(-1);
+}
+
+// True when the file exists, is non-empty, and does not end in '\n' — a
+// torn tail from a crashed writer that the next append must heal.
+bool TailNeedsNewline(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bool torn = false;
+  if (std::fseek(f, 0, SEEK_END) == 0 && std::ftell(f) > 0 &&
+      std::fseek(f, -1, SEEK_END) == 0) {
+    torn = std::fgetc(f) != '\n';
+  }
+  std::fclose(f);
+  return torn;
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out,
+                     bool* missing) {
+  out->clear();
+  *missing = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *missing = true;
+    return Status::OK();
+  }
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("cannot read history file " + path);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open history temp file " + tmp);
+  }
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to history temp file " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot replace history file " + path);
+  }
+  return Status::OK();
+}
+
+void NoteDrop(HistoryLoadInfo* info, const Status& why) {
+  if (info == nullptr) return;
+  ++info->corrupt_dropped;
+  if (info->first_error.ok()) info->first_error = why;
+}
+
+}  // namespace
+
+HistoryRecord MakeHistoryRecord(const RunReportMeta& meta,
+                                const RunStats& stats,
+                                const OptimizerReport& optimizer,
+                                const std::string& assignment) {
+  HistoryRecord r;
+  r.gen = meta.generation;
+  r.solution = meta.solution;
+  r.tag = meta.tag;
+  r.warmup = meta.warmup;
+  r.threads = meta.num_threads;
+  r.num_shards = meta.num_shards;
+  r.fast_path = meta.fast_path_enabled;
+  r.assignment = assignment;
+
+  r.pages = stats.pages;
+  r.pages_identical = stats.pages_identical;
+  r.result_tuples = stats.result_tuples;
+
+  const PhaseBreakdown& phases = stats.phases;
+  r.match_us = phases.match_us;
+  r.extract_us = phases.extract_us;
+  r.copy_us = phases.copy_us;
+  r.opt_us = phases.opt_us;
+  r.capture_us = phases.capture_us;
+  r.total_us = phases.total_us;
+  r.others_us = phases.OthersUs();
+  r.phase_drift_us = phases.phase_drift_us;
+
+  r.demote_result_cache = stats.fast_path_demote_result_cache;
+  r.demote_missing_group = stats.fast_path_demote_missing_group;
+  r.decode_copy_groups = stats.fast_path_decode_copy_groups;
+  r.reuse_corrupt_drops = stats.reuse_corrupt_drops;
+  r.trace_dropped_events = TraceRecorder::Global().DroppedEventCount();
+
+  r.has_optimizer = optimizer.has_optimizer;
+  r.learning = optimizer.learning_enabled;
+  r.predicted_total_us = optimizer.predicted_total_us;
+  r.cost_drift = optimizer.cost_drift;
+  r.coeffs = optimizer.learned;
+  r.decisions = optimizer.decisions;
+
+  // The executed plan labels every unit even when the optimizer block is
+  // absent (warm-up runs report no unit_matchers): fall back to the
+  // assignment string when it is one plain comma-separated plan covering
+  // every unit, so a diff against a warm-up generation can still detect
+  // matcher switches. A '|'-joined per-shard plan list is not per-unit
+  // and is left alone.
+  std::vector<std::string> plan;
+  if (optimizer.unit_matchers.empty() && !assignment.empty() &&
+      assignment.find('|') == std::string::npos) {
+    size_t start = 0;
+    while (start <= assignment.size()) {
+      size_t comma = assignment.find(',', start);
+      if (comma == std::string::npos) comma = assignment.size();
+      plan.push_back(assignment.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (plan.size() != stats.units.size()) plan.clear();
+  }
+
+  for (size_t u = 0; u < stats.units.size(); ++u) {
+    HistoryRecord::UnitSummary unit;
+    if (u < optimizer.unit_matchers.size()) {
+      unit.matcher = optimizer.unit_matchers[u];
+    } else if (u < plan.size()) {
+      unit.matcher = plan[u];
+    }
+    if (u < optimizer.predicted_unit_us.size()) {
+      unit.predicted_us = optimizer.predicted_unit_us[u];
+    }
+    const UnitRunStats& s = stats.units[u];
+    unit.actual_us = static_cast<double>(s.match_us + s.extract_us +
+                                         s.copy_us + s.capture_us);
+    r.units.push_back(std::move(unit));
+  }
+
+  if (meta.num_shards > 1) r.shards = meta.shards;
+  return r;
+}
+
+std::string HistoryStore::FormatLine(const HistoryRecord& rec) {
+  std::string body = RecordBody(rec);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  std::string line;
+  line.reserve(kRecOffset + body.size() + 1);
+  line += kEnvelopePrefix;
+  line += hex;
+  line += kEnvelopeMid;
+  line += body;
+  line += '}';
+  return line;
+}
+
+Status HistoryStore::ParseLine(std::string_view line, HistoryRecord* rec) {
+  *rec = HistoryRecord();
+  if (line.size() < kMinLineSize ||
+      line.substr(0, kEnvelopePrefix.size()) != kEnvelopePrefix ||
+      line.substr(24, kEnvelopeMid.size()) != kEnvelopeMid ||
+      line.back() != '}') {
+    return Status::Corruption("history line: bad envelope framing");
+  }
+  uint64_t want = 0;
+  if (!ParseHex16(line.substr(8, 16), &want)) {
+    return Status::Corruption("history line: bad checksum field");
+  }
+  std::string_view body =
+      line.substr(kRecOffset, line.size() - kRecOffset - 1);
+  if (Fnv1a64(body) != want) {
+    return Status::Corruption("history line: checksum mismatch");
+  }
+  JsonValue v;
+  DELEX_RETURN_NOT_OK(ParseJson(body, &v));
+  if (!v.is_object()) {
+    return Status::Corruption("history record: not a JSON object");
+  }
+  rec->gen = static_cast<int>(v.At("gen").IntOr(-1));
+  if (rec->gen < 0) {
+    return Status::Corruption("history record: missing generation");
+  }
+  rec->shard = static_cast<int>(v.At("shard").IntOr(-1));
+  rec->solution = v.At("solution").StringOr("");
+  rec->tag = v.At("tag").StringOr("");
+  rec->warmup = v.At("warmup").BoolOr(false);
+  rec->threads = static_cast<int>(v.At("threads").IntOr(1));
+  rec->num_shards = static_cast<int>(v.At("num_shards").IntOr(1));
+  rec->fast_path = v.At("fast_path").BoolOr(true);
+  rec->assignment = v.At("assignment").StringOr("");
+  rec->pages = v.At("pages").IntOr(0);
+  rec->pages_identical = v.At("pages_identical").IntOr(0);
+  rec->result_tuples = v.At("result_tuples").IntOr(0);
+
+  const JsonValue& phases = v.At("phases");
+  rec->match_us = phases.At("match_us").IntOr(0);
+  rec->extract_us = phases.At("extract_us").IntOr(0);
+  rec->copy_us = phases.At("copy_us").IntOr(0);
+  rec->opt_us = phases.At("opt_us").IntOr(0);
+  rec->capture_us = phases.At("capture_us").IntOr(0);
+  rec->total_us = phases.At("total_us").IntOr(0);
+  rec->others_us = phases.At("others_us").IntOr(0);
+  rec->phase_drift_us = phases.At("phase_drift_us").IntOr(0);
+
+  const JsonValue& counters = v.At("counters");
+  rec->demote_result_cache = counters.At("demote_result_cache").IntOr(0);
+  rec->demote_missing_group = counters.At("demote_missing_group").IntOr(0);
+  rec->decode_copy_groups = counters.At("decode_copy_groups").IntOr(0);
+  rec->reuse_corrupt_drops = counters.At("reuse_corrupt_drops").IntOr(0);
+  rec->trace_dropped_events = counters.At("trace_dropped_events").IntOr(0);
+
+  if (v.Has("optimizer")) {
+    const JsonValue& opt = v.At("optimizer");
+    rec->has_optimizer = true;
+    rec->learning = opt.At("learning").BoolOr(false);
+    rec->predicted_total_us = opt.At("predicted_total_us").NumberOr(-1);
+    rec->cost_drift = opt.At("cost_drift").NumberOr(-1);
+    for (const JsonValue& row : opt.At("coeffs").array) {
+      OptimizerReport::LearnedCoefficient coeff;
+      ParseCoefficient(row, &coeff);
+      rec->coeffs.push_back(std::move(coeff));
+    }
+    for (const JsonValue& row : opt.At("decisions").array) {
+      OptimizerReport::UnitDecision d;
+      ParseDecision(row, &d);
+      rec->decisions.push_back(std::move(d));
+    }
+  }
+  for (const JsonValue& row : v.At("units").array) {
+    HistoryRecord::UnitSummary unit;
+    unit.matcher = row.At("matcher").StringOr("");
+    unit.predicted_us = row.At("predicted_us").NumberOr(-1);
+    unit.actual_us = row.At("actual_us").NumberOr(0);
+    rec->units.push_back(std::move(unit));
+  }
+  for (const JsonValue& row : v.At("shards").array) {
+    RunReportMeta::ShardSummary shard;
+    ParseShardRow(row, &shard);
+    rec->shards.push_back(std::move(shard));
+  }
+  rec->raw = std::string(line);
+  return Status::OK();
+}
+
+Status HistoryStore::Append(const HistoryRecord& rec) {
+  std::string line = FormatLine(rec);
+  if (options_.retain_gens > 0) {
+    // Compacting append: keep the newest retain_gens records (including
+    // this one), drop anything that no longer verifies, and replace the
+    // file atomically so readers never see a half-written store.
+    std::vector<HistoryRecord> kept;
+    DELEX_RETURN_NOT_OK(Load(&kept, nullptr));
+    std::string data;
+    size_t first = 0;
+    const size_t budget = static_cast<size_t>(options_.retain_gens);
+    if (kept.size() + 1 > budget) first = kept.size() + 1 - budget;
+    for (size_t i = first; i < kept.size(); ++i) {
+      data += kept[i].raw;
+      data += '\n';
+    }
+    data += line;
+    data += '\n';
+    return WriteFileAtomic(path_, data);
+  }
+
+  std::string out;
+  if (TailNeedsNewline(path_)) out += '\n';
+  out += line;
+  out += '\n';
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("cannot open history file " + path_);
+  }
+  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IOError("short write to history file " + path_);
+  return Status::OK();
+}
+
+Status HistoryStore::Load(std::vector<HistoryRecord>* out,
+                          HistoryLoadInfo* info) const {
+  return LoadFile(path_, out, info);
+}
+
+Status HistoryStore::LoadFile(const std::string& path,
+                              std::vector<HistoryRecord>* out,
+                              HistoryLoadInfo* info) {
+  out->clear();
+  std::string data;
+  bool missing = false;
+  DELEX_RETURN_NOT_OK(ReadWholeFile(path, &data, &missing));
+  if (missing) return Status::OK();
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    std::string_view line(data.data() + pos,
+                          (eol == std::string::npos ? data.size() : eol) -
+                              pos);
+    pos = eol == std::string::npos ? data.size() : eol + 1;
+    if (line.empty()) continue;
+    HistoryRecord rec;
+    Status st = ParseLine(line, &rec);
+    if (!st.ok()) {
+      NoteDrop(info, st);
+      continue;
+    }
+    if (!out->empty() && rec.gen <= out->back().gen) {
+      NoteDrop(info,
+               Status::Corruption("history record: out-of-order generation"));
+      continue;
+    }
+    out->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+bool HistoryEnabledFromEnv() {
+  const char* v = std::getenv("DELEX_HISTORY");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+int HistoryRetainFromEnv() {
+  const char* v = std::getenv("DELEX_HISTORY_RETAIN");
+  if (v == nullptr || *v == '\0') return 0;
+  int n = std::atoi(v);
+  return n > 0 ? n : 0;
+}
+
+bool DecisionAuditEnabledFromEnv() {
+  const char* v = std::getenv("DELEX_DECISION_AUDIT");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+}  // namespace obs
+}  // namespace delex

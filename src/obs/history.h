@@ -1,0 +1,186 @@
+#ifndef DELEX_OBS_HISTORY_H_
+#define DELEX_OBS_HISTORY_H_
+
+// Generation-history store — observability layer 3 (memory across
+// generations). Run reports answer "what happened in this run"; the
+// history store answers "what changed across generations": one compact
+// checksummed record per completed generation, appended to
+// `work_dir/history.jsonl` at the end of every engine-backed run (and,
+// for sharded engines, a per-shard view in `shard<K>/history.jsonl`).
+//
+// Line framing — every line is an envelope with a fixed-offset header so
+// a checker can validate without parsing JSON first:
+//   {"crc":"<16 lowercase hex>","rec":{...}}\n
+// The crc is Fnv1a64 over the exact byte range of the "rec" value (from
+// the opening '{' at byte 32 through the closing '}' at len-2 of the
+// envelope). A record whose envelope, checksum, or JSON fails to parse
+// is dropped as Status::Corruption — degrade, never abort — and the next
+// Append still lands on a fresh line (a torn tail without '\n' is
+// healed by prefixing one).
+//
+// Record shape (inner "rec" object; optional blocks omitted when empty):
+//   {"gen":2,"solution":"Delex","tag":"fig11-talk","warmup":false,
+//    "threads":4,"num_shards":1,"fast_path":true,"assignment":"ST,RU",
+//    "pages":N,"pages_identical":N,"result_tuples":N,
+//    "phases":{"match_us":..,"extract_us":..,"copy_us":..,"opt_us":..,
+//              "capture_us":..,"total_us":..,"others_us":..,
+//              "phase_drift_us":..},
+//    "counters":{"demote_result_cache":N,"demote_missing_group":N,
+//                "decode_copy_groups":N,"reuse_corrupt_drops":N,
+//                "trace_dropped_events":N},
+//    "optimizer":{"learning":true,"predicted_total_us":..,
+//                 "cost_drift":..,"coeffs":[...],"decisions":[...]},
+//    "units":[{"matcher":"ST","predicted_us":..,"actual_us":..}],
+//    "shards":[{"shard":0,...,"assignment":"ST","cost_drift":..}]}
+// The coeffs / decisions rows are exactly the run-report v5 shapes
+// (obs/run_report.h), so the two artifacts stay diffable.
+//
+// Retention: Options::retain_gens > 0 compacts the file on Append to the
+// newest N records (atomic rewrite-and-rename); 0 keeps everything.
+// Knobs: DELEX_HISTORY ("0" disables writing; default on) and
+// DELEX_HISTORY_RETAIN (record count; default 0 = unlimited).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/run_report.h"
+
+namespace delex {
+namespace obs {
+
+/// File name of the store inside a work dir (and each shard<K>/ dir).
+inline constexpr const char* kHistoryFileName = "history.jsonl";
+
+/// \brief One generation's compact summary — the unit of history.
+struct HistoryRecord {
+  // Identity.
+  int gen = 0;             ///< engine generation this run completed
+  int shard = -1;          ///< shard id for per-shard views; -1 = merged
+  std::string solution;    ///< "Delex", "Cyclex", ...
+  std::string tag;         ///< series tag (program/bench name)
+  bool warmup = false;
+  int threads = 1;
+  int num_shards = 1;
+  bool fast_path = true;
+  std::string assignment;  ///< executed matcher plan, "ST,RU,..."
+
+  // Volume.
+  int64_t pages = 0;
+  int64_t pages_identical = 0;
+  int64_t result_tuples = 0;
+
+  // Phase breakdown (µs), the Figure 11 decomposition.
+  int64_t match_us = 0;
+  int64_t extract_us = 0;
+  int64_t copy_us = 0;
+  int64_t opt_us = 0;
+  int64_t capture_us = 0;
+  int64_t total_us = 0;
+  int64_t others_us = 0;
+  int64_t phase_drift_us = 0;
+
+  // Degradation counters.
+  int64_t demote_result_cache = 0;
+  int64_t demote_missing_group = 0;
+  int64_t decode_copy_groups = 0;
+  int64_t reuse_corrupt_drops = 0;
+  int64_t trace_dropped_events = 0;
+
+  // Optimizer view (block omitted from the line when !has_optimizer).
+  bool has_optimizer = false;
+  bool learning = false;
+  double predicted_total_us = -1;
+  double cost_drift = -1;
+  std::vector<OptimizerReport::LearnedCoefficient> coeffs;
+  std::vector<OptimizerReport::UnitDecision> decisions;
+
+  /// Per-unit plan vs. outcome.
+  struct UnitSummary {
+    std::string matcher;       ///< executed matcher ("DN"/"UD"/"ST"/"RU")
+    double predicted_us = -1;  ///< cost-model estimate; < 0 when none
+    double actual_us = 0;      ///< measured match+extract+copy+capture
+  };
+  std::vector<UnitSummary> units;
+
+  /// Per-shard rollup (merged records with num_shards > 1 only).
+  std::vector<RunReportMeta::ShardSummary> shards;
+
+  /// The framed line this record was parsed from (no trailing newline).
+  /// Filled by ParseLine/Load; empty on freshly built records. Lets the
+  /// compactor and the /history endpoint re-emit verified lines verbatim.
+  std::string raw;
+};
+
+/// Builds the merged-view record for one completed run. `assignment` is
+/// the executed plan (may be set even when the optimizer block is absent,
+/// e.g. the uniform warm-up plan).
+HistoryRecord MakeHistoryRecord(const RunReportMeta& meta,
+                                const RunStats& stats,
+                                const OptimizerReport& optimizer,
+                                const std::string& assignment);
+
+/// \brief Reader diagnostics for one Load pass.
+struct HistoryLoadInfo {
+  int64_t corrupt_dropped = 0;  ///< lines dropped (framing/crc/JSON/order)
+  Status first_error = Status::OK();  ///< first drop's Corruption status
+};
+
+/// \brief Append-only, checksummed JSONL store of HistoryRecords.
+class HistoryStore {
+ public:
+  struct Options {
+    /// Keep only the newest N records, compacting on Append; 0 keeps all.
+    int retain_gens = 0;
+  };
+
+  explicit HistoryStore(std::string path) : path_(std::move(path)) {}
+  HistoryStore(std::string path, Options options)
+      : path_(std::move(path)), options_(options) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one framed record (then compacts if retention is set). A
+  /// torn final line in the existing file is healed with a newline so
+  /// this record always starts a fresh line.
+  Status Append(const HistoryRecord& rec);
+
+  /// Loads every valid record, oldest first. Corrupt or out-of-order
+  /// lines are counted into `info` (may be null) and skipped — a damaged
+  /// store degrades to the records that still verify. A missing file is
+  /// an empty history, not an error.
+  Status Load(std::vector<HistoryRecord>* out,
+              HistoryLoadInfo* info = nullptr) const;
+
+  /// Load without constructing a store.
+  static Status LoadFile(const std::string& path,
+                         std::vector<HistoryRecord>* out,
+                         HistoryLoadInfo* info = nullptr);
+
+  /// Frames one record as an envelope line (no trailing newline).
+  static std::string FormatLine(const HistoryRecord& rec);
+
+  /// Parses one framed line (no newline). Any framing/checksum/JSON
+  /// defect is Status::Corruption. On success fills rec->raw.
+  static Status ParseLine(std::string_view line, HistoryRecord* rec);
+
+ private:
+  std::string path_;
+  Options options_;
+};
+
+/// DELEX_HISTORY: history writing enabled unless set to "0".
+bool HistoryEnabledFromEnv();
+
+/// DELEX_HISTORY_RETAIN: records kept per store; 0/unset = unlimited.
+int HistoryRetainFromEnv();
+
+/// DELEX_DECISION_AUDIT: optimizer decision audit unless set to "0".
+bool DecisionAuditEnabledFromEnv();
+
+}  // namespace obs
+}  // namespace delex
+
+#endif  // DELEX_OBS_HISTORY_H_

@@ -35,6 +35,43 @@ void WriteLatencySummary(const char* key, const LocalHistogram& hist,
 
 }  // namespace
 
+void WriteLearnedCoefficient(const OptimizerReport::LearnedCoefficient& row,
+                             JsonWriter* json) {
+  json->BeginObject()
+      .KV("matcher", row.matcher)
+      .KV("gain", row.gain)
+      .KV("bias", row.bias)
+      .KV("drift", row.drift)
+      .KV("samples", row.samples)
+      .EndObject();
+}
+
+void WriteUnitDecision(const OptimizerReport::UnitDecision& d,
+                       JsonWriter* json) {
+  json->BeginObject()
+      .KV("unit", d.unit)
+      .KV("winner", d.winner)
+      .KV("runner_up", d.runner_up)
+      .KV("margin_us", d.margin_us);
+  json->Key("candidates").BeginObject();
+  for (const auto& [matcher, est_us] : d.candidate_us) {
+    json->KV(matcher, est_us);
+  }
+  json->EndObject();
+  json->Key("inputs")
+      .BeginObject()
+      .KV("f", d.f)
+      .KV("m", d.m)
+      .KV("a", d.a)
+      .KV("l", d.l)
+      .KV("gain", d.gain)
+      .KV("bias", d.bias)
+      .KV("samples", d.samples)
+      .KV("history", d.history_window)
+      .EndObject();
+  json->EndObject();
+}
+
 std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
                           const OptimizerReport& optimizer) {
   JsonWriter json;
@@ -48,6 +85,7 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
   json.KV("fast_path", meta.fast_path_enabled);
   json.KV("histograms", meta.histograms_enabled);
   json.KV("num_shards", meta.num_shards);
+  if (meta.generation >= 0) json.KV("generation", meta.generation);
   if (meta.num_shards > 1 && !meta.shards.empty()) {
     json.Key("shards").BeginArray();
     for (const RunReportMeta::ShardSummary& shard : meta.shards) {
@@ -57,8 +95,10 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
           .KV("pages_identical", shard.pages_identical)
           .KV("result_tuples", shard.result_tuples)
           .KV("total_us", shard.total_us)
-          .KV("reuse_corrupt_drops", shard.reuse_corrupt_drops)
-          .EndObject();
+          .KV("reuse_corrupt_drops", shard.reuse_corrupt_drops);
+      if (!shard.assignment.empty()) json.KV("assignment", shard.assignment);
+      if (shard.cost_drift >= 0) json.KV("cost_drift", shard.cost_drift);
+      json.EndObject();
     }
     json.EndArray();
   }
@@ -139,13 +179,14 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
     if (!optimizer.learned.empty()) {
       json.Key("coeffs").BeginArray();
       for (const OptimizerReport::LearnedCoefficient& row : optimizer.learned) {
-        json.BeginObject()
-            .KV("matcher", row.matcher)
-            .KV("gain", row.gain)
-            .KV("bias", row.bias)
-            .KV("drift", row.drift)
-            .KV("samples", row.samples)
-            .EndObject();
+        WriteLearnedCoefficient(row, &json);
+      }
+      json.EndArray();
+    }
+    if (!optimizer.decisions.empty()) {
+      json.Key("decisions").BeginArray();
+      for (const OptimizerReport::UnitDecision& d : optimizer.decisions) {
+        WriteUnitDecision(d, &json);
       }
       json.EndArray();
     }

@@ -64,10 +64,28 @@
 // The top-level stats blocks then describe the MERGED view (counters
 // summed, phase components summed, total_us = sharded wall clock,
 // histograms folded across shards).
+//
+// v4 → v5: explainability (observability layer 3). The meta block gains
+// "generation" (the engine's completed-run counter; omitted for
+// engine-less baselines), shard summaries gain "assignment" and
+// "cost_drift" (each shard's own plan and prediction error), and the
+// optimizer block gains a "decisions" array — the optimizer's audit of
+// every per-unit matcher choice:
+//   {"unit":0,"winner":"ST","runner_up":"UD","margin_us":..,
+//    "candidates":{"DN":..,"UD":..,"ST":..,"RU":..},
+//    "inputs":{"f":..,"m":..,"a":..,"l":..,"gain":..,"bias":..,
+//              "samples":..,"history":..}}
+// Candidates are whole-plan estimated µs with only that unit's matcher
+// swapped; margin_us = runner-up − winner (negative means the greedy
+// search accepted a locally suboptimal unit for a globally better plan).
+// The "inputs" block records which statistics and learned coefficients
+// fed the estimate, so every matcher switch across generations is
+// attributable from the reports alone.
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -76,7 +94,7 @@
 namespace delex {
 namespace obs {
 
-inline constexpr int kRunReportSchemaVersion = 4;
+inline constexpr int kRunReportSchemaVersion = 5;
 
 /// \brief Run identity and execution-environment metadata for one line.
 struct RunReportMeta {
@@ -93,6 +111,10 @@ struct RunReportMeta {
   /// Engine shards the run was partitioned into (v4; 1 = unsharded).
   int num_shards = 1;
 
+  /// Engine generation completed by this run (v5); < 0 for engine-less
+  /// baselines, which omit the field.
+  int generation = -1;
+
   /// Per-shard rollup emitted as the "shards" array when num_shards > 1
   /// (v4). The top-level stats blocks carry the merged view.
   struct ShardSummary {
@@ -102,6 +124,10 @@ struct RunReportMeta {
     int64_t result_tuples = 0;
     int64_t total_us = 0;  ///< shard wall clock (driver thread)
     int64_t reuse_corrupt_drops = 0;
+    /// This shard's own chosen plan and prediction error (v5; each shard
+    /// runs its own optimizer). Empty / negative when unavailable.
+    std::string assignment;
+    double cost_drift = -1;
   };
   std::vector<ShardSummary> shards;
 };
@@ -131,7 +157,40 @@ struct OptimizerReport {
   /// computed before the update; < 0 before any feedback (v3).
   double cost_drift = -1;
   std::vector<LearnedCoefficient> learned;
+
+  /// One audited matcher decision per IE unit (v5): the per-candidate
+  /// whole-plan estimates with only this unit's matcher swapped, the
+  /// winner, the margin to the best alternative, and the statistics /
+  /// learned coefficients that fed the estimate. Empty when the audit is
+  /// disabled (DELEX_DECISION_AUDIT=0) or the plan was forced.
+  struct UnitDecision {
+    int unit = 0;
+    std::string winner;     ///< "DN"/"UD"/"ST"/"RU"
+    std::string runner_up;  ///< best alternative matcher
+    /// Runner-up plan cost − winner plan cost (µs). Negative when the
+    /// greedy search kept a locally suboptimal unit choice.
+    double margin_us = 0;
+    /// (matcher name, estimated whole-plan µs) for every candidate.
+    std::vector<std::pair<std::string, double>> candidate_us;
+    // Statistics inputs: snapshot level (f, m), unit level (a, l), and
+    // the learned calibration row of the winner's priced kind.
+    double f = 0, m = 0, a = 0, l = 0;
+    double gain = 1.0, bias = 0;
+    int64_t samples = 0;
+    int history_window = 0;  ///< snapshot pairs in the averaged stats
+  };
+  std::vector<UnitDecision> decisions;
 };
+
+class JsonWriter;
+
+/// Serializes one learned-calibration row / audited decision — shared by
+/// the run-report writer and the generation-history store so the two
+/// artifacts stay field-for-field diffable.
+void WriteLearnedCoefficient(const OptimizerReport::LearnedCoefficient& row,
+                             JsonWriter* json);
+void WriteUnitDecision(const OptimizerReport::UnitDecision& d,
+                       JsonWriter* json);
 
 /// \brief Builds one JSONL line (no trailing newline).
 std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,

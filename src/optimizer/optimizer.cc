@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/history.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -77,7 +78,50 @@ Result<MatcherAssignment> Optimizer::ChooseAssignment(double* estimated_cost) {
   obs::ScopedLatencyTimer latency(nullptr, ChooseHistogram());
   DELEX_RETURN_NOT_OK(Averaged().status());
   PlanSearch search(averaged_, chains_);
-  return search.Greedy(estimated_cost);
+  double chosen_cost = 0;
+  MatcherAssignment chosen = search.Greedy(&chosen_cost);
+  if (estimated_cost != nullptr) *estimated_cost = chosen_cost;
+  audit_ = DecisionAudit();
+  if (obs::DecisionAuditEnabledFromEnv()) RecordAudit(chosen, chosen_cost);
+  return chosen;
+}
+
+void Optimizer::RecordAudit(const MatcherAssignment& chosen,
+                            double chosen_cost) {
+  audit_.valid = true;
+  audit_.chosen_plan_us = chosen_cost;
+  audit_.f = averaged_.f;
+  audit_.m = averaged_.m;
+  audit_.history_window = static_cast<int>(history_.size());
+  audit_.units.resize(chosen.per_unit.size());
+  for (size_t u = 0; u < chosen.per_unit.size(); ++u) {
+    DecisionAudit::Unit& unit = audit_.units[u];
+    unit.winner = chosen.per_unit[u];
+    double best_alt = 0;
+    bool have_alt = false;
+    MatcherAssignment probe = chosen;
+    for (MatcherKind kind : kAllMatcherKinds) {
+      probe.per_unit[u] = kind;
+      const double cost = EstimatePlanCost(averaged_, chains_, probe);
+      unit.candidate_plan_us[MatcherIndex(kind)] = cost;
+      if (kind != unit.winner && (!have_alt || cost < best_alt)) {
+        best_alt = cost;
+        have_alt = true;
+        unit.runner_up = kind;
+      }
+    }
+    probe.per_unit[u] = unit.winner;
+    unit.margin_us =
+        best_alt - unit.candidate_plan_us[MatcherIndex(unit.winner)];
+    if (u < averaged_.units.size()) {
+      unit.a = averaged_.units[u].a;
+      unit.l = averaged_.units[u].l;
+    }
+    const size_t w = MatcherIndex(unit.winner);
+    unit.gain = averaged_.calibration.gain[w];
+    unit.bias = averaged_.calibration.bias[w];
+    unit.samples = learner_.model(unit.winner).samples;
+  }
 }
 
 Result<std::vector<double>> Optimizer::EstimatePerUnitCost(

@@ -1,6 +1,8 @@
 #ifndef DELEX_OPTIMIZER_OPTIMIZER_H_
 #define DELEX_OPTIMIZER_OPTIMIZER_H_
 
+#include <array>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
@@ -40,6 +42,41 @@ class Optimizer {
   /// Algorithm 1 over the averaged statistics. Requires at least one
   /// ObserveSnapshotPair.
   Result<MatcherAssignment> ChooseAssignment(double* estimated_cost = nullptr);
+
+  /// \brief Audit of the last ChooseAssignment — per unit, every
+  /// candidate's whole-plan estimate (only that unit's matcher swapped),
+  /// the winner, the margin to the best alternative, and the statistics /
+  /// learned coefficients that fed the estimate. The raw material of the
+  /// run report's v5 "decisions" array, so matcher switches across
+  /// generations stay attributable. Recording costs 4 plan estimates per
+  /// unit and is on unless DELEX_DECISION_AUDIT=0.
+  struct DecisionAudit {
+    bool valid = false;        ///< a choice was made and recorded
+    double chosen_plan_us = 0; ///< Greedy's estimate of the chosen plan
+    // Snapshot-level stats inputs.
+    double f = 0;              ///< fraction of pages with a previous version
+    double m = 0;              ///< pages in the snapshot
+    int history_window = 0;    ///< snapshot pairs in the averaged stats
+
+    struct Unit {
+      /// Whole-plan estimated µs per candidate, indexed by MatcherIndex.
+      std::array<double, kNumMatcherKinds> candidate_plan_us = {};
+      MatcherKind winner = MatcherKind::kDN;
+      MatcherKind runner_up = MatcherKind::kDN;
+      /// Runner-up plan µs − winner plan µs. Negative when the greedy
+      /// search kept a locally suboptimal unit for a globally better plan.
+      double margin_us = 0;
+      // Unit-level stats inputs and the winner's calibration row.
+      double a = 0, l = 0;
+      double gain = 1.0, bias = 0;
+      int64_t samples = 0;
+    };
+    std::vector<Unit> units;
+  };
+
+  /// The audit of the most recent ChooseAssignment; `valid` is false
+  /// before the first choice or when auditing is disabled by env.
+  const DecisionAudit& LastAudit() const { return audit_; }
 
   /// Cost of an arbitrary assignment under the current statistics.
   Result<double> EstimateCost(const MatcherAssignment& assignment);
@@ -84,6 +121,9 @@ class Optimizer {
  private:
   Result<CostModelStats> Averaged();
 
+  /// Fills audit_ from averaged_ for the plan Greedy just chose.
+  void RecordAudit(const MatcherAssignment& chosen, double chosen_cost);
+
   xlog::PlanNodePtr plan_;
   const UnitAnalysis& analysis_;
   Options options_;
@@ -93,6 +133,7 @@ class Optimizer {
   CoefficientLearner learner_;
   bool learn_enabled_ = true;
   double last_drift_ = -1.0;
+  DecisionAudit audit_;
 };
 
 }  // namespace delex

@@ -30,6 +30,7 @@ void PublishShardStats(int k, const RunStats& stats, int generation) {
       ->Increment(stats.result_tuples);
   reg.GetCounter("shard.reuse_corrupt_drops" + label)
       ->Increment(stats.reuse_corrupt_drops);
+  reg.GetCounter("shard.total_us" + label)->Increment(stats.phases.total_us);
   reg.GetGauge("shard.generation" + label)->Set(generation);
   if (obs::HistogramsEnabled()) {
     reg.GetHistogram("shard.page_eval_us" + label)

@@ -1,0 +1,643 @@
+// Observability layer 3: the checksummed generation-history store.
+// Covers the envelope framing (fixed-offset crc), full-record round
+// trips, every corruption path (framing, checksum, JSON, missing gen,
+// torn tail, out-of-order generations) degrading to Status::Corruption
+// drops — never aborts — retention compaction, the env knobs, and the
+// end-to-end contract: RunSeries appends one record per completed
+// generation (plus per-shard views) across {1,4} shards × {1,8} threads.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "harness/experiment.h"
+#include "harness/programs.h"
+#include "obs/history.h"
+
+namespace delex {
+namespace {
+
+namespace fs = std::filesystem;
+
+using obs::HistoryLoadInfo;
+using obs::HistoryRecord;
+using obs::HistoryStore;
+
+fs::path FreshDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() / ("delex-history-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Restores (or clears) one env var when the test scope ends.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+/// A record exercising every optional block: optimizer with coeffs and
+/// audited decisions, per-unit summaries, and per-shard rollups.
+HistoryRecord FullRecord(int gen) {
+  HistoryRecord r;
+  r.gen = gen;
+  r.solution = "Delex";
+  r.tag = "history-test";
+  r.warmup = false;
+  r.threads = 4;
+  r.num_shards = 2;
+  r.fast_path = true;
+  r.assignment = "ST,RU";
+  r.pages = 120;
+  r.pages_identical = 80;
+  r.result_tuples = 64;
+  r.match_us = 1000;
+  r.extract_us = 2000;
+  r.copy_us = 300;
+  r.opt_us = 40;
+  r.capture_us = 500;
+  r.total_us = 4000;
+  r.others_us = 160;
+  r.phase_drift_us = 7;
+  r.demote_result_cache = 1;
+  r.demote_missing_group = 2;
+  r.decode_copy_groups = 3;
+  r.reuse_corrupt_drops = 4;
+  r.trace_dropped_events = 5;
+  r.has_optimizer = true;
+  r.learning = true;
+  r.predicted_total_us = 3900.5;
+  r.cost_drift = 0.125;
+  obs::OptimizerReport::LearnedCoefficient coeff;
+  coeff.matcher = "ST";
+  coeff.gain = 1.25;
+  coeff.bias = 40.5;
+  coeff.drift = 0.0625;
+  coeff.samples = 12;
+  r.coeffs.push_back(coeff);
+  obs::OptimizerReport::UnitDecision d;
+  d.unit = 0;
+  d.winner = "ST";
+  d.runner_up = "RU";
+  d.margin_us = 17.5;
+  d.candidate_us = {{"DN", 900.0}, {"UD", 410.0}, {"ST", 180.5}, {"RU", 198.0}};
+  d.f = 0.25;
+  d.m = 120;
+  d.a = 1.5;
+  d.l = 640;
+  d.gain = 1.25;
+  d.bias = 40.5;
+  d.samples = 12;
+  d.history_window = 3;
+  r.decisions.push_back(d);
+  HistoryRecord::UnitSummary u0{"ST", 180.5, 200.0};
+  HistoryRecord::UnitSummary u1{"RU", -1, 350.0};
+  r.units = {u0, u1};
+  obs::RunReportMeta::ShardSummary s0;
+  s0.shard = 0;
+  s0.pages = 70;
+  s0.pages_identical = 50;
+  s0.result_tuples = 40;
+  s0.total_us = 2200;
+  s0.reuse_corrupt_drops = 4;
+  s0.assignment = "ST,RU";
+  s0.cost_drift = 0.25;
+  obs::RunReportMeta::ShardSummary s1;
+  s1.shard = 1;
+  s1.pages = 50;
+  s1.pages_identical = 30;
+  s1.result_tuples = 24;
+  s1.total_us = 1800;
+  // s1 has no assignment / drift: the "unavailable" arm of the schema.
+  r.shards = {s0, s1};
+  return r;
+}
+
+TEST(HistoryLine, EnvelopeHasFixedOffsetChecksum) {
+  std::string line = HistoryStore::FormatLine(FullRecord(3));
+  ASSERT_GE(line.size(), 35u);
+  EXPECT_EQ(line.substr(0, 8), "{\"crc\":\"");
+  EXPECT_EQ(line.substr(24, 8), "\",\"rec\":");
+  EXPECT_EQ(line.back(), '}');
+  // The hex field at [8,24) is Fnv1a64 of the rec bytes at [32,len-1) —
+  // the exact contract ci/check.sh validates with Python string slicing.
+  std::string body = line.substr(32, line.size() - 33);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  EXPECT_EQ(line.substr(8, 16), hex);
+}
+
+TEST(HistoryLine, RoundTripsEveryField) {
+  HistoryRecord in = FullRecord(7);
+  std::string line = HistoryStore::FormatLine(in);
+  HistoryRecord out;
+  ASSERT_TRUE(HistoryStore::ParseLine(line, &out).ok());
+
+  EXPECT_EQ(out.gen, in.gen);
+  EXPECT_EQ(out.shard, -1);
+  EXPECT_EQ(out.solution, in.solution);
+  EXPECT_EQ(out.tag, in.tag);
+  EXPECT_EQ(out.warmup, in.warmup);
+  EXPECT_EQ(out.threads, in.threads);
+  EXPECT_EQ(out.num_shards, in.num_shards);
+  EXPECT_EQ(out.fast_path, in.fast_path);
+  EXPECT_EQ(out.assignment, in.assignment);
+  EXPECT_EQ(out.pages, in.pages);
+  EXPECT_EQ(out.pages_identical, in.pages_identical);
+  EXPECT_EQ(out.result_tuples, in.result_tuples);
+  EXPECT_EQ(out.match_us, in.match_us);
+  EXPECT_EQ(out.extract_us, in.extract_us);
+  EXPECT_EQ(out.copy_us, in.copy_us);
+  EXPECT_EQ(out.opt_us, in.opt_us);
+  EXPECT_EQ(out.capture_us, in.capture_us);
+  EXPECT_EQ(out.total_us, in.total_us);
+  EXPECT_EQ(out.others_us, in.others_us);
+  EXPECT_EQ(out.phase_drift_us, in.phase_drift_us);
+  EXPECT_EQ(out.demote_result_cache, in.demote_result_cache);
+  EXPECT_EQ(out.demote_missing_group, in.demote_missing_group);
+  EXPECT_EQ(out.decode_copy_groups, in.decode_copy_groups);
+  EXPECT_EQ(out.reuse_corrupt_drops, in.reuse_corrupt_drops);
+  EXPECT_EQ(out.trace_dropped_events, in.trace_dropped_events);
+
+  EXPECT_TRUE(out.has_optimizer);
+  EXPECT_TRUE(out.learning);
+  EXPECT_DOUBLE_EQ(out.predicted_total_us, in.predicted_total_us);
+  EXPECT_DOUBLE_EQ(out.cost_drift, in.cost_drift);
+  ASSERT_EQ(out.coeffs.size(), 1u);
+  EXPECT_EQ(out.coeffs[0].matcher, "ST");
+  EXPECT_DOUBLE_EQ(out.coeffs[0].gain, 1.25);
+  EXPECT_DOUBLE_EQ(out.coeffs[0].bias, 40.5);
+  EXPECT_DOUBLE_EQ(out.coeffs[0].drift, 0.0625);
+  EXPECT_EQ(out.coeffs[0].samples, 12);
+  ASSERT_EQ(out.decisions.size(), 1u);
+  EXPECT_EQ(out.decisions[0].unit, 0);
+  EXPECT_EQ(out.decisions[0].winner, "ST");
+  EXPECT_EQ(out.decisions[0].runner_up, "RU");
+  EXPECT_DOUBLE_EQ(out.decisions[0].margin_us, 17.5);
+  ASSERT_EQ(out.decisions[0].candidate_us.size(), 4u);
+  EXPECT_EQ(out.decisions[0].candidate_us[2].first, "ST");
+  EXPECT_DOUBLE_EQ(out.decisions[0].candidate_us[2].second, 180.5);
+  EXPECT_DOUBLE_EQ(out.decisions[0].f, 0.25);
+  EXPECT_DOUBLE_EQ(out.decisions[0].m, 120);
+  EXPECT_DOUBLE_EQ(out.decisions[0].a, 1.5);
+  EXPECT_DOUBLE_EQ(out.decisions[0].l, 640);
+  EXPECT_DOUBLE_EQ(out.decisions[0].gain, 1.25);
+  EXPECT_DOUBLE_EQ(out.decisions[0].bias, 40.5);
+  EXPECT_EQ(out.decisions[0].samples, 12);
+  EXPECT_EQ(out.decisions[0].history_window, 3);
+
+  ASSERT_EQ(out.units.size(), 2u);
+  EXPECT_EQ(out.units[0].matcher, "ST");
+  EXPECT_DOUBLE_EQ(out.units[0].predicted_us, 180.5);
+  EXPECT_DOUBLE_EQ(out.units[0].actual_us, 200.0);
+  EXPECT_EQ(out.units[1].matcher, "RU");
+  EXPECT_DOUBLE_EQ(out.units[1].predicted_us, -1);  // omitted when < 0
+
+  ASSERT_EQ(out.shards.size(), 2u);
+  EXPECT_EQ(out.shards[0].shard, 0);
+  EXPECT_EQ(out.shards[0].assignment, "ST,RU");
+  EXPECT_DOUBLE_EQ(out.shards[0].cost_drift, 0.25);
+  EXPECT_EQ(out.shards[1].total_us, 1800);
+  EXPECT_EQ(out.shards[1].assignment, "");
+  EXPECT_DOUBLE_EQ(out.shards[1].cost_drift, -1);
+
+  EXPECT_EQ(out.raw, line);
+}
+
+TEST(HistoryLine, WarmupRecordOmitsOptimizerBlock) {
+  HistoryRecord in;
+  in.gen = 1;
+  in.solution = "Delex";
+  in.warmup = true;
+  in.assignment = "DN,DN";
+  in.has_optimizer = false;
+  std::string line = HistoryStore::FormatLine(in);
+  EXPECT_EQ(line.find("\"optimizer\""), std::string::npos);
+  HistoryRecord out;
+  ASSERT_TRUE(HistoryStore::ParseLine(line, &out).ok());
+  EXPECT_FALSE(out.has_optimizer);
+  EXPECT_TRUE(out.warmup);
+  EXPECT_EQ(out.assignment, "DN,DN");
+}
+
+TEST(HistoryLine, RejectsBadFraming) {
+  HistoryRecord rec;
+  EXPECT_TRUE(HistoryStore::ParseLine("", &rec).IsCorruption());
+  EXPECT_TRUE(HistoryStore::ParseLine("{\"gen\":1}", &rec).IsCorruption());
+
+  std::string line = HistoryStore::FormatLine(FullRecord(1));
+  std::string bad_prefix = line;
+  bad_prefix[2] = 'x';  // {"xrc":"... — envelope key tampered
+  EXPECT_TRUE(HistoryStore::ParseLine(bad_prefix, &rec).IsCorruption());
+
+  std::string bad_hex = line;
+  bad_hex[10] = 'Z';  // not lowercase hex
+  EXPECT_TRUE(HistoryStore::ParseLine(bad_hex, &rec).IsCorruption());
+
+  std::string no_brace = line.substr(0, line.size() - 1);
+  EXPECT_TRUE(HistoryStore::ParseLine(no_brace, &rec).IsCorruption());
+}
+
+TEST(HistoryLine, RejectsChecksumMismatchAndBadJson) {
+  std::string line = HistoryStore::FormatLine(FullRecord(2));
+  std::string flipped = line;
+  size_t digit = flipped.find("\"pages\":120");
+  ASSERT_NE(digit, std::string::npos);
+  flipped[digit + 8] = '9';  // 120 -> 920 without fixing the crc
+  HistoryRecord rec;
+  Status st = HistoryStore::ParseLine(flipped, &rec);
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+
+  // A correctly checksummed envelope whose rec is not valid JSON.
+  std::string body = "{\"gen\":";
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  std::string crafted = "{\"crc\":\"" + std::string(hex) + "\",\"rec\":" +
+                        body + "}";
+  EXPECT_TRUE(HistoryStore::ParseLine(crafted, &rec).IsCorruption());
+}
+
+TEST(HistoryLine, RejectsMissingGeneration) {
+  std::string body = "{\"solution\":\"Delex\"}";
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  std::string crafted = "{\"crc\":\"" + std::string(hex) + "\",\"rec\":" +
+                        body + "}";
+  HistoryRecord rec;
+  Status st = HistoryStore::ParseLine(crafted, &rec);
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("generation"), std::string::npos);
+}
+
+TEST(HistoryStoreTest, MissingFileIsEmptyHistoryNotError) {
+  fs::path dir = FreshDir("missing");
+  HistoryStore store((dir / "history.jsonl").string());
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(store.Load(&records, &info).ok());
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(info.corrupt_dropped, 0);
+  fs::remove_all(dir);
+}
+
+TEST(HistoryStoreTest, AppendLoadRoundTripsInOrder) {
+  fs::path dir = FreshDir("append");
+  HistoryStore store((dir / "history.jsonl").string());
+  for (int gen = 1; gen <= 3; ++gen) {
+    ASSERT_TRUE(store.Append(FullRecord(gen)).ok());
+  }
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(store.Load(&records, &info).ok());
+  ASSERT_EQ(records.size(), 3u);
+  for (int gen = 1; gen <= 3; ++gen) {
+    EXPECT_EQ(records[static_cast<size_t>(gen - 1)].gen, gen);
+  }
+  EXPECT_EQ(info.corrupt_dropped, 0);
+  fs::remove_all(dir);
+}
+
+TEST(HistoryStoreTest, CorruptTailIsDroppedAndNextAppendLandsCleanly) {
+  fs::path dir = FreshDir("torntail");
+  std::string path = (dir / "history.jsonl").string();
+  HistoryStore store(path);
+  ASSERT_TRUE(store.Append(FullRecord(1)).ok());
+
+  // A crashed writer left a torn, newline-less fragment at the tail.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"crc\":\"0123456789abcdef\",\"rec\":{\"gen\":2,\"trunc";
+  }
+
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(store.Load(&records, &info).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].gen, 1);
+  EXPECT_EQ(info.corrupt_dropped, 1);
+  EXPECT_TRUE(info.first_error.IsCorruption()) << info.first_error.ToString();
+
+  // The next Append must heal the tail: the new record starts a fresh
+  // line instead of concatenating with the fragment.
+  ASSERT_TRUE(store.Append(FullRecord(2)).ok());
+  records.clear();
+  info = HistoryLoadInfo();
+  ASSERT_TRUE(store.Load(&records, &info).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].gen, 1);
+  EXPECT_EQ(records[1].gen, 2);
+  EXPECT_EQ(info.corrupt_dropped, 1);  // the fragment is still in the file
+  fs::remove_all(dir);
+}
+
+TEST(HistoryStoreTest, OutOfOrderGenerationsAreDropped) {
+  fs::path dir = FreshDir("order");
+  std::string path = (dir / "history.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << HistoryStore::FormatLine(FullRecord(1)) << "\n";
+    out << HistoryStore::FormatLine(FullRecord(3)) << "\n";
+    out << HistoryStore::FormatLine(FullRecord(2)) << "\n";  // regression
+    out << HistoryStore::FormatLine(FullRecord(3)) << "\n";  // duplicate
+    out << HistoryStore::FormatLine(FullRecord(4)) << "\n";
+  }
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(HistoryStore::LoadFile(path, &records, &info).ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].gen, 1);
+  EXPECT_EQ(records[1].gen, 3);
+  EXPECT_EQ(records[2].gen, 4);
+  EXPECT_EQ(info.corrupt_dropped, 2);
+  EXPECT_TRUE(info.first_error.IsCorruption());
+  EXPECT_NE(info.first_error.message().find("out-of-order"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(HistoryStoreTest, RetentionCompactsToNewestRecords) {
+  fs::path dir = FreshDir("retain");
+  HistoryStore::Options options;
+  options.retain_gens = 2;
+  HistoryStore store((dir / "history.jsonl").string(), options);
+  for (int gen = 1; gen <= 5; ++gen) {
+    ASSERT_TRUE(store.Append(FullRecord(gen)).ok());
+  }
+  std::vector<HistoryRecord> records;
+  ASSERT_TRUE(store.Load(&records, nullptr).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].gen, 4);
+  EXPECT_EQ(records[1].gen, 5);
+  fs::remove_all(dir);
+}
+
+TEST(HistoryStoreTest, RetentionCompactionDiscardsCorruptLines) {
+  fs::path dir = FreshDir("retain-heal");
+  std::string path = (dir / "history.jsonl").string();
+  HistoryStore::Options options;
+  options.retain_gens = 10;
+  HistoryStore store(path, options);
+  ASSERT_TRUE(store.Append(FullRecord(1)).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "not a history line\n";
+  }
+  ASSERT_TRUE(store.Append(FullRecord(2)).ok());
+  // The compacting append rewrote the file: only verified lines remain.
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(store.Load(&records, &info).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(info.corrupt_dropped, 0);
+  fs::remove_all(dir);
+}
+
+TEST(HistoryEnv, KnobsReadFreshFromEnvironment) {
+  {
+    ScopedEnv history("DELEX_HISTORY", nullptr);
+    ScopedEnv retain("DELEX_HISTORY_RETAIN", nullptr);
+    ScopedEnv audit("DELEX_DECISION_AUDIT", nullptr);
+    EXPECT_TRUE(obs::HistoryEnabledFromEnv());
+    EXPECT_EQ(obs::HistoryRetainFromEnv(), 0);
+    EXPECT_TRUE(obs::DecisionAuditEnabledFromEnv());
+  }
+  {
+    ScopedEnv history("DELEX_HISTORY", "0");
+    ScopedEnv retain("DELEX_HISTORY_RETAIN", "7");
+    ScopedEnv audit("DELEX_DECISION_AUDIT", "0");
+    EXPECT_FALSE(obs::HistoryEnabledFromEnv());
+    EXPECT_EQ(obs::HistoryRetainFromEnv(), 7);
+    EXPECT_FALSE(obs::DecisionAuditEnabledFromEnv());
+  }
+  {
+    ScopedEnv retain("DELEX_HISTORY_RETAIN", "-3");
+    EXPECT_EQ(obs::HistoryRetainFromEnv(), 0);  // nonsense clamps to off
+  }
+}
+
+/// Shrinks a profile for test speed.
+DatasetProfile SmallProfile(DatasetProfile profile, int pages) {
+  profile.num_sources = pages;
+  return profile;
+}
+
+struct EngineCase {
+  int num_shards;
+  int num_threads;
+};
+
+class HistoryEngineRoundTrip : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(HistoryEngineRoundTrip, OneRecordPerGenerationAcrossShardsThreads) {
+  const EngineCase param = GetParam();
+  auto spec_or = MakeProgram("talk");
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), 20), 3, /*seed=*/17);
+
+  fs::path dir = FreshDir("engine-s" + std::to_string(param.num_shards) +
+                          "-t" + std::to_string(param.num_threads));
+  DelexSolutionOptions options;
+  options.num_shards = param.num_shards;
+  options.num_threads = param.num_threads;
+  auto solution = MakeDelexSolution(spec, dir.string(), options);
+  auto run = RunSeries(solution.get(), series, /*keep_results=*/false,
+                       "history-test");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(
+      HistoryStore::LoadFile((dir / "history.jsonl").string(), &records, &info)
+          .ok());
+  EXPECT_EQ(info.corrupt_dropped, 0);
+  ASSERT_EQ(records.size(), series.size());  // one record per generation
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const HistoryRecord& rec = records[i];
+    EXPECT_EQ(rec.gen, static_cast<int>(i) + 1);  // monotone, gap-free
+    EXPECT_EQ(rec.shard, -1);                     // merged view
+    EXPECT_EQ(rec.solution, "Delex");
+    EXPECT_EQ(rec.tag, "history-test");
+    EXPECT_EQ(rec.warmup, i == 0);
+    EXPECT_EQ(rec.threads, param.num_threads);
+    EXPECT_EQ(rec.num_shards, param.num_shards);
+    EXPECT_FALSE(rec.assignment.empty());
+    EXPECT_GT(rec.pages, 0);
+    EXPECT_EQ(rec.has_optimizer, i > 0);
+    if (i == 0) {
+      // The warm-up record has no optimizer block, but its units still
+      // carry the executed uniform-DN plan (from the assignment string),
+      // so a later diff can attribute matcher switches against gen 1.
+      EXPECT_FALSE(rec.units.empty());
+      for (const auto& unit : rec.units) {
+        EXPECT_EQ(unit.matcher, "DN");
+      }
+    }
+    if (i > 0) {
+      // Optimized generations carry the decision audit (default-on) with
+      // all four candidate costs per unit.
+      EXPECT_FALSE(rec.decisions.empty());
+      for (const auto& d : rec.decisions) {
+        EXPECT_EQ(d.candidate_us.size(), 4u);
+        EXPECT_FALSE(d.winner.empty());
+        EXPECT_FALSE(d.runner_up.empty());
+      }
+    }
+  }
+
+  // The recorded stats mirror the SeriesRun's measured stats (gens 2..n
+  // align with run->stats rows).
+  for (size_t i = 1; i < records.size(); ++i) {
+    const RunStats& stats = run->stats[i - 1];
+    EXPECT_EQ(records[i].pages, stats.pages);
+    EXPECT_EQ(records[i].result_tuples, stats.result_tuples);
+    EXPECT_EQ(records[i].total_us, stats.phases.total_us);
+    EXPECT_EQ(records[i].assignment, run->assignments[i - 1]);
+  }
+
+  // Sharded runs also write a pared per-shard view under shard<K>/.
+  if (param.num_shards > 1) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      ASSERT_EQ(records[i].shards.size(),
+                static_cast<size_t>(param.num_shards));
+    }
+    for (int k = 0; k < param.num_shards; ++k) {
+      std::vector<HistoryRecord> view;
+      HistoryLoadInfo view_info;
+      std::string path =
+          (dir / ("shard" + std::to_string(k)) / "history.jsonl").string();
+      ASSERT_TRUE(HistoryStore::LoadFile(path, &view, &view_info).ok());
+      EXPECT_EQ(view_info.corrupt_dropped, 0);
+      ASSERT_EQ(view.size(), series.size()) << "shard " << k;
+      for (size_t i = 0; i < view.size(); ++i) {
+        EXPECT_EQ(view[i].gen, static_cast<int>(i) + 1);
+        EXPECT_EQ(view[i].shard, k);
+        EXPECT_EQ(view[i].num_shards, param.num_shards);
+        // The shard view repeats the merged record's per-shard rollup.
+        EXPECT_EQ(view[i].pages,
+                  records[i].shards[static_cast<size_t>(k)].pages);
+        EXPECT_EQ(view[i].total_us,
+                  records[i].shards[static_cast<size_t>(k)].total_us);
+      }
+    }
+  } else {
+    EXPECT_FALSE(fs::exists(dir / "shard0" / "history.jsonl"));
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardThreadMatrix, HistoryEngineRoundTrip,
+    ::testing::Values(EngineCase{1, 1}, EngineCase{1, 8}, EngineCase{4, 1},
+                      EngineCase{4, 8}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.num_shards) + "t" +
+             std::to_string(info.param.num_threads);
+    });
+
+TEST(HistoryEngine, DisabledByEnvWritesNothing) {
+  ScopedEnv history("DELEX_HISTORY", "0");
+  auto spec_or = MakeProgram("talk");
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), 12), 2, /*seed=*/19);
+  fs::path dir = FreshDir("disabled");
+  auto solution = MakeDelexSolution(spec, dir.string());
+  auto run = RunSeries(solution.get(), series);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(fs::exists(dir / "history.jsonl"));
+  fs::remove_all(dir);
+}
+
+TEST(HistoryEngine, RetentionEnvCompactsEngineHistory) {
+  ScopedEnv retain("DELEX_HISTORY_RETAIN", "2");
+  auto spec_or = MakeProgram("talk");
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), 12), 4, /*seed=*/23);
+  fs::path dir = FreshDir("retain-env");
+  auto solution = MakeDelexSolution(spec, dir.string());
+  auto run = RunSeries(solution.get(), series);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::vector<HistoryRecord> records;
+  ASSERT_TRUE(
+      HistoryStore::LoadFile((dir / "history.jsonl").string(), &records,
+                             nullptr)
+          .ok());
+  ASSERT_EQ(records.size(), 2u);  // newest two of four generations
+  EXPECT_EQ(records[0].gen, 3);
+  EXPECT_EQ(records[1].gen, 4);
+  fs::remove_all(dir);
+}
+
+TEST(HistoryEngine, CorruptMergedStoreDegradesAndRecovers) {
+  // An engine run over a store with a torn tail must still append its
+  // record cleanly — telemetry degrades (drops the fragment), the run
+  // itself never fails.
+  auto spec_or = MakeProgram("talk");
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  ProgramSpec spec = std::move(spec_or).ValueOrDie();
+  std::vector<Snapshot> series =
+      GenerateSeries(SmallProfile(spec.Profile(), 12), 2, /*seed=*/29);
+  fs::path dir = FreshDir("engine-corrupt");
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "history.jsonl", std::ios::binary);
+    out << "torn fragment without newline";
+  }
+  auto solution = MakeDelexSolution(spec, dir.string());
+  auto run = RunSeries(solution.get(), series);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::vector<HistoryRecord> records;
+  HistoryLoadInfo info;
+  ASSERT_TRUE(
+      HistoryStore::LoadFile((dir / "history.jsonl").string(), &records, &info)
+          .ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].gen, 1);
+  EXPECT_EQ(records[1].gen, 2);
+  EXPECT_EQ(info.corrupt_dropped, 1);
+  EXPECT_TRUE(info.first_error.IsCorruption());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace delex

@@ -36,6 +36,7 @@
 #include "harness/programs.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
+#include "obs/history.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -1031,6 +1032,104 @@ TEST(PrometheusTest, ShardLabelsRenderAsPromLabelSets) {
   registry.ResetAll();
 }
 
+TEST(PrometheusTest, EmptyHistogramFamilyRendersZeroedSeries) {
+  // A histogram that exists but never recorded must still render a full,
+  // well-formed family: every bucket 0, _sum 0, _count 0 — not vanish and
+  // not emit partial series.
+  obs::MetricsSnapshot snapshot;
+  snapshot.histograms.emplace_back("obs_test.edge.empty_us",
+                                   obs::LocalHistogram());
+  std::string text = obs::PrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE delex_obs_test_edge_empty_us histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("delex_obs_test_edge_empty_us_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("delex_obs_test_edge_empty_us_sum 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("delex_obs_test_edge_empty_us_count 0"),
+            std::string::npos);
+  // Every bucket line of the empty family reports 0 observations.
+  size_t pos = 0;
+  int bucket_lines = 0;
+  const std::string bucket = "delex_obs_test_edge_empty_us_bucket{";
+  while ((pos = text.find(bucket, pos)) != std::string::npos) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = text.substr(pos, eol - pos);
+    EXPECT_EQ(line.substr(line.size() - 2), " 0") << line;
+    ++bucket_lines;
+    pos = eol;
+  }
+  EXPECT_GE(bucket_lines, 2);
+}
+
+TEST(PrometheusTest, LabelValuesEscapeQuotesBackslashesAndNewlines) {
+  // Label values in `#k=v` registry names may carry the three characters
+  // the Prometheus text format requires escaping: `"`, `\`, and newline.
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back(std::string("obs_test.esc.pages#path=a\"b") +
+                                     "\\c\nd",
+                                 3);
+  std::string text = obs::PrometheusText(snapshot);
+  // Rendered: path="a\"b\\c\nd" — quote and backslash backslash-escaped,
+  // the raw newline rendered as the two characters '\' 'n'.
+  EXPECT_NE(
+      text.find(
+          "delex_obs_test_esc_pages_total{path=\"a\\\"b\\\\c\\nd\"} 3"),
+      std::string::npos)
+      << text;
+  // No raw newline may survive inside a sample line.
+  for (size_t pos = text.find("pages_total{");
+       pos != std::string::npos && pos + 1 < text.size();
+       pos = text.find("pages_total{", pos + 1)) {
+    size_t eol = text.find('\n', pos);
+    std::string line = text.substr(pos, eol - pos);
+    EXPECT_NE(line.find("} 3"), std::string::npos) << "torn line: " << line;
+  }
+}
+
+TEST(PrometheusTest, FamilyPresentOnlyUnderSomeLabelSets) {
+  // A family that exists only as labeled series (no unlabeled sample, and
+  // a sparse shard set — 0 and 2 but not 1) must emit HELP/TYPE exactly
+  // once and exactly the series that exist.
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("obs_test.sparse.pages#shard=0", 4);
+  snapshot.counters.emplace_back("obs_test.sparse.pages#shard=2", 6);
+  snapshot.histograms.emplace_back("obs_test.sparse.lat_us#shard=2",
+                                   obs::LocalHistogram());
+  std::string text = obs::PrometheusText(snapshot);
+
+  const std::string type_line =
+      "# TYPE delex_obs_test_sparse_pages_total counter";
+  size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos)
+      << "TYPE repeated for a sparse labeled family";
+  EXPECT_NE(text.find("delex_obs_test_sparse_pages_total{shard=\"0\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("delex_obs_test_sparse_pages_total{shard=\"2\"} 6"),
+            std::string::npos);
+  EXPECT_EQ(text.find("shard=\"1\""), std::string::npos);
+  // No unlabeled sample is invented for a labels-only family: every
+  // occurrence of the family name outside comments carries a label set.
+  for (size_t pos = text.find("delex_obs_test_sparse_pages_total ");
+       pos != std::string::npos;
+       pos = text.find("delex_obs_test_sparse_pages_total ", pos + 1)) {
+    size_t line_start = text.rfind('\n', pos);
+    line_start = line_start == std::string::npos ? 0 : line_start + 1;
+    EXPECT_EQ(text[line_start], '#')
+        << "unlabeled sample for labels-only family";
+  }
+  // The labels-only histogram renders its shard label on every series.
+  EXPECT_NE(
+      text.find("delex_obs_test_sparse_lat_us_bucket{shard=\"2\",le=\"+Inf\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("delex_obs_test_sparse_lat_us_count{shard=\"2\"} 0"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Exporters: snapshot writer + stats server
 // ---------------------------------------------------------------------------
@@ -1135,6 +1234,151 @@ TEST(ExportTest, StatsServerServesMetricsAndHealth) {
   registry.ResetAll();
 }
 
+/// The HTTP body: everything after the blank line separating the headers.
+std::string HttpBody(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(ExportTest, StatuszVarzAndHistoryEndpoints) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.statusz.pages#shard=1")->Increment(11);
+
+  // Publish a two-generation store plus its newest framed line, the way
+  // RunSeries does after every append.
+  std::string history_path = TempPath("delex-obs-statusz-history.jsonl");
+  obs::HistoryStore store(history_path);
+  std::filesystem::remove(history_path);
+  obs::HistoryRecord rec;
+  rec.gen = 1;
+  rec.solution = "Delex";
+  rec.tag = "statusz-test";
+  rec.warmup = true;
+  rec.assignment = "DN,DN";
+  ASSERT_TRUE(store.Append(rec).ok());
+  rec.gen = 2;
+  rec.warmup = false;
+  rec.assignment = "ST,RU";
+  rec.pages = 42;
+  rec.has_optimizer = true;
+  rec.cost_drift = 0.25;
+  ASSERT_TRUE(store.Append(rec).ok());
+  obs::PublishHistoryForStatus(history_path,
+                               obs::HistoryStore::FormatLine(rec));
+  EXPECT_EQ(obs::PublishedHistoryPath(), history_path);
+  EXPECT_FALSE(obs::PublishedHistoryLine().empty());
+
+  obs::StatsServer& server = obs::StatsServer::Global();
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  int port = server.port();
+  ASSERT_GT(port, 0);
+
+  std::string statusz = HttpGet(port, "/statusz");
+  EXPECT_NE(statusz.find("200"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("text/html"), std::string::npos);
+  EXPECT_NE(statusz.find("uptime_ms"), std::string::npos);
+  EXPECT_NE(statusz.find("git_sha"), std::string::npos);
+  // Every operational knob appears, set or "(unset)".
+  EXPECT_NE(statusz.find("DELEX_SHARDS"), std::string::npos);
+  EXPECT_NE(statusz.find("DELEX_HISTORY_RETAIN"), std::string::npos);
+  EXPECT_NE(statusz.find("DELEX_DECISION_AUDIT"), std::string::npos);
+  // The published last-generation summary and store path.
+  EXPECT_NE(statusz.find(history_path), std::string::npos);
+  EXPECT_NE(statusz.find("statusz-test"), std::string::npos);
+  EXPECT_NE(statusz.find("ST,RU"), std::string::npos);
+  EXPECT_NE(statusz.find("cost_drift"), std::string::npos);
+  // The label-aware renderer section shows per-shard counters.
+  EXPECT_NE(statusz.find("obs_test_statusz_pages_total{shard=&quot;1&quot;}"),
+            std::string::npos)
+      << statusz;
+
+  std::string varz = HttpGet(port, "/varz");
+  EXPECT_NE(varz.find("200"), std::string::npos);
+  EXPECT_NE(varz.find("application/json"), std::string::npos);
+  JsonValue varz_json = MustParse(HttpBody(varz));
+  EXPECT_TRUE(varz_json.Has("uptime_ms"));
+  EXPECT_EQ(varz_json.At("counters").At("obs_test.statusz.pages#shard=1")
+                .number,
+            11);
+
+  // /history serves the published store verbatim: both generations, each
+  // line re-parseable with its checksum intact.
+  std::string history = HttpGet(port, "/history");
+  EXPECT_NE(history.find("200"), std::string::npos);
+  EXPECT_NE(history.find("application/x-ndjson"), std::string::npos);
+  std::istringstream lines(HttpBody(history));
+  std::string line;
+  std::vector<int> gens;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    obs::HistoryRecord parsed;
+    ASSERT_TRUE(obs::HistoryStore::ParseLine(line, &parsed).ok()) << line;
+    gens.push_back(parsed.gen);
+  }
+  EXPECT_EQ(gens, (std::vector<int>{1, 2}));
+
+  server.Stop();
+  std::filesystem::remove(history_path);
+  registry.ResetAll();
+}
+
+TEST(ExportTest, HistoryEndpointFallsBackToPublishedLine) {
+  // When the published store path is unreadable, /history serves the last
+  // published framed line instead of failing — the pure-404 arm only
+  // applies before any publication (process-global slot, so it can't be
+  // re-tested here once the endpoint test above has published).
+  obs::HistoryRecord rec;
+  rec.gen = 9;
+  rec.solution = "Delex";
+  std::string line = obs::HistoryStore::FormatLine(rec);
+  obs::PublishHistoryForStatus("/nonexistent/delex-history.jsonl", line);
+
+  obs::StatsServer& server = obs::StatsServer::Global();
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  std::string history = HttpGet(server.port(), "/history");
+  EXPECT_NE(history.find("200"), std::string::npos) << history;
+  EXPECT_NE(HttpBody(history).find(line), std::string::npos);
+  server.Stop();
+}
+
+TEST(ExportTest, StatsServerSurvivesHangingClient) {
+  obs::StatsServer& server = obs::StatsServer::Global();
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  int port = server.port();
+  ASSERT_GT(port, 0);
+
+  // A client that connects and then hangs without sending a request. The
+  // per-connection read timeout must unblock the accept loop so later
+  // clients still get served — without it this test deadlocks (and hits
+  // the suite timeout).
+  int hang_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(hang_fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(hang_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  // The hung connection was closed server-side after the read timeout
+  // (the server answers it 404 and hangs up): draining it reaches EOF
+  // instead of blocking forever.
+  char drain[512];
+  ssize_t got;
+  while ((got = ::recv(hang_fd, drain, sizeof(drain), 0)) > 0) {
+  }
+  EXPECT_EQ(got, 0) << "server left the hung connection open";
+  ::close(hang_fd);
+
+  server.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // Run report
 // ---------------------------------------------------------------------------
@@ -1205,10 +1449,19 @@ TEST(RunReportTest, ShardSummariesEmittedWhenSharded) {
 
   meta.num_shards = 2;
   meta.shards.resize(2);
-  meta.shards[0] = {/*shard=*/0, /*pages=*/5, /*pages_identical=*/2,
-                    /*result_tuples=*/11, /*total_us=*/900,
-                    /*reuse_corrupt_drops=*/0};
-  meta.shards[1] = {1, 3, 1, 7, 700, 2};
+  meta.shards[0].shard = 0;
+  meta.shards[0].pages = 5;
+  meta.shards[0].pages_identical = 2;
+  meta.shards[0].result_tuples = 11;
+  meta.shards[0].total_us = 900;
+  meta.shards[0].assignment = "ST,RU";  // v5: per-shard plan + drift
+  meta.shards[0].cost_drift = 0.125;
+  meta.shards[1].shard = 1;
+  meta.shards[1].pages = 3;
+  meta.shards[1].pages_identical = 1;
+  meta.shards[1].result_tuples = 7;
+  meta.shards[1].total_us = 700;
+  meta.shards[1].reuse_corrupt_drops = 2;
   line = MustParse(obs::RunReportLine(meta, stats, optimizer));
   EXPECT_EQ(line.At("num_shards").number, 2);
   ASSERT_EQ(line.At("shards").array.size(), 2u);
@@ -1216,9 +1469,14 @@ TEST(RunReportTest, ShardSummariesEmittedWhenSharded) {
   EXPECT_EQ(shard0.At("shard").number, 0);
   EXPECT_EQ(shard0.At("pages").number, 5);
   EXPECT_EQ(shard0.At("result_tuples").number, 11);
+  EXPECT_EQ(shard0.At("assignment").string, "ST,RU");
+  EXPECT_EQ(shard0.At("cost_drift").number, 0.125);
   const JsonValue& shard1 = line.At("shards").array[1];
   EXPECT_EQ(shard1.At("total_us").number, 700);
   EXPECT_EQ(shard1.At("reuse_corrupt_drops").number, 2);
+  // Unavailable v5 fields are omitted, not emitted as sentinels.
+  EXPECT_FALSE(shard1.Has("assignment"));
+  EXPECT_FALSE(shard1.Has("cost_drift"));
 }
 
 TEST(RunReportTest, WriterAppendsOneParseableLinePerRun) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "harness/experiment.h"
@@ -262,6 +264,76 @@ TEST(Optimizer, EndToEndChoosesReusefulPlanOnStableCorpus) {
   ASSERT_TRUE(chosen_cost.ok());
   ASSERT_TRUE(dn_cost.ok());
   EXPECT_LE(*chosen_cost, *dn_cost + 1e-9);
+}
+
+TEST(Optimizer, ChooseAssignmentRecordsDecisionAudit) {
+  ::unsetenv("DELEX_DECISION_AUDIT");  // default-on
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 40;
+  std::vector<Snapshot> series = GenerateSeries(profile, 2, 21);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  Optimizer optimizer(spec.plan, *analysis);
+  EXPECT_FALSE(optimizer.LastAudit().valid);  // no choice made yet
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[1], series[0], 1).ok());
+  auto assignment = optimizer.ChooseAssignment();
+  ASSERT_TRUE(assignment.ok());
+
+  const Optimizer::DecisionAudit& audit = optimizer.LastAudit();
+  ASSERT_TRUE(audit.valid);
+  ASSERT_EQ(audit.units.size(), assignment->per_unit.size());
+  EXPECT_GT(audit.m, 0);
+  EXPECT_GE(audit.f, 0);
+  EXPECT_EQ(audit.history_window, 1);  // one observed snapshot pair
+
+  // The audit's chosen plan cost is the cost model's own estimate.
+  auto chosen_cost = optimizer.EstimateCost(*assignment);
+  ASSERT_TRUE(chosen_cost.ok());
+  EXPECT_NEAR(audit.chosen_plan_us, *chosen_cost,
+              1e-6 * std::max(1.0, *chosen_cost));
+
+  for (size_t u = 0; u < audit.units.size(); ++u) {
+    const Optimizer::DecisionAudit::Unit& unit = audit.units[u];
+    // The winner column matches the assignment actually returned, and its
+    // candidate entry equals the chosen whole-plan cost.
+    EXPECT_EQ(unit.winner, assignment->per_unit[u]) << "unit " << u;
+    EXPECT_NEAR(unit.candidate_plan_us[MatcherIndex(unit.winner)],
+                audit.chosen_plan_us, 1e-6 * std::max(1.0, *chosen_cost));
+    // Every candidate was priced, the runner-up differs from the winner,
+    // and the margin is exactly runner-up − winner.
+    EXPECT_NE(unit.runner_up, unit.winner);
+    double best_alt = -1;
+    for (MatcherKind kind : kAllMatcherKinds) {
+      double cost = unit.candidate_plan_us[MatcherIndex(kind)];
+      EXPECT_GE(cost, 0) << "unpriced candidate for unit " << u;
+      if (kind == unit.winner) continue;
+      if (best_alt < 0 || cost < best_alt) best_alt = cost;
+    }
+    EXPECT_NEAR(unit.margin_us,
+                best_alt - unit.candidate_plan_us[MatcherIndex(unit.winner)],
+                1e-6 * std::max(1.0, best_alt));
+    // Statistics inputs were captured from the averaged stats.
+    EXPECT_GT(unit.l, 0);
+    EXPECT_GE(unit.a, 0);
+  }
+}
+
+TEST(Optimizer, DecisionAuditDisabledByEnv) {
+  ::setenv("DELEX_DECISION_AUDIT", "0", 1);
+  ProgramSpec spec = *MakeProgram("chair");
+  DatasetProfile profile = spec.Profile();
+  profile.num_sources = 30;
+  std::vector<Snapshot> series = GenerateSeries(profile, 2, 27);
+  auto analysis = AnalyzeUnits(spec.plan);
+  ASSERT_TRUE(analysis.ok());
+  Optimizer optimizer(spec.plan, *analysis);
+  ASSERT_TRUE(optimizer.ObserveSnapshotPair(series[1], series[0], 1).ok());
+  auto assignment = optimizer.ChooseAssignment();
+  ::unsetenv("DELEX_DECISION_AUDIT");
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_FALSE(optimizer.LastAudit().valid);  // audit skipped, choice kept
+  EXPECT_FALSE(assignment->per_unit.empty());
 }
 
 }  // namespace
