@@ -129,7 +129,8 @@ void Main() {
     first = false;
     std::fflush(stdout);
   }
-  std::printf("\n  ]\n}\n");
+  std::printf("\n  ],\n  \"peak_rss_bytes\": %lld\n}\n",
+              static_cast<long long>(PeakRssBytes()));
 }
 
 }  // namespace

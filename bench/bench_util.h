@@ -37,6 +37,7 @@
 #include "harness/table.h"
 #include "obs/export.h"
 #include "obs/json_writer.h"
+#include "obs/mem.h"
 #include "obs/trace.h"
 
 #ifndef DELEX_GIT_SHA
@@ -106,6 +107,12 @@ inline std::string MetaJson() {
       .KV("shards", static_cast<int64_t>(Shards()))
       .EndObject();
   return json.str();
+}
+
+/// Whole-process peak RSS (getrusage high-water, via obs); benches stamp
+/// it into their JSON document so the perf gate can regress memory too.
+inline int64_t PeakRssBytes() {
+  return obs::CollectResourceUsage().peak_rss_bytes;
 }
 
 /// Standard bench entry point. Parses `--stats-json <path>` (run-report

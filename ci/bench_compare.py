@@ -9,7 +9,8 @@ them moving together is a real regression, not noise.
 
 Supported inputs (auto-detected from the JSON shape):
   - bench_identical_fraction: {"bench": "identical_fraction", "runs": [...]}
-      metrics: off/on wall seconds per identical-fraction row
+      metrics: off/on wall seconds per identical-fraction row, plus
+      whole-process peak RSS ("peak_rss_bytes", also on shard_scaling)
   - bench_parallel_scaling:   {"bench": "parallel_scaling", "programs": [...]}
       metrics: wall seconds per (program, thread-count) row
   - bench_shard_scaling:      {"bench": "shard_scaling", "grid": [...]}
@@ -63,7 +64,17 @@ def metrics_identical_fraction(doc):
         tag = "identfrac_%02d" % round(float(row["identical_fraction"]) * 100)
         out[tag + "_off_seconds"] = float(row["off_seconds"])
         out[tag + "_on_seconds"] = float(row["on_seconds"])
+    add_peak_rss(doc, "identfrac", out)
     return out
+
+
+def add_peak_rss(doc, prefix, out):
+    """Whole-process peak RSS, gated like a timing metric (lower is
+    better): a memory blow-up is a regression even when wall clock holds.
+    Old baselines without the field just skip it (shared-metric rule)."""
+    value = doc.get("peak_rss_bytes")
+    if value is not None and float(value) > 0:
+        out["%s_peak_rss_bytes" % prefix] = float(value)
 
 
 def metrics_cost_drift(doc):
@@ -102,6 +113,7 @@ def metrics_shard_scaling(doc):
         name = "shardscale_t%d_s%d_seconds" % (int(row["threads"]),
                                                int(row["shards"]))
         out[name] = float(row["seconds"])
+    add_peak_rss(doc, "shardscale", out)
     return out
 
 

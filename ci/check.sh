@@ -138,6 +138,64 @@ assert delex_lines > 0, "no non-warm-up Delex report lines"
 print(f"traced smoke OK: {delex_lines} Delex report lines")
 EOF
 
+  # Profiled smoke (observability layer 4): a 3-generation parallel DBLife
+  # run with the span profiler and memory sampler on. The folded profile
+  # must be non-empty with a positive top-span count, every frame must be
+  # a span name from the source tree's trace vocabulary, and /memz +
+  # /profilez must be scrapeable live.
+  echo "=== Release: profiled dblife smoke ==="
+  prof_tmp="$(scratch_dir)"
+  prof_port=19466
+  DELEX_PROFILE="${prof_tmp}/profile.folded" \
+    DELEX_PROFILE_HZ=997 \
+    DELEX_MEM_SAMPLE_MS=20 \
+    DELEX_METRICS_PORT="${prof_port}" \
+    DELEX_METRICS_LINGER_MS=8000 \
+    DELEX_THREADS=2 \
+    ./build-release/examples/dblife_portal 128 3 >/dev/null &
+  prof_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:${prof_port}/healthz" \
+        >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  curl -fsS "http://127.0.0.1:${prof_port}/memz" -o "${prof_tmp}/memz.json"
+  curl -fsS "http://127.0.0.1:${prof_port}/profilez" \
+    -o "${prof_tmp}/profilez.txt"
+  wait "${prof_pid}"
+  python3 - "${prof_tmp}/memz.json" <<'EOF'
+import json, sys
+
+memz = json.load(open(sys.argv[1]))
+for key in ("rss_bytes", "peak_rss_bytes", "tracked_bytes",
+            "tracked_peak_bytes", "subsystems"):
+    assert key in memz, f"/memz missing {key}"
+assert memz["rss_bytes"] > 0, memz
+tags = {s["tag"] for s in memz["subsystems"]}
+assert {"snapshot", "matcher", "thread_pool"} <= tags, tags
+print(f"memz OK: {len(memz['subsystems'])} subsystems")
+EOF
+  PROFILE_VOCAB="$(grep -rhoE 'DELEX_TRACE_SPAN\("[a-z_]+"' src \
+    | sed 's/.*"\(.*\)"/\1/' | sort -u)" \
+    python3 - "${prof_tmp}/profile.folded" <<'EOF'
+import os, sys
+
+vocab = set(os.environ["PROFILE_VOCAB"].split()) | {"(no_span)"}
+lines = [l.rstrip("\n") for l in open(sys.argv[1]) if l.strip()]
+assert lines, "folded profile is empty"
+total = top = 0
+for line in lines:
+    path, count = line.rsplit(" ", 1)
+    total += int(count)
+    top = max(top, int(count))
+    for frame in path.split(";"):
+        assert frame in vocab, f"unknown span {frame!r} in {line!r}"
+assert top > 0, "no stack accumulated a positive sample count"
+print(f"profiled smoke OK: {len(lines)} stacks, {total} samples")
+EOF
+
   # Sharded smoke: the same portal hash-partitioned into 4 engine shards
   # on a shared pool. Every non-warm-up Delex report line must carry the
   # schema-v5 merged view: num_shards, a 4-entry per-shard summary whose
@@ -155,7 +213,9 @@ delex_lines = 0
 with open(sys.argv[1]) as f:
     for raw in f:
         line = json.loads(raw)
-        assert line["schema_version"] == 5, line["schema_version"]
+        assert line["schema_version"] == 6, line["schema_version"]
+        assert "resources" in line, "missing v6 resources block"
+        assert line["resources"]["rss_bytes"] > 0, line["resources"]
         if line["solution"] != "Delex" or line["warmup"]:
             continue
         delex_lines += 1

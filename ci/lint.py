@@ -28,6 +28,12 @@ Rules (each has an id; suppress a finding with a trailing or preceding
                          storage internals (reuse_file.h, result_cache.h,
                          record_file.h) directly — the shard layer has no
                          business decoding on-disk records.
+  resource-probe         raw process-resource reads (getrusage, /proc/self)
+                         and signal-handler installation (sigaction,
+                         SIGPROF, setitimer) are confined to src/obs/ —
+                         everything else goes through obs/mem.h and
+                         obs/profiler.h so there is exactly one sampler
+                         and one SIGPROF owner per process.
 
 Format rules (clang-format is not in the CI image, so the invariants that
 matter are enforced here; .clang-format remains the source of truth for
@@ -139,6 +145,13 @@ TOKEN_RULES = [
      "DelexEngine API)",
      lambda p: p.startswith("src/shard/"),
      True),  # raw: the offending path is inside the quoted literal
+    ("resource-probe",
+     re.compile(r"\bgetrusage\s*\(|/proc/self|\bsigaction\s*\(|"
+                r"\bSIGPROF\b|\bsetitimer\s*\("),
+     "raw resource probe / signal handler outside src/obs/ (use obs/mem.h "
+     "and obs/profiler.h — one sampler, one SIGPROF owner per process)",
+     lambda p: p.startswith("src/") and not p.startswith("src/obs/"),
+     True),  # raw: /proc/self appears inside string literals
     ("simd-intrinsics",
      re.compile(r"#\s*include\s+<[a-z0-9]*intrin\.h>|_mm\d*_|"
                 r"\b__m(128|256|512)i?\b"),
@@ -232,6 +245,10 @@ SELF_TEST_CASES = {
     "shard-storage-include": (
         "src/shard/bad.cc",
         "#include \"storage/reuse_file.h\"\n"),
+    "resource-probe": (
+        "src/delex/bad_rusage.cc",
+        "#include <sys/resource.h>\n"
+        "long f() { rusage ru; getrusage(0, &ru); return ru.ru_maxrss; }\n"),
     "simd-intrinsics": (
         "src/text/bad_simd.cc",
         "#include <immintrin.h>\n"
@@ -266,6 +283,10 @@ SELF_TEST_CLEAN = {
     "src/shard/ok.cc":
         "#include \"storage/snapshot.h\"\n"  # snapshot API is fair game
         "#include \"delex/engine.h\"\n",
+    "src/obs/ok_probe.cc":
+        "#include <sys/resource.h>\n"
+        "long f() { rusage ru; getrusage(0, &ru); return ru.ru_maxrss; }\n"
+        "const char* kStatm = \"/proc/self/statm\";\n",
     "src/common/simd.h":
         "#ifndef DELEX_COMMON_SIMD_H_\n#define DELEX_COMMON_SIMD_H_\n"
         "#include <immintrin.h>\n"

@@ -1,6 +1,7 @@
 #ifndef DELEX_COMMON_THREAD_POOL_H_
 #define DELEX_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -12,6 +13,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/log.h"
+#include "obs/mem.h"
+#include "obs/metrics.h"
 
 namespace delex {
 
@@ -57,12 +61,29 @@ class ThreadPool {
   /// bounded memory throttle themselves (see DelexEngine's in-flight
   /// window).
   void Submit(std::function<Status()> task) {
+    size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.push_back(std::move(task));
       ++pending_;
+      depth = queue_.size();
     }
     work_cv_.notify_one();
+    obs::MemCharge(obs::MemTag::kThreadPool, kQueuedTaskBytes);
+    QueueDepthGauge()->Set(static_cast<int64_t>(depth));
+    // Saturation: a queue deeper than 4x the workers means submitters are
+    // outrunning the pool and the "never blocks" contract is buffering
+    // real memory. WARN once per run (the flag re-arms when Wait drains
+    // the pool), count every trip.
+    if (depth > 4 * threads_.size() &&
+        !saturation_warned_.exchange(true, std::memory_order_relaxed)) {
+      static obs::Counter* saturations =
+          obs::MetricsRegistry::Global().GetCounter("pool.saturation_warns");
+      saturations->Increment();
+      DELEX_LOG(WARN) << "thread pool saturated: " << depth
+                      << " queued tasks > 4x " << threads_.size()
+                      << " workers";
+    }
   }
 
   /// Blocks until every submitted task has finished; returns the first
@@ -72,22 +93,39 @@ class ThreadPool {
     done_cv_.wait(lock, [this] { return pending_ == 0; });
     Status status = std::move(first_error_);
     first_error_ = Status::OK();
+    saturation_warned_.store(false, std::memory_order_relaxed);
+    QueueDepthGauge()->Set(0);
     return status;
   }
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
+  /// Per queued task: the std::function shell plus deque slot — what the
+  /// thread_pool subsystem actually buffers when submitters outrun it.
+  static constexpr int64_t kQueuedTaskBytes =
+      static_cast<int64_t>(sizeof(std::function<Status()>)) + 32;
+
+  static obs::Gauge* QueueDepthGauge() {
+    static obs::Gauge* depth =
+        obs::MetricsRegistry::Global().GetGauge("pool.queue_depth");
+    return depth;
+  }
+
   void WorkerLoop() {
     for (;;) {
       std::function<Status()> task;
+      size_t depth;
       {
         std::unique_lock<std::mutex> lock(mu_);
         work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
         if (queue_.empty()) return;  // shutdown with a drained queue
         task = std::move(queue_.front());
         queue_.pop_front();
+        depth = queue_.size();
       }
+      QueueDepthGauge()->Set(static_cast<int64_t>(depth));
+      obs::MemCharge(obs::MemTag::kThreadPool, -kQueuedTaskBytes);
       Status status = RunTask(task);
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -115,6 +153,7 @@ class ThreadPool {
   int64_t pending_ = 0;
   bool shutdown_ = false;
   Status first_error_;
+  std::atomic<bool> saturation_warned_{false};
 };
 
 }  // namespace delex

@@ -3,12 +3,20 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/mem.h"
 #include "obs/trace.h"
 #include "text/diff.h"
 #include "text/suffix_matcher.h"
 
 namespace delex {
 namespace {
+
+// Matcher working-set accounting (obs layer 4). The text layer owns the
+// actual allocations but must stay obs-free, so the charge is a scoped
+// estimate taken here, at the call site. The suffix automaton builds at
+// most 2 states per indexed byte at ~48 bytes each plus edge storage —
+// ~96 bytes per byte of old-region text covers it.
+constexpr int64_t kAutomatonBytesPerChar = 96;
 
 std::string_view RegionText(std::string_view content, const TextSpan& region) {
   DELEX_CHECK_GE(region.start, 0);
@@ -41,6 +49,8 @@ class UdMatcher : public Matcher {
                                   const TextSpan& q_region,
                                   MatchContext* ctx) const override {
     DELEX_TRACE_SPAN("match_ud", p_region.length(), "matcher");
+    obs::ScopedMemCharge mem(obs::MemTag::kMatcher,
+                             p_region.length() + q_region.length());
     std::vector<MatchSegment> segments =
         DiffMatch(RegionText(p_content, p_region), p_region.start,
                   RegionText(q_content, q_region), q_region.start);
@@ -60,6 +70,8 @@ class StMatcher : public Matcher {
                                   const TextSpan& q_region,
                                   MatchContext* ctx) const override {
     DELEX_TRACE_SPAN("match_st", p_region.length(), "matcher");
+    obs::ScopedMemCharge mem(obs::MemTag::kMatcher,
+                             p_region.length() * kAutomatonBytesPerChar);
     // Env-tuned once per process (DELEX_SUFFIX_MAX_CANDIDATES).
     static const SuffixMatchOptions options = SuffixMatchOptions::FromEnv();
     std::vector<MatchSegment> segments =

@@ -14,6 +14,8 @@
 #include "obs/history.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
+#include "obs/mem.h"
+#include "obs/profiler.h"
 
 // Build provenance for /statusz (global compile definitions; the
 // fallbacks keep non-CMake builds of this TU compiling).
@@ -188,8 +190,55 @@ constexpr const char* kStatusKnobs[] = {
     "DELEX_TRACE",            "DELEX_STATS_JSON",
     "DELEX_PARANOID",         "DELEX_LOG_LEVEL",
     "DELEX_METRICS_PORT",     "DELEX_METRICS_SNAPSHOT_MS",
-    "DELEX_METRICS_LINGER_MS",
+    "DELEX_METRICS_LINGER_MS", "DELEX_PROFILE",
+    "DELEX_PROFILE_HZ",       "DELEX_MEM_SAMPLE_MS",
 };
+
+/// Human-scale byte rendering for the /statusz memory table: exact bytes
+/// stay in /memz; here operators want "312.4 MiB" at a glance.
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  size_t u = 0;
+  while (v >= 1024.0 && u + 1 < sizeof(units) / sizeof(units[0])) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[48];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s (%lld)", v, units[u],
+                  static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+void AppendMemorySection(std::string* html) {
+  ResourceUsage usage = CollectResourceUsage();
+  *html += "<h2>Memory</h2>\n<table>\n";
+  AppendRow(html, "rss", FormatBytes(usage.rss_bytes));
+  AppendRow(html, "peak_rss", FormatBytes(usage.peak_rss_bytes));
+  AppendRow(html, "vm", FormatBytes(usage.vm_bytes));
+  AppendRow(html, "tracked", FormatBytes(usage.tracked_bytes));
+  AppendRow(html, "tracked_peak", FormatBytes(usage.tracked_peak_bytes));
+  AppendRow(html, "mem_sampler",
+            MemSampler::Global().running()
+                ? "running (" +
+                      std::to_string(MemSampler::Global().sample_count()) +
+                      " samples)"
+                : "off");
+  *html += "</table>\n";
+
+  *html += "<h3>Per-subsystem (tagged)</h3>\n<table>\n";
+  *html += "<tr><th>subsystem</th><th>current</th><th>peak</th></tr>\n";
+  for (const ResourceUsage::Subsystem& sub : usage.subsystems) {
+    *html += "<tr><td>" + HtmlEscape(sub.tag) + "</td><td>" +
+             HtmlEscape(FormatBytes(sub.current_bytes)) + "</td><td>" +
+             HtmlEscape(FormatBytes(sub.peak_bytes)) + "</td></tr>\n";
+  }
+  *html += "</table>\n";
+}
 
 void AppendLastGenSection(std::string* html) {
   std::string line;
@@ -291,6 +340,7 @@ std::string StatuszHtml() {
   }
   html += "</table>\n";
 
+  AppendMemorySection(&html);
   AppendLastGenSection(&html);
 
   // The label-aware renderer's view of the labeled families — the same
@@ -637,6 +687,14 @@ void StatsServer::Serve() {
       } else {
         body = "no history published\n";
       }
+    } else if (target == "/memz") {
+      status_line = "HTTP/1.1 200 OK";
+      content_type = "application/json; charset=utf-8";
+      body = MemzJson();
+    } else if (target == "/profilez") {
+      status_line = "HTTP/1.1 200 OK";
+      body = SpanProfiler::Global().FoldedText();
+      if (body.empty()) body = "(no samples)\n";
     } else {
       body = "not found\n";
     }
@@ -728,6 +786,9 @@ void MaybeStartExportersFromEnv() {
   static std::atomic<bool> done{false};
   bool expected = false;
   if (!done.compare_exchange_strong(expected, true)) return;
+
+  MaybeStartMemSamplerFromEnv();
+  MaybeStartProfilerFromEnv();
 
   int snapshot_ms = EnvInt("DELEX_METRICS_SNAPSHOT_MS", 0);
   if (snapshot_ms > 0) {

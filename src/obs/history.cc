@@ -104,6 +104,36 @@ std::string RecordBody(const HistoryRecord& r) {
     }
     json.EndArray();
   }
+  if (r.has_resources) {
+    json.Key("resources").BeginObject();
+    json.KV("rss_bytes", r.resources.rss_bytes);
+    json.KV("vm_bytes", r.resources.vm_bytes);
+    json.KV("peak_rss_bytes", r.resources.peak_rss_bytes);
+    json.KV("tracked_bytes", r.resources.tracked_bytes);
+    json.KV("tracked_peak_bytes", r.resources.tracked_peak_bytes);
+    json.Key("subsystems").BeginArray();
+    for (const ResourceUsage::Subsystem& sub : r.resources.subsystems) {
+      json.BeginObject()
+          .KV("tag", sub.tag)
+          .KV("current_bytes", sub.current_bytes)
+          .KV("peak_bytes", sub.peak_bytes)
+          .EndObject();
+    }
+    json.EndArray();
+    if (r.profile_samples > 0) {
+      json.KV("profile_samples", r.profile_samples);
+      json.KV("profile_lost", r.profile_lost);
+      json.Key("top_spans").BeginArray();
+      for (const SpanSelfSample& sample : r.top_spans) {
+        json.BeginObject()
+            .KV("span", sample.span)
+            .KV("self_samples", sample.self_samples)
+            .EndObject();
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+  }
   json.EndObject();
   return json.TakeString();
 }
@@ -300,6 +330,15 @@ HistoryRecord MakeHistoryRecord(const RunReportMeta& meta,
   }
 
   if (meta.num_shards > 1) r.shards = meta.shards;
+
+  // Layer-4 resource view: sample the process and freeze the tagged
+  // peaks/profiler rollup into the generation's record.
+  r.has_resources = true;
+  r.resources = CollectResourceUsage();
+  SpanProfiler& profiler = SpanProfiler::Global();
+  r.profile_samples = profiler.TotalSamples();
+  r.profile_lost = profiler.LostSamples();
+  if (r.profile_samples > 0) r.top_spans = profiler.TopSelfSamples(10);
   return r;
 }
 
@@ -401,6 +440,31 @@ Status HistoryStore::ParseLine(std::string_view line, HistoryRecord* rec) {
     RunReportMeta::ShardSummary shard;
     ParseShardRow(row, &shard);
     rec->shards.push_back(std::move(shard));
+  }
+  if (v.Has("resources")) {
+    const JsonValue& res = v.At("resources");
+    rec->has_resources = true;
+    rec->resources.rss_bytes = res.At("rss_bytes").IntOr(0);
+    rec->resources.vm_bytes = res.At("vm_bytes").IntOr(0);
+    rec->resources.peak_rss_bytes = res.At("peak_rss_bytes").IntOr(0);
+    rec->resources.tracked_bytes = res.At("tracked_bytes").IntOr(0);
+    rec->resources.tracked_peak_bytes =
+        res.At("tracked_peak_bytes").IntOr(0);
+    for (const JsonValue& row : res.At("subsystems").array) {
+      ResourceUsage::Subsystem sub;
+      sub.tag = row.At("tag").StringOr("");
+      sub.current_bytes = row.At("current_bytes").IntOr(0);
+      sub.peak_bytes = row.At("peak_bytes").IntOr(0);
+      rec->resources.subsystems.push_back(std::move(sub));
+    }
+    rec->profile_samples = res.At("profile_samples").IntOr(0);
+    rec->profile_lost = res.At("profile_lost").IntOr(0);
+    for (const JsonValue& row : res.At("top_spans").array) {
+      SpanSelfSample sample;
+      sample.span = row.At("span").StringOr("");
+      sample.self_samples = row.At("self_samples").IntOr(0);
+      rec->top_spans.push_back(std::move(sample));
+    }
   }
   rec->raw = std::string(line);
   return Status::OK();

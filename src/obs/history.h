@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/mem.h"
+#include "obs/profiler.h"
 #include "obs/run_report.h"
 
 namespace delex {
@@ -107,6 +109,16 @@ struct HistoryRecord {
 
   /// Per-shard rollup (merged records with num_shards > 1 only).
   std::vector<RunReportMeta::ShardSummary> shards;
+
+  /// Resource view at record time (v6 resources block; layer 4). Written
+  /// whenever has_resources — records from older stores parse with it
+  /// false, and delex_inspect mem reports them as pre-layer-4.
+  bool has_resources = false;
+  ResourceUsage resources;
+  /// Span-profiler rollup; top_spans empty when the profiler never ran.
+  int64_t profile_samples = 0;
+  int64_t profile_lost = 0;
+  std::vector<SpanSelfSample> top_spans;
 
   /// The framed line this record was parsed from (no trailing newline).
   /// Filled by ParseLine/Load; empty on freshly built records. Lets the

@@ -2,7 +2,9 @@
 
 #include "obs/histogram.h"
 #include "obs/json_writer.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace delex {
@@ -158,6 +160,43 @@ std::string RunReportLine(const RunReportMeta& meta, const RunStats& stats,
         .KV("recording", recorder.started())
         .KV("dropped_events", recorder.DroppedEventCount())
         .EndObject();
+  }
+
+  {
+    // v6: resource view at report time (process RSS is sampled fresh, the
+    // tagged peaks are whole-run high-water marks).
+    ResourceUsage usage = CollectResourceUsage();
+    json.Key("resources").BeginObject();
+    json.KV("rss_bytes", usage.rss_bytes);
+    json.KV("vm_bytes", usage.vm_bytes);
+    json.KV("peak_rss_bytes", usage.peak_rss_bytes);
+    json.KV("tracked_bytes", usage.tracked_bytes);
+    json.KV("tracked_peak_bytes", usage.tracked_peak_bytes);
+    json.Key("subsystems").BeginArray();
+    for (const ResourceUsage::Subsystem& sub : usage.subsystems) {
+      json.BeginObject()
+          .KV("tag", sub.tag)
+          .KV("current_bytes", sub.current_bytes)
+          .KV("peak_bytes", sub.peak_bytes)
+          .EndObject();
+    }
+    json.EndArray();
+    SpanProfiler& profiler = SpanProfiler::Global();
+    if (profiler.TotalSamples() > 0) {
+      json.Key("profile").BeginObject();
+      json.KV("total_samples", profiler.TotalSamples());
+      json.KV("lost_samples", profiler.LostSamples());
+      json.Key("top_spans").BeginArray();
+      for (const SpanSelfSample& sample : profiler.TopSelfSamples(10)) {
+        json.BeginObject()
+            .KV("span", sample.span)
+            .KV("self_samples", sample.self_samples)
+            .EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndObject();
   }
 
   if (optimizer.has_optimizer) {

@@ -81,6 +81,18 @@
 // The "inputs" block records which statistics and learned coefficients
 // fed the estimate, so every matcher switch across generations is
 // attributable from the reports alone.
+//
+// v5 → v6: resource observability (layer 4). Every line gains a
+// "resources" block sampled at report time:
+//   {"rss_bytes":..,"vm_bytes":..,"peak_rss_bytes":..,
+//    "tracked_bytes":..,"tracked_peak_bytes":..,
+//    "subsystems":[{"tag":"snapshot","current_bytes":..,"peak_bytes":..},
+//                  ...],                      // one row per MemTag
+//    "profile":{"total_samples":N,"lost_samples":N,
+//               "top_spans":[{"span":"eval_page","self_samples":N},...]}}
+// The "profile" sub-block appears only when the span profiler observed at
+// least one tick (DELEX_PROFILE); top_spans is self-time (innermost open
+// span per tick), largest first, at most 10 rows.
 
 #include <cstdint>
 #include <cstdio>
@@ -94,7 +106,7 @@
 namespace delex {
 namespace obs {
 
-inline constexpr int kRunReportSchemaVersion = 5;
+inline constexpr int kRunReportSchemaVersion = 6;
 
 /// \brief Run identity and execution-environment metadata for one line.
 struct RunReportMeta {

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "common/value.h"
 #include "obs/histogram.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -182,6 +183,13 @@ Result<std::vector<Tuple>> ShardedEngine::RunSnapshot(
   std::vector<Tuple> merged_rows;
   size_t total_rows = 0;
   for (const std::vector<Tuple>& r : rows) total_rows += r.size();
+  // Shard-layer overhead accounting: during the merge both the per-shard
+  // row vectors and the merged buffer exist (row payloads move, the
+  // vector shells don't) — the transient that makes sharded peaks exceed
+  // unsharded ones. Split-snapshot text itself is charged to `snapshot`.
+  obs::ScopedMemCharge merge_mem(
+      obs::MemTag::kShard,
+      static_cast<int64_t>(2 * total_rows * sizeof(Tuple)));
   merged_rows.reserve(total_rows);
   for (const Page& page : current.pages()) {
     const size_t k = static_cast<size_t>(
@@ -217,6 +225,9 @@ Result<std::vector<Tuple>> ShardedEngine::RunSnapshot(
   const int gen = generation();
   for (size_t k = 0; k < n; ++k) {
     PublishShardStats(static_cast<int>(k), per_shard[k], gen);
+    obs::MetricsRegistry::Global()
+        .GetGauge("mem.shard.snapshot_bytes#shard=" + std::to_string(k))
+        ->Set(cur_split[k].TotalBytes());
   }
   {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

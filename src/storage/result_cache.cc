@@ -54,6 +54,7 @@ Status ResultCacheWriter::CommitPage(int64_t did,
     EncodeTuple(stripped, &scratch_);
     DELEX_RETURN_NOT_OK(writer_.Append(scratch_));
   }
+  mem_.Set(static_cast<int64_t>(scratch_.capacity()));
   return Status::OK();
 }
 
@@ -122,6 +123,7 @@ Status ResultCacheReader::ReadPage(int64_t did, ResultPageSlice* slice,
     }
     header_pending_ = false;
     *found = true;
+    mem_.Set(static_cast<int64_t>(scratch_.capacity()));
     return Status::OK();
   }
   return Status::OK();

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/mem.h"
 #include "storage/io_stats.h"
 #include "storage/record_file.h"
 
@@ -59,6 +60,7 @@ class ResultCacheWriter {
  private:
   RecordWriter writer_;
   std::string scratch_;
+  obs::ScopedMemCharge mem_{obs::MemTag::kResultCache};
 };
 
 /// \brief Forward-scan reader over a ResultCacheWriter file.
@@ -88,6 +90,7 @@ class ResultCacheReader {
   int64_t pending_did_ = 0;
   int64_t pending_count_ = 0;
   std::string scratch_;
+  obs::ScopedMemCharge mem_{obs::MemTag::kResultCache};
 };
 
 /// \brief Decodes a slice into result rows, prefixing each with `did` —

@@ -300,7 +300,17 @@ Status UnitReuseReader::LoadIndex(const std::string& path) {
     return st.ok() ? Status::Corruption("bad page index " + path) : st;
   }
   index_ok_ = true;
+  UpdateMemCharge();
   return Status::OK();
+}
+
+void UnitReuseReader::UpdateMemCharge() {
+  // The index map dominates (one entry per page); the shared scratch
+  // record buffer is the only other footprint that grows with input.
+  constexpr int64_t kEntryOverhead =
+      static_cast<int64_t>(sizeof(PageIndexEntry)) + 32;  // bucket + links
+  mem_.Set(static_cast<int64_t>(index_.size()) * kEntryOverhead +
+           static_cast<int64_t>(scratch_.capacity()));
 }
 
 const PageIndexEntry* UnitReuseReader::FindIndexEntry(int64_t did) const {
@@ -386,6 +396,7 @@ Status UnitReuseReader::SeekPage(int64_t did,
     }
     output_.header_pending = false;
   }
+  UpdateMemCharge();
   return Status::OK();
 }
 
@@ -442,12 +453,16 @@ Status UnitReuseReader::ReadPageRaw(int64_t did, uint64_t expected_digest,
     slice->page_digest = entry->page_digest;
     *index_valid = true;
   }
+  UpdateMemCharge();
   return Status::OK();
 }
 
 Status UnitReuseReader::Close() {
   Status st = input_.reader.Close();
   Status st_out = output_.reader.Close();
+  index_.clear();
+  index_ok_ = false;
+  UpdateMemCharge();
   if (!st.ok()) return st;
   return st_out;
 }

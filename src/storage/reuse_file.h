@@ -9,6 +9,7 @@
 #include "common/span.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/mem.h"
 #include "storage/io_stats.h"
 #include "storage/record_file.h"
 
@@ -239,6 +240,8 @@ class UnitReuseReader {
 
   Status CheckMagic(PageCursor* cursor, std::string_view magic);
   Status LoadIndex(const std::string& path);
+  /// Re-states the reader's reuse_reader memory charge (index + scratch).
+  void UpdateMemCharge();
 
   PageCursor input_;
   PageCursor output_;
@@ -246,6 +249,7 @@ class UnitReuseReader {
   bool index_ok_ = false;
   IoStats index_io_;
   std::string scratch_;
+  obs::ScopedMemCharge mem_{obs::MemTag::kReuseReader};
 };
 
 /// Encoding helpers (exposed for tests). Format v2: input/output records

@@ -6,6 +6,13 @@
 
 namespace delex {
 
+namespace {
+int64_t PageFootprint(const Page& page) {
+  return static_cast<int64_t>(sizeof(Page) + page.url.size() +
+                              page.content.size());
+}
+}  // namespace
+
 Page& Snapshot::AddPage(std::string url, std::string content) {
   Page page;
   page.did = static_cast<int64_t>(pages_.size());
@@ -13,12 +20,14 @@ Page& Snapshot::AddPage(std::string url, std::string content) {
   page.content = std::move(content);
   page.content_hash = Fnv1a64(page.content);
   by_url_[page.url] = pages_.size();
+  mem_.Add(PageFootprint(page));
   pages_.push_back(std::move(page));
   return pages_.back();
 }
 
 Page& Snapshot::AddExistingPage(const Page& page) {
   by_url_[page.url] = pages_.size();
+  mem_.Add(PageFootprint(page));
   pages_.push_back(page);
   return pages_.back();
 }
@@ -37,10 +46,13 @@ std::optional<size_t> Snapshot::FindByUrl(const std::string& url) const {
 
 void Snapshot::ReindexUrls() {
   by_url_.clear();
+  int64_t footprint = 0;
   for (size_t i = 0; i < pages_.size(); ++i) {
     by_url_[pages_[i].url] = i;
     pages_[i].content_hash = Fnv1a64(pages_[i].content);
+    footprint += PageFootprint(pages_[i]);
   }
+  mem_.Set(footprint);
 }
 
 Status WriteSnapshot(const Snapshot& snapshot, const std::string& path,

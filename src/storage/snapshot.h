@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/mem.h"
 #include "storage/io_stats.h"
 
 namespace delex {
@@ -67,6 +68,11 @@ class Snapshot {
   void ReindexUrls();
 
  private:
+  // Memory accounting (obs layer 4): page text + urls, re-stated on every
+  // append and on ReindexUrls. In-place edits via mutable_pages() drift
+  // until the next ReindexUrls — the same call that already repairs the
+  // url index and digests.
+  obs::ScopedMemCharge mem_{obs::MemTag::kSnapshot};
   std::vector<Page> pages_;
   std::unordered_map<std::string, size_t> by_url_;
 };

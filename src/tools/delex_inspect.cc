@@ -10,6 +10,13 @@
 //       that justified it.
 //   delex_inspect decisions <history.jsonl> <gen>
 //       the optimizer's full per-unit candidate table for one generation.
+//   delex_inspect mem       <history.jsonl> [genA genB]
+//       per-subsystem memory attribution per generation, plus a
+//       gen-over-gen diff of RSS / tracked bytes (default: last two).
+//   delex_inspect profile   <history.jsonl> [genA genB]
+//       top span self-time per generation with a gen-over-gen sample
+//       diff (default: last two). Records written before layer 4 (or
+//       with the profiler off) report as such.
 //
 // Corrupt or out-of-order records are skipped with a note on stderr
 // (the reader's Status::Corruption contract); exit code is 0 on success,
@@ -36,7 +43,9 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: delex_inspect summary   <history.jsonl>\n"
                "       delex_inspect diff      <history.jsonl> [genA genB]\n"
-               "       delex_inspect decisions <history.jsonl> <gen>\n");
+               "       delex_inspect decisions <history.jsonl> <gen>\n"
+               "       delex_inspect mem       <history.jsonl> [genA genB]\n"
+               "       delex_inspect profile   <history.jsonl> [genA genB]\n");
 }
 
 int LoadHistory(const char* path, std::vector<HistoryRecord>* records) {
@@ -185,6 +194,101 @@ int RunDiff(const std::vector<HistoryRecord>& records, const HistoryRecord* a,
   return 0;
 }
 
+const obs::ResourceUsage::Subsystem* FindSubsystem(
+    const obs::ResourceUsage& usage, const std::string& tag) {
+  for (const obs::ResourceUsage::Subsystem& sub : usage.subsystems) {
+    if (sub.tag == tag) return &sub;
+  }
+  return nullptr;
+}
+
+void PrintMemRecord(const HistoryRecord& r) {
+  if (!r.has_resources) {
+    std::printf("gen %d: no resources block (pre-layer-4 record)\n", r.gen);
+    return;
+  }
+  const obs::ResourceUsage& res = r.resources;
+  std::printf("gen %d: rss=%" PRId64 " peak_rss=%" PRId64 " tracked=%" PRId64
+              " tracked_peak=%" PRId64 "\n",
+              r.gen, res.rss_bytes, res.peak_rss_bytes, res.tracked_bytes,
+              res.tracked_peak_bytes);
+  for (const obs::ResourceUsage::Subsystem& sub : res.subsystems) {
+    double share = res.tracked_peak_bytes > 0
+                       ? 100.0 * static_cast<double>(sub.peak_bytes) /
+                             static_cast<double>(res.tracked_peak_bytes)
+                       : 0.0;
+    std::printf("  %-14s current=%10" PRId64 "  peak=%10" PRId64
+                "  (%.1f%% of tracked peak)\n",
+                sub.tag.c_str(), sub.current_bytes, sub.peak_bytes, share);
+  }
+}
+
+int RunMem(const HistoryRecord* a, const HistoryRecord* b) {
+  if (a != b) PrintMemRecord(*a);
+  PrintMemRecord(*b);
+  if (a == b || !a->has_resources || !b->has_resources) return 0;
+  std::printf("diff gen %d -> gen %d:\n", a->gen, b->gen);
+  DiffPhase("rss_bytes", a->resources.rss_bytes, b->resources.rss_bytes);
+  DiffPhase("peak_rss_bytes", a->resources.peak_rss_bytes,
+            b->resources.peak_rss_bytes);
+  DiffPhase("tracked_bytes", a->resources.tracked_bytes,
+            b->resources.tracked_bytes);
+  DiffPhase("tracked_peak", a->resources.tracked_peak_bytes,
+            b->resources.tracked_peak_bytes);
+  for (const obs::ResourceUsage::Subsystem& sub : b->resources.subsystems) {
+    const obs::ResourceUsage::Subsystem* prev =
+        FindSubsystem(a->resources, sub.tag);
+    DiffPhase(sub.tag.c_str(), prev != nullptr ? prev->peak_bytes : 0,
+              sub.peak_bytes);
+  }
+  return 0;
+}
+
+void PrintProfileRecord(const HistoryRecord& r) {
+  if (!r.has_resources) {
+    std::printf("gen %d: no resources block (pre-layer-4 record)\n", r.gen);
+    return;
+  }
+  if (r.profile_samples <= 0) {
+    std::printf("gen %d: profiler off (no samples)\n", r.gen);
+    return;
+  }
+  std::printf("gen %d: %" PRId64 " samples (%" PRId64 " lost)\n", r.gen,
+              r.profile_samples, r.profile_lost);
+  for (const obs::SpanSelfSample& s : r.top_spans) {
+    std::printf("  %-24s %8" PRId64 "  (%.1f%%)\n", s.span.c_str(),
+                s.self_samples,
+                100.0 * static_cast<double>(s.self_samples) /
+                    static_cast<double>(r.profile_samples));
+  }
+}
+
+int64_t SpanSamples(const HistoryRecord& r, const std::string& span) {
+  for (const obs::SpanSelfSample& s : r.top_spans) {
+    if (s.span == span) return s.self_samples;
+  }
+  return 0;
+}
+
+int RunProfile(const HistoryRecord* a, const HistoryRecord* b) {
+  if (a != b) PrintProfileRecord(*a);
+  PrintProfileRecord(*b);
+  if (a == b || a->profile_samples <= 0 || b->profile_samples <= 0) return 0;
+  std::printf("diff gen %d -> gen %d (self-samples):\n", a->gen, b->gen);
+  // Union of both top lists, newer generation's ordering first.
+  std::vector<std::string> spans;
+  for (const obs::SpanSelfSample& s : b->top_spans) spans.push_back(s.span);
+  for (const obs::SpanSelfSample& s : a->top_spans) {
+    if (std::find(spans.begin(), spans.end(), s.span) == spans.end()) {
+      spans.push_back(s.span);
+    }
+  }
+  for (const std::string& span : spans) {
+    DiffPhase(span.c_str(), SpanSamples(*a, span), SpanSamples(*b, span));
+  }
+  return 0;
+}
+
 int RunDecisions(const HistoryRecord* rec) {
   if (!rec->has_optimizer || rec->decisions.empty()) {
     std::printf("gen %d: no audited decisions (warm-up, forced plan, or "
@@ -223,7 +327,7 @@ int Main(int argc, char** argv) {
   if (command == "summary") {
     return RunSummary(records);
   }
-  if (command == "diff") {
+  if (command == "diff" || command == "mem" || command == "profile") {
     const HistoryRecord* a = nullptr;
     const HistoryRecord* b = nullptr;
     if (argc >= 5) {
@@ -237,6 +341,9 @@ int Main(int argc, char** argv) {
     } else if (records.size() >= 2) {
       a = &records[records.size() - 2];
       b = &records.back();
+    } else if (command != "diff") {
+      // mem/profile degrade to a single-generation report; diff needs two.
+      a = b = &records.back();
     } else {
       std::fprintf(stderr,
                    "delex_inspect: need two generations to diff (history "
@@ -244,6 +351,8 @@ int Main(int argc, char** argv) {
                    records.size());
       return 2;
     }
+    if (command == "mem") return RunMem(a, b);
+    if (command == "profile") return RunProfile(a, b);
     return RunDiff(records, a, b);
   }
   if (command == "decisions") {

@@ -39,7 +39,9 @@
 #include "obs/history.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -1379,9 +1381,63 @@ TEST(ExportTest, StatsServerSurvivesHangingClient) {
   server.Stop();
 }
 
+TEST(ExportTest, MemzAndProfilezEndpoints) {
+  obs::StatsServer& server = obs::StatsServer::Global();
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  int port = server.port();
+  ASSERT_GT(port, 0);
+
+  std::string memz = HttpGet(port, "/memz");
+  EXPECT_NE(memz.find("200"), std::string::npos) << memz;
+  EXPECT_NE(memz.find("application/json"), std::string::npos);
+  JsonValue doc = MustParse(HttpBody(memz));
+  EXPECT_GT(doc.At("rss_bytes").number, 0);
+  EXPECT_GE(doc.At("peak_rss_bytes").number, doc.At("rss_bytes").number);
+  ASSERT_EQ(doc.At("subsystems").array.size(),
+            static_cast<size_t>(obs::kMemTagCount));
+  for (const JsonValue& sub : doc.At("subsystems").array) {
+    EXPECT_FALSE(sub.At("tag").string.empty());
+    EXPECT_GE(sub.At("peak_bytes").number, sub.At("current_bytes").number);
+  }
+
+  // Profiler idle: /profilez still answers 200 with a placeholder body.
+  std::string profilez = HttpGet(port, "/profilez");
+  EXPECT_NE(profilez.find("200"), std::string::npos) << profilez;
+  EXPECT_FALSE(HttpBody(profilez).empty());
+
+  server.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // Run report
 // ---------------------------------------------------------------------------
+
+TEST(RunReportTest, SchemaV6CarriesResourcesBlock) {
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::RunReportMeta meta;
+  meta.solution = "Delex";
+  RunStats stats;
+  obs::OptimizerReport optimizer;
+
+  JsonValue line = MustParse(obs::RunReportLine(meta, stats, optimizer));
+  ASSERT_TRUE(line.Has("resources"));
+  const JsonValue& res = line.At("resources");
+  EXPECT_GT(res.At("rss_bytes").number, 0);
+  EXPECT_GT(res.At("peak_rss_bytes").number, 0);
+  EXPECT_TRUE(res.Has("tracked_bytes"));
+  EXPECT_TRUE(res.Has("tracked_peak_bytes"));
+  ASSERT_EQ(res.At("subsystems").array.size(),
+            static_cast<size_t>(obs::kMemTagCount));
+  // One row per MemTag, in enum order, peaks never below currents.
+  EXPECT_EQ(res.At("subsystems").array[0].At("tag").string, "snapshot");
+  for (const JsonValue& sub : res.At("subsystems").array) {
+    EXPECT_GE(sub.At("peak_bytes").number, sub.At("current_bytes").number);
+  }
+  // No profiler ticks in this process -> the profile sub-block is absent.
+  if (obs::SpanProfiler::Global().TotalSamples() == 0) {
+    EXPECT_FALSE(res.Has("profile"));
+  }
+}
 
 TEST(RunReportTest, LineCarriesSchemaPhasesAndOptimizer) {
   obs::MetricsRegistry::Global().ResetAll();
