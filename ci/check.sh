@@ -2,11 +2,17 @@
 # CI gate. Legs, in order:
 #
 #   lint      ci/lint.py self-test + repo lint (always on; seconds).
+#   clang     opportunistic, whenever the binaries exist: clang-format,
+#             clang-tidy at zero warnings (--warnings-as-errors='*'),
+#             and a clang++ build with -Werror=thread-safety checking
+#             the DELEX_GUARDED_BY/DELEX_REQUIRES annotations.
 #   Release   build + full ctest + bench/obs/metrics smokes + the
 #             perf-regression gate over bench/baselines/.
 #   fuzz      extended deterministic mutation budget for every fuzz
 #             harness against the committed corpora (the per-harness
 #             512-run replay already runs inside every ctest leg).
+#   LockOrder RelWithDebInfo build + full ctest with DELEX_DEADLOCK=fatal:
+#             any runtime lock-order inversion aborts the offending test.
 #   UBSan     -fsanitize=undefined build + full ctest: the UB gate for
 #             the decoder/arithmetic paths (no-recover: any UB aborts).
 #   A+UBSan   -fsanitize=address,undefined build + full ctest: the
@@ -20,8 +26,9 @@
 # Usage: ci/check.sh [jobs]              (default: nproc)
 #   DELEX_CI_FAST=1 ci/check.sh          # lint + Release build/ctest only
 #   DELEX_CI_TSAN_ONLY=1 ci/check.sh     # skip everything but lint + TSan
-#   DELEX_CI_CLANG=1 ci/check.sh         # also run clang-format/clang-tidy
-#                                        # if the binaries exist
+#   DELEX_CI_CLANG=1 ci/check.sh         # force the clang legs even under
+#                                        # DELEX_CI_FAST (skipped per-tool
+#                                        # when a binary is missing)
 #   DELEX_BENCH_BASELINE_UPDATE=1 ci/check.sh   # re-baseline the benches
 set -euo pipefail
 
@@ -59,7 +66,10 @@ echo "=== lint: self-test ==="
 python3 ci/lint.py --self-test
 echo "=== lint: repo ==="
 python3 ci/lint.py
-if [[ "${DELEX_CI_CLANG:-0}" == "1" ]]; then
+# clang-based legs run whenever the binaries exist (the default CI image
+# is gcc-only, so they are opportunistic). DELEX_CI_CLANG=1 forces them on
+# even under DELEX_CI_FAST.
+if [[ "${DELEX_CI_FAST:-0}" != "1" || "${DELEX_CI_CLANG:-0}" == "1" ]]; then
   if command -v clang-format >/dev/null; then
     echo "=== lint: clang-format ==="
     git ls-files 'src/*' 'tests/*' 'bench/*' 'fuzz/*' 'examples/*' \
@@ -67,9 +77,26 @@ if [[ "${DELEX_CI_CLANG:-0}" == "1" ]]; then
       | xargs clang-format --dry-run -Werror
   fi
   if command -v clang-tidy >/dev/null; then
-    echo "=== lint: clang-tidy (src/delex + src/storage) ==="
+    # Zero-warning gate: .clang-tidy enables bugprone-*, concurrency-*,
+    # performance-*; --warnings-as-errors='*' promotes every finding.
+    echo "=== lint: clang-tidy (zero warnings) ==="
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-    clang-tidy -p build-release src/delex/*.cc src/storage/*.cc
+    clang-tidy -p build-release --warnings-as-errors='*' \
+      src/common/*.cc src/delex/*.cc src/obs/*.cc src/storage/*.cc
+  else
+    echo "=== clang-tidy not found: skipping tidy gate ==="
+  fi
+  if command -v clang++ >/dev/null; then
+    # Thread-safety-analysis gate: CMakeLists adds -Wthread-safety
+    # -Werror=thread-safety under clang, so this build fails on any
+    # DELEX_GUARDED_BY / DELEX_REQUIRES violation. Build only — the ctest
+    # coverage comes from the gcc legs.
+    echo "=== clang: thread-safety-analysis build ==="
+    cmake -B build-clang-tsa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+    cmake --build build-clang-tsa -j "${JOBS}"
+  else
+    echo "=== clang++ not found: skipping thread-safety-analysis build ==="
   fi
 fi
 
@@ -510,6 +537,18 @@ EOF
     echo "--- ${name}"
     "${harness}" -runs=4096 -seed=1 "fuzz/corpus/${name}"
   done
+
+  # Lock-order gate: the full suite with the runtime deadlock detector
+  # promoted to fatal, so any lock-order inversion anywhere in the tree
+  # aborts the offending test on the spot. RelWithDebInfo keeps the
+  # detector compiled in (Release compiles it out of delex::Mutex).
+  echo "=== LockOrder: configure ==="
+  cmake -B build-lockorder -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "=== LockOrder: build ==="
+  cmake --build build-lockorder -j "${JOBS}"
+  echo "=== LockOrder: ctest with DELEX_DEADLOCK=fatal ==="
+  DELEX_DEADLOCK=fatal ctest --test-dir build-lockorder \
+    --output-on-failure -j "${JOBS}"
 
   # UBSan first (cheap instrumentation, isolates pure-UB findings), then
   # ASan+UBSan together: the memory gate for the raw byte passthrough in

@@ -34,6 +34,17 @@ Rules (each has an id; suppress a finding with a trailing or preceding
                          everything else goes through obs/mem.h and
                          obs/profiler.h so there is exactly one sampler
                          and one SIGPROF owner per process.
+  raw-mutex              std::mutex / lock_guard / unique_lock /
+                         scoped_lock / condition_variable are confined to
+                         src/common/mutex.h — everything else uses
+                         delex::Mutex / MutexLock / CondVar so the clang
+                         thread-safety annotations and the runtime
+                         lock-order detector see every lock in the
+                         process.
+  sigprof-safety         the body of DelexSigprofHandler in
+                         src/obs/profiler.cc must stay async-signal-safe:
+                         no allocation, locks, logging, or stdio between
+                         the definition and its closing brace.
 
 Format rules (clang-format is not in the CI image, so the invariants that
 matter are enforced here; .clang-format remains the source of truth for
@@ -159,7 +170,60 @@ TOKEN_RULES = [
      "delex::simd dispatch layer instead)",
      lambda p: p != "src/common/simd.h",
      True),  # raw: includes are matched inside the <...> literal
+    ("raw-mutex",
+     re.compile(r"std::[a-z_]*mutex\b|std::lock_guard\b|std::unique_lock\b|"
+                r"std::scoped_lock\b|std::condition_variable(_any)?\b"),
+     "raw standard-library lock outside src/common/mutex.h (use "
+     "delex::Mutex / MutexLock / CondVar so the thread-safety annotations "
+     "and the lock-order detector see every lock)",
+     lambda p: p != "src/common/mutex.h",
+     False),
 ]
+
+# --- SIGPROF handler safety (region rule) ----------------------------------
+#
+# The sampling profiler's signal handler runs on whatever thread the timer
+# interrupts, possibly while that thread holds the malloc lock or a
+# delex::Mutex. Only lock-free atomics are legal inside it. The scan covers
+# the DelexSigprofHandler definition through its closing column-0 brace.
+
+SIGPROF_FILE = "src/obs/profiler.cc"
+SIGPROF_START_RE = re.compile(r"\bDelexSigprofHandler\s*\(\s*int\b")
+SIGPROF_BANNED_RE = re.compile(
+    r"\bnew\b|\bdelete\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
+    r"\bfree\s*\(|\bstd::string\b|\bpush_back\b|\bemplace\w*\b|"
+    r"\bDELEX_LOG\b|\bfopen\s*\(|\bfwrite\s*\(|\bfprintf\s*\(|"
+    r"\bprintf\s*\(|\bsnprintf\s*\(|\bMutex\b|\bmutex\b|\block\b|"
+    r"\bLock\b|\bunlock\b|\bUnlock\b|\bcondition_variable\b|\bWait\b|"
+    r"\bnotify\w*\b")
+
+
+def lint_sigprof_region(rel_path, lines):
+    findings = []
+    in_region = False
+    found = False
+    for i, line in enumerate(lines):
+        code = strip_strings_and_comments(line)
+        if not in_region:
+            if SIGPROF_START_RE.search(code):
+                in_region = found = True
+            continue
+        if line.startswith("}"):
+            in_region = False
+            continue
+        m = SIGPROF_BANNED_RE.search(code)
+        if m and "sigprof-safety" not in allowed_rules(lines, i):
+            findings.append(
+                (rel_path, i + 1, "sigprof-safety",
+                 f"'{m.group(0)}' inside the SIGPROF handler (only lock-free "
+                 "atomics are async-signal-safe here)"))
+    if not found:
+        findings.append(
+            (rel_path, 1, "sigprof-safety",
+             "DelexSigprofHandler definition not found — if the handler was "
+             "renamed, update SIGPROF_START_RE so the safety scan still "
+             "covers it"))
+    return findings
 
 
 def lint_file(rel_path, text):
@@ -198,6 +262,10 @@ def lint_file(rel_path, text):
         if (f"#ifndef {guard}" not in text or f"#define {guard}" not in text):
             findings.append((rel_path, 1, "header-guard",
                              f"missing canonical include guard {guard}"))
+
+    # --- async-signal-safety of the profiler's SIGPROF handler ---
+    if rel_path == SIGPROF_FILE:
+        findings.extend(lint_sigprof_region(rel_path, lines))
     return findings
 
 
@@ -254,6 +322,17 @@ SELF_TEST_CASES = {
         "#include <immintrin.h>\n"
         "int f(const char* p) { __m256i v = _mm256_set1_epi8(*p); "
         "return _mm256_movemask_epi8(v); }\n"),
+    "raw-mutex": (
+        "src/delex/bad_mutex.cc",
+        "#include <mutex>\n"
+        "std::mutex g_mu;\n"
+        "void f() { std::lock_guard<std::mutex> lock(g_mu); }\n"),
+    "sigprof-safety": (
+        "src/obs/profiler.cc",
+        "extern \"C\" void DelexSigprofHandler(int) {\n"
+        "  std::string s;  // allocates inside a signal handler\n"
+        "  (void)s;\n"
+        "}\n"),
     "header-guard": (
         "src/common/bad2.h",
         "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n"),
@@ -293,6 +372,12 @@ SELF_TEST_CLEAN = {
         "inline int f(const char* p) { __m128i v = _mm_set1_epi8(*p); "
         "return _mm_movemask_epi8(v); }\n"
         "#endif  // DELEX_COMMON_SIMD_H_\n",
+    "src/common/mutex.h":
+        "#ifndef DELEX_COMMON_MUTEX_H_\n#define DELEX_COMMON_MUTEX_H_\n"
+        "#include <mutex>\n"
+        "namespace delex { class Mutex { std::mutex mu_; }; }\n"
+        "// a comment mentioning std::mutex is fine anywhere\n"
+        "#endif  // DELEX_COMMON_MUTEX_H_\n",
 }
 
 

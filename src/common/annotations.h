@@ -1,0 +1,55 @@
+#ifndef DELEX_COMMON_ANNOTATIONS_H_
+#define DELEX_COMMON_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes, spelled so they vanish on other
+// compilers. GCC builds (the default toolchain here) get zero-cost no-ops;
+// a clang build with -Wthread-safety (ci/check.sh adds -Werror=thread-safety
+// automatically when CMAKE_CXX_COMPILER_ID is Clang) turns every unannotated
+// guarded access and lock-order violation into a compile error.
+//
+// Conventions (see DESIGN.md "Static analysis & lock discipline"):
+//  - every mutex is a delex::Mutex from common/mutex.h, never a raw
+//    std::mutex (lint rule raw-mutex enforces this),
+//  - every member a mutex protects carries DELEX_GUARDED_BY(mu_),
+//  - helpers that assume the caller holds a lock carry DELEX_REQUIRES(mu_)
+//    and are named ...Locked() by convention,
+//  - cross-object guards (a field of struct A guarded by a mutex in B) are
+//    outside the analysis' vocabulary; document them with a comment instead.
+
+#if defined(__clang__)
+#define DELEX_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DELEX_THREAD_ANNOTATION__(x)
+#endif
+
+// Type attributes: classes that are lockable capabilities.
+#define DELEX_CAPABILITY(x) DELEX_THREAD_ANNOTATION__(capability(x))
+#define DELEX_SCOPED_CAPABILITY DELEX_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data-member attributes.
+#define DELEX_GUARDED_BY(x) DELEX_THREAD_ANNOTATION__(guarded_by(x))
+#define DELEX_PT_GUARDED_BY(x) DELEX_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define DELEX_ACQUIRED_BEFORE(...) \
+  DELEX_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define DELEX_ACQUIRED_AFTER(...) \
+  DELEX_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// Function attributes.
+#define DELEX_REQUIRES(...) \
+  DELEX_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define DELEX_ACQUIRE(...) \
+  DELEX_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define DELEX_RELEASE(...) \
+  DELEX_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define DELEX_TRY_ACQUIRE(...) \
+  DELEX_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define DELEX_EXCLUDES(...) \
+  DELEX_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define DELEX_ASSERT_CAPABILITY(x) \
+  DELEX_THREAD_ANNOTATION__(assert_capability(x))
+#define DELEX_RETURN_CAPABILITY(x) \
+  DELEX_THREAD_ANNOTATION__(lock_returned(x))
+#define DELEX_NO_THREAD_SAFETY_ANALYSIS \
+  DELEX_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // DELEX_COMMON_ANNOTATIONS_H_

@@ -2,16 +2,16 @@
 #define DELEX_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/log.h"
 #include "obs/mem.h"
@@ -47,10 +47,10 @@ class ThreadPool {
   ~ThreadPool() {
     (void)Wait();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& t : threads_) t.join();
   }
 
@@ -63,12 +63,12 @@ class ThreadPool {
   void Submit(std::function<Status()> task) {
     size_t depth;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(task));
       ++pending_;
       depth = queue_.size();
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     obs::MemCharge(obs::MemTag::kThreadPool, kQueuedTaskBytes);
     QueueDepthGauge()->Set(static_cast<int64_t>(depth));
     // Saturation: a queue deeper than 4x the workers means submitters are
@@ -89,8 +89,8 @@ class ThreadPool {
   /// Blocks until every submitted task has finished; returns the first
   /// error any task produced (sticky until the next Wait()).
   Status Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) done_cv_.Wait(&mu_);
     Status status = std::move(first_error_);
     first_error_ = Status::OK();
     saturation_warned_.store(false, std::memory_order_relaxed);
@@ -117,8 +117,8 @@ class ThreadPool {
       std::function<Status()> task;
       size_t depth;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
         if (queue_.empty()) return;  // shutdown with a drained queue
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -128,9 +128,9 @@ class ThreadPool {
       obs::MemCharge(obs::MemTag::kThreadPool, -kQueuedTaskBytes);
       Status status = RunTask(task);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (!status.ok() && first_error_.ok()) first_error_ = status;
-        if (--pending_ == 0) done_cv_.notify_all();
+        if (--pending_ == 0) done_cv_.NotifyAll();
       }
     }
   }
@@ -145,14 +145,14 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::function<Status()>> queue_;
-  std::vector<std::thread> threads_;
-  int64_t pending_ = 0;
-  bool shutdown_ = false;
-  Status first_error_;
+  Mutex mu_{"thread_pool.mu"};
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::deque<std::function<Status()>> queue_ DELEX_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // immutable after the constructor
+  int64_t pending_ DELEX_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DELEX_GUARDED_BY(mu_) = false;
+  Status first_error_ DELEX_GUARDED_BY(mu_);
   std::atomic<bool> saturation_warned_{false};
 };
 

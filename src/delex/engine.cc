@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <filesystem>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -141,14 +141,19 @@ struct DelexEngine::PageSlot {
 /// work, so run completion — and the every-task-settled guarantee the
 /// stack-owned slots depend on — comes from these counters instead.
 struct DelexEngine::RunState {
-  std::mutex mu;               // guards done flags, counters, error
-  std::condition_variable cv;  // completion / window-space signal
-  std::mutex commit_mu;        // serializes the ordered write-back stage
-  size_t next_commit = 0;      // first page index not yet committed
-  size_t in_flight = 0;        // submitted but not finished pages
-  size_t submitted = 0;        // tasks handed to the pool by this run
-  size_t finished = 0;         // tasks fully done (incl. their drain pass)
-  Status error;                // first evaluation/commit failure
+  RunState() : commit_mu("engine.run.commit_mu"), mu("engine.run.mu") {}
+
+  // Canonical order: commit_mu before mu — the committer peeks at done
+  // flags (mu) while serializing write-back (commit_mu); nothing ever
+  // takes commit_mu while holding mu.
+  Mutex commit_mu DELEX_ACQUIRED_BEFORE(mu);
+  Mutex mu;   // guards done flags, counters, error
+  CondVar cv; // completion / window-space signal
+  size_t next_commit DELEX_GUARDED_BY(mu) = 0;  // first page index not committed
+  size_t in_flight DELEX_GUARDED_BY(mu) = 0;    // submitted but not finished
+  size_t submitted DELEX_GUARDED_BY(mu) = 0;    // tasks handed to the pool
+  size_t finished DELEX_GUARDED_BY(mu) = 0;     // fully done (incl. drain pass)
+  Status error DELEX_GUARDED_BY(mu);            // first evaluation/commit failure
 };
 
 DelexEngine::DelexEngine(xlog::PlanNodePtr plan, Options options)
@@ -448,11 +453,11 @@ Status DelexEngine::RunPagesParallel(int num_threads,
   // finishing worker may become the committer; commit_mu serializes the
   // writers, mu orders the done-flag handoff.
   auto drain_commits = [this, &state, slots]() -> Status {
-    std::lock_guard<std::mutex> commit_lock(state.commit_mu);
+    MutexLock commit_lock(&state.commit_mu);
     for (;;) {
       PageSlot* slot = nullptr;
       {
-        std::lock_guard<std::mutex> lock(state.mu);
+        MutexLock lock(&state.mu);
         if (!state.error.ok() || state.next_commit >= slots->size() ||
             !(*slots)[state.next_commit].done) {
           return Status::OK();
@@ -460,7 +465,7 @@ Status DelexEngine::RunPagesParallel(int num_threads,
         slot = &(*slots)[state.next_commit];
       }
       Status st = CommitPage(slot);
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(&state.mu);
       if (!st.ok()) {
         if (state.error.ok()) state.error = st;
         return st;
@@ -484,7 +489,7 @@ Status DelexEngine::RunPagesParallel(int num_threads,
       // (the reader thread). in_flight is untouched — the slot never
       // occupied a worker.
       {
-        std::lock_guard<std::mutex> lock(state.mu);
+        MutexLock lock(&state.mu);
         if (!state.error.ok()) break;
         slot->done = true;
       }
@@ -492,10 +497,10 @@ Status DelexEngine::RunPagesParallel(int num_threads,
       continue;
     }
     {
-      std::unique_lock<std::mutex> lock(state.mu);
-      state.cv.wait(lock, [&state, window] {
-        return state.in_flight < window || !state.error.ok();
-      });
+      MutexLock lock(&state.mu);
+      while (state.in_flight >= window && state.error.ok()) {
+        state.cv.Wait(&state.mu);
+      }
       if (!state.error.ok()) break;
       ++state.in_flight;
       ++state.submitted;
@@ -509,7 +514,7 @@ Status DelexEngine::RunPagesParallel(int num_threads,
       page_ctx.stats = &slot->stats;
       Result<std::vector<Tuple>> rows = EvalPage(&page_ctx);
       {
-        std::lock_guard<std::mutex> lock(state.mu);
+        MutexLock lock(&state.mu);
         --state.in_flight;
         if (rows.ok()) {
           slot->rows = std::move(rows).ValueOrDie();
@@ -518,20 +523,20 @@ Status DelexEngine::RunPagesParallel(int num_threads,
           state.error = rows.status();
         }
       }
-      state.cv.notify_all();
+      state.cv.NotifyAll();
       Status task_status = rows.ok() ? drain_commits() : rows.status();
       // The finished mark must come last: the settle wait below treats a
       // finished task as one that will never touch `state` or the slots
       // again, including its drain pass.
       {
-        std::lock_guard<std::mutex> lock(state.mu);
+        MutexLock lock(&state.mu);
         ++state.finished;
         // Notify while still holding the lock: the settling thread
         // destroys `state` the moment it observes finished == submitted,
         // and it cannot re-acquire `mu` (and thus return from its wait)
         // until this guard releases — an unlocked notify here could
         // broadcast on an already-destroyed condvar.
-        state.cv.notify_all();
+        state.cv.NotifyAll();
       }
       return task_status;
     });
@@ -541,20 +546,19 @@ Status DelexEngine::RunPagesParallel(int num_threads,
   // with a shared pool it would block on (and steal the sticky error of)
   // other engines' tasks.
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.cv.wait(lock,
-                  [&state] { return state.finished == state.submitted; });
+    MutexLock lock(&state.mu);
+    while (state.finished != state.submitted) state.cv.Wait(&state.mu);
   }
   DELEX_RETURN_NOT_OK(prefetch_error);
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     DELEX_RETURN_NOT_OK(state.error);
   }
   // Defensive final drain: covers a trailing fast-path slot marked done
   // after the last worker's drain pass (the inline drain above normally
   // commits it already).
   DELEX_RETURN_NOT_OK(drain_commits());
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   DELEX_RETURN_NOT_OK(state.error);
   DELEX_CHECK(state.next_commit == slots->size());
   return Status::OK();

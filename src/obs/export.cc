@@ -132,9 +132,9 @@ void AppendInt(std::string* out, int64_t v) {
 
 /// Published generation-history state (see PublishHistoryForStatus).
 struct PublishedHistory {
-  std::mutex mu;
-  std::string path;
-  std::string line;
+  Mutex mu{"obs.export.published_history"};
+  std::string path DELEX_GUARDED_BY(mu);
+  std::string line DELEX_GUARDED_BY(mu);
 };
 
 PublishedHistory& PublishedHistorySlot() {
@@ -244,7 +244,7 @@ void AppendLastGenSection(std::string* html) {
   std::string line;
   {
     PublishedHistory& slot = PublishedHistorySlot();
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(&slot.mu);
     line = slot.line;
   }
   *html += "<h2>Last generation</h2>\n";
@@ -327,7 +327,7 @@ std::string StatuszHtml() {
   AppendRow(&html, "build_type", DELEX_BUILD_TYPE);
   {
     PublishedHistory& slot = PublishedHistorySlot();
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(&slot.mu);
     AppendRow(&html, "history_path",
               slot.path.empty() ? "(none)" : slot.path);
   }
@@ -373,7 +373,7 @@ bool HistoryBody(std::string* body) {
   std::string line;
   {
     PublishedHistory& slot = PublishedHistorySlot();
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(&slot.mu);
     path = slot.path;
     line = slot.line;
   }
@@ -504,34 +504,43 @@ MetricsSnapshotWriter& MetricsSnapshotWriter::Global() {
 }
 
 Status MetricsSnapshotWriter::Start(const std::string& path, int interval_ms) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (running_) {
-      return Status::InvalidArgument("metrics snapshot writer already running");
-    }
-    if (path.empty() || interval_ms <= 0) {
-      return Status::InvalidArgument("bad snapshot path or interval");
-    }
-    path_ = path;
-    interval_ms_ = interval_ms;
-    stop_requested_ = false;
-    running_ = true;
+  MutexLock lock(&mu_);
+  if (running_) {
+    return Status::InvalidArgument("metrics snapshot writer already running");
   }
+  if (path.empty() || interval_ms <= 0) {
+    return Status::InvalidArgument("bad snapshot path or interval");
+  }
+  path_ = path;
+  interval_ms_ = interval_ms;
+  stop_requested_ = false;
+  running_ = true;
   // Crash-flush: a DELEX_CHECK failure appends one final snapshot so the
-  // registry state at the moment of death is on disk.
+  // registry state at the moment of death is on disk. (Lock-free slot
+  // registration — safe under mu_.)
   RegisterCrashFlushHook(
       [] { (void)MetricsSnapshotWriter::Global().WriteNow(); });
+  // Assigned under mu_ so the handle stays guarded; the worker's first
+  // action is to lock mu_, so it simply blocks until Start returns.
   thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_requested_) {
-      lock.unlock();
+    for (;;) {
+      {
+        MutexLock worker_lock(&mu_);
+        if (stop_requested_) return;
+      }
+      // Write with the lock dropped — a slow disk must not block Stop().
       Status st = WriteNow();
       if (!st.ok()) {
         DELEX_LOG(WARN) << "metrics snapshot: " << st.ToString();
       }
-      lock.lock();
-      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                   [this] { return stop_requested_; });
+      MutexLock worker_lock(&mu_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(interval_ms_);
+      bool timed_out = false;
+      while (!stop_requested_ && !timed_out) {
+        timed_out = cv_.WaitUntil(&mu_, deadline);
+      }
+      if (stop_requested_) return;
     }
   });
   return Status::OK();
@@ -540,7 +549,7 @@ Status MetricsSnapshotWriter::Start(const std::string& path, int interval_ms) {
 Status MetricsSnapshotWriter::WriteNow() {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (path_.empty()) {
       return Status::InvalidArgument("metrics snapshot writer never started");
     }
@@ -561,20 +570,27 @@ Status MetricsSnapshotWriter::WriteNow() {
 }
 
 void MetricsSnapshotWriter::Stop() {
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     stop_requested_ = true;
+    to_join = std::move(thread_);
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  cv_.NotifyAll();
+  if (to_join.joinable()) to_join.join();
+  MutexLock lock(&mu_);
   running_ = false;
 }
 
 bool MetricsSnapshotWriter::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
+}
+
+std::string MetricsSnapshotWriter::path() const {
+  MutexLock lock(&mu_);
+  return path_;
 }
 
 // ---- StatsServer -------------------------------------------------------
@@ -585,7 +601,7 @@ StatsServer& StatsServer::Global() {
 }
 
 Status StatsServer::Start(int port) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_) {
     return Status::InvalidArgument("stats server already running on port " +
                                    std::to_string(port_));
@@ -623,15 +639,15 @@ Status StatsServer::Start(int port) {
   port_ = static_cast<int>(ntohs(addr.sin_port));
   stop_requested_.store(false, std::memory_order_release);
   running_ = true;
-  thread_ = std::thread([this] { Serve(); });
+  thread_ = std::thread([this, fd] { Serve(fd); });
   MetricsRegistry::Global().GetGauge("export.stats_server_port")->Set(port_);
   DELEX_LOG(INFO) << "stats server listening on 127.0.0.1:" << port_;
   return Status::OK();
 }
 
-void StatsServer::Serve() {
+void StatsServer::Serve(int listen_fd) {
   for (;;) {
-    int client = ::accept(listen_fd_, nullptr, nullptr);
+    int client = ::accept(listen_fd, nullptr, nullptr);
     if (stop_requested_.load(std::memory_order_acquire)) {
       if (client >= 0) ::close(client);
       return;
@@ -719,32 +735,34 @@ void StatsServer::Serve() {
 }
 
 void StatsServer::Stop() {
+  std::thread to_join;
   int fd = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     stop_requested_.store(true, std::memory_order_release);
     fd = listen_fd_;
+    listen_fd_ = -1;
+    to_join = std::move(thread_);
   }
   // Unblocks accept(): shutdown makes the blocked call return on Linux.
   if (fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }
-  if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  listen_fd_ = -1;
+  if (to_join.joinable()) to_join.join();
+  MutexLock lock(&mu_);
   port_ = 0;
   running_ = false;
 }
 
 bool StatsServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 
 int StatsServer::port() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return port_;
 }
 
@@ -753,20 +771,20 @@ int StatsServer::port() const {
 void PublishHistoryForStatus(const std::string& history_path,
                              const std::string& line) {
   PublishedHistory& slot = PublishedHistorySlot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(&slot.mu);
   if (!history_path.empty()) slot.path = history_path;
   if (!line.empty()) slot.line = line;
 }
 
 std::string PublishedHistoryPath() {
   PublishedHistory& slot = PublishedHistorySlot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(&slot.mu);
   return slot.path;
 }
 
 std::string PublishedHistoryLine() {
   PublishedHistory& slot = PublishedHistorySlot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(&slot.mu);
   return slot.line;
 }
 

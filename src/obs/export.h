@@ -24,12 +24,12 @@
 // Loopback only — this is an operational surface, not a public one.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -70,18 +70,18 @@ class MetricsSnapshotWriter {
   void Stop();
 
   bool running() const;
-  const std::string& path() const { return path_; }
+  std::string path() const;
 
  private:
   MetricsSnapshotWriter() = default;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  std::string path_;
-  int interval_ms_ = 0;
-  bool running_ = false;
-  bool stop_requested_ = false;
+  mutable Mutex mu_{"obs.export.snapshot_writer"};
+  CondVar cv_;
+  std::thread thread_ DELEX_GUARDED_BY(mu_);  // moved out under mu_, joined outside
+  std::string path_ DELEX_GUARDED_BY(mu_);
+  int interval_ms_ DELEX_GUARDED_BY(mu_) = 0;
+  bool running_ DELEX_GUARDED_BY(mu_) = false;
+  bool stop_requested_ DELEX_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Minimal embedded HTTP stats server (loopback only, one accept
@@ -104,14 +104,17 @@ class StatsServer {
 
  private:
   StatsServer() = default;
-  void Serve();
+  // The accept loop owns its fd by value — Stop() nulls the member and
+  // closes the duplicate-free handle itself, so the loop never reads
+  // mutable state through mu_.
+  void Serve(int listen_fd);
 
-  mutable std::mutex mu_;
-  std::thread thread_;
-  int listen_fd_ = -1;
-  int port_ = 0;
+  mutable Mutex mu_{"obs.export.stats_server"};
+  std::thread thread_ DELEX_GUARDED_BY(mu_);  // moved out under mu_, joined outside
+  int listen_fd_ DELEX_GUARDED_BY(mu_) = -1;
+  int port_ DELEX_GUARDED_BY(mu_) = 0;
   std::atomic<bool> stop_requested_{false};
-  bool running_ = false;
+  bool running_ DELEX_GUARDED_BY(mu_) = false;
 };
 
 /// Starts the stats server and/or snapshot writer per the DELEX_METRICS_*

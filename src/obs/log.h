@@ -27,10 +27,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
 
 namespace delex {
 namespace obs {
@@ -104,8 +105,8 @@ inline std::atomic<int>& ThresholdStorage() {
   return threshold;
 }
 
-inline std::mutex& SinkMutex() {
-  static std::mutex mu;
+inline ::delex::Mutex& SinkMutex() {
+  static ::delex::Mutex mu{"obs.log.sink"};
   return mu;
 }
 
@@ -148,7 +149,7 @@ inline void EmitLogLine(LogLevel level, const char* file, int line,
   full += message;
   full += '\n';
 
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  ::delex::MutexLock lock(&SinkMutex());
   LogSinkFn hook = SinkHook().load(std::memory_order_acquire);
   if (hook != nullptr) {
     hook(level, full);

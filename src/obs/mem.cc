@@ -6,12 +6,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -49,12 +49,12 @@ int64_t PeakRssBytes() {
 }
 
 struct SamplerState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::thread thread;
-  bool running = false;
-  bool stop_requested = false;
-  bool atexit_registered = false;
+  Mutex mu{"obs.mem.sampler"};
+  CondVar cv;
+  std::thread thread DELEX_GUARDED_BY(mu);  // moved out under mu, joined outside
+  bool running DELEX_GUARDED_BY(mu) = false;
+  bool stop_requested DELEX_GUARDED_BY(mu) = false;
+  bool atexit_registered DELEX_GUARDED_BY(mu) = false;
   std::atomic<int64_t> samples{0};
 };
 
@@ -127,7 +127,7 @@ MemSampler& MemSampler::Global() {
 void MemSampler::Start(int interval_ms) {
   if (interval_ms < 1) interval_ms = 1;
   SamplerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (state.running) return;
   state.stop_requested = false;
   state.running = true;
@@ -138,11 +138,17 @@ void MemSampler::Start(int interval_ms) {
   state.thread = std::thread([interval_ms] {
     SamplerState& s = State();
     for (;;) {
+      // Collect with the lock dropped — gauge refreshes take the metrics
+      // registry lock and must not nest under the sampler's.
       (void)CollectResourceUsage();
       s.samples.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lock(s.mu);
-      s.cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                    [&s] { return s.stop_requested; });
+      MutexLock lock(&s.mu);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(interval_ms);
+      bool timed_out = false;
+      while (!s.stop_requested && !timed_out) {
+        timed_out = s.cv.WaitUntil(&s.mu, deadline);
+      }
       if (s.stop_requested) return;
     }
   });
@@ -152,19 +158,19 @@ void MemSampler::Stop() {
   SamplerState& state = State();
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     if (!state.running) return;
     state.stop_requested = true;
     state.running = false;
     to_join = std::move(state.thread);
   }
-  state.cv.notify_all();
+  state.cv.NotifyAll();
   if (to_join.joinable()) to_join.join();
 }
 
 bool MemSampler::running() const {
   SamplerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.running;
 }
 

@@ -9,7 +9,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     auto counter = std::unique_ptr<Counter>(new Counter(std::string(name)));
@@ -19,7 +19,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     auto gauge = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
@@ -29,7 +29,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     auto hist = std::unique_ptr<Histogram>(new Histogram(std::string(name)));
@@ -39,7 +39,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -49,7 +49,7 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
 }
 
 MetricsSnapshot MetricsRegistry::FullSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -67,7 +67,7 @@ MetricsSnapshot MetricsRegistry::FullSnapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();

@@ -19,12 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "obs/histogram.h"
 
 namespace delex {
@@ -103,10 +104,13 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_{"obs.metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DELEX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DELEX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DELEX_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -8,8 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -113,12 +114,12 @@ extern "C" void DelexSigprofHandler(int) {
 }
 
 struct ProfilerState {
-  mutable std::mutex mu;
-  bool running = false;
-  bool atexit_registered = false;
-  int hz = 0;
-  std::string folded_path;
-  struct sigaction previous_action = {};
+  mutable Mutex mu{"obs.profiler"};
+  bool running DELEX_GUARDED_BY(mu) = false;
+  bool atexit_registered DELEX_GUARDED_BY(mu) = false;
+  int hz DELEX_GUARDED_BY(mu) = 0;
+  std::string folded_path DELEX_GUARDED_BY(mu);
+  struct sigaction previous_action DELEX_GUARDED_BY(mu) = {};
 };
 
 ProfilerState& State() {
@@ -176,7 +177,7 @@ Status WriteFoldedFile(const std::string& path, const std::string& text) {
   return Status::OK();
 }
 
-void PublishProfilerGauges() {
+void PublishProfilerGauges(int hz_value) {
   static Gauge* total =
       MetricsRegistry::Global().GetGauge("profile.samples");
   static Gauge* lost =
@@ -184,7 +185,7 @@ void PublishProfilerGauges() {
   static Gauge* hz = MetricsRegistry::Global().GetGauge("profile.hz");
   total->Set(g_total_samples.load(std::memory_order_relaxed));
   lost->Set(g_lost_samples.load(std::memory_order_relaxed));
-  hz->Set(State().hz);
+  hz->Set(hz_value);
 }
 
 }  // namespace
@@ -198,7 +199,7 @@ Status SpanProfiler::Start(int hz, const std::string& folded_path) {
   if (hz < 1) hz = 1;
   if (hz > 1000) hz = 1000;
   ProfilerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (state.running) {
     return Status::InvalidArgument("profiler already running");
   }
@@ -246,7 +247,7 @@ Status SpanProfiler::Start(int hz, const std::string& folded_path) {
 
 Status SpanProfiler::Stop() {
   ProfilerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (!state.running) return Status::OK();
   state.running = false;
 
@@ -257,7 +258,7 @@ Status SpanProfiler::Stop() {
   trace_internal::SetSpanHook(trace_internal::kHookProfile, false);
   sigaction(SIGPROF, &state.previous_action, nullptr);
 
-  PublishProfilerGauges();
+  PublishProfilerGauges(state.hz);
   Status status = Status::OK();
   if (!state.folded_path.empty()) {
     std::vector<FoldedLine> lines = SnapshotFolded();
@@ -283,7 +284,7 @@ Status SpanProfiler::Stop() {
 
 bool SpanProfiler::running() const {
   ProfilerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.running;
 }
 
@@ -339,7 +340,7 @@ int64_t SpanProfiler::LostSamples() const {
 
 void SpanProfiler::ClearForTesting() {
   ProfilerState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (state.running) return;  // never race the handler
   for (Slot& slot : g_table) {
     slot.state.store(kSlotEmpty, std::memory_order_relaxed);

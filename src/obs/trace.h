@@ -30,11 +30,12 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
@@ -129,7 +130,7 @@ class TraceRecorder {
   /// second Start while recording keeps the first session and returns
   /// InvalidArgument — tracing is process-global.
   Status Start(const std::string& path) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (started_) {
       return Status::InvalidArgument("trace already recording to " + path_);
     }
@@ -138,7 +139,7 @@ class TraceRecorder {
     }
     path_ = path;
     for (auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       buffer->ring.clear();
       buffer->count = 0;
     }
@@ -161,14 +162,14 @@ class TraceRecorder {
   }
 
   bool started() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return started_;
   }
 
   /// Stops recording and writes the JSON trace. No-op when not recording.
   Status Stop() {
     trace_internal::SetSpanHook(trace_internal::kHookTrace, false);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!started_) return Status::OK();
     started_ = false;
     return WriteLocked();
@@ -193,7 +194,7 @@ class TraceRecorder {
     event.dur_us = dur_us;
     event.arg = arg;
     event.tid = CurrentThreadId();
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(&buffer->mu);
     if (buffer->ring.size() < kRingCapacity) {
       buffer->ring.push_back(event);
     } else {
@@ -204,16 +205,16 @@ class TraceRecorder {
 
   /// Snapshot of all buffered events (tests; also the writer's source).
   std::vector<TraceEvent> SnapshotEvents() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return SnapshotEventsLocked();
   }
 
   /// Total events currently buffered across threads.
   int64_t BufferedEventCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     int64_t total = 0;
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       total += static_cast<int64_t>(buffer->ring.size());
     }
     return total;
@@ -222,10 +223,10 @@ class TraceRecorder {
   /// Events lost to ring-buffer wraparound so far this session (the same
   /// number the trace file reports in otherData) — run reports surface it.
   int64_t DroppedEventCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     int64_t dropped = 0;
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       if (buffer->count > buffer->ring.size()) {
         dropped += static_cast<int64_t>(buffer->count - buffer->ring.size());
       }
@@ -235,9 +236,9 @@ class TraceRecorder {
 
   /// Drops all buffered events (tests).
   void ClearForTesting() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       buffer->ring.clear();
       buffer->count = 0;
     }
@@ -250,10 +251,13 @@ class TraceRecorder {
   /// buffer without use-after-free, and short-lived pool threads across
   /// many runs reuse storage instead of growing the registry unboundedly.
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<TraceEvent> ring;
-    size_t count = 0;  // total appended; > ring.size() once wrapped
-    bool leased = false;
+    // All buffers share one construction site on purpose: a thread only
+    // ever holds its own buffer's lock, so orderings among buffers never
+    // arise. The canonical nesting is recorder mu_ -> buffer mu.
+    Mutex mu{"obs.trace.buffer"};
+    std::vector<TraceEvent> ring DELEX_GUARDED_BY(mu);
+    size_t count DELEX_GUARDED_BY(mu) = 0;  // total appended; > ring.size() once wrapped
+    bool leased = false;  // guarded by the recorder's mu_, not this->mu
   };
 
   struct TlsHandle {
@@ -267,7 +271,7 @@ class TraceRecorder {
   ThreadBuffer* LocalBuffer() {
     thread_local TlsHandle handle;
     if (handle.buffer == nullptr || handle.owner != this) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ThreadBuffer* found = nullptr;
       for (auto& buffer : buffers_) {
         if (!buffer->leased) {
@@ -287,14 +291,14 @@ class TraceRecorder {
   }
 
   void Release(ThreadBuffer* buffer) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     buffer->leased = false;  // events stay buffered for the final flush
   }
 
-  std::vector<TraceEvent> SnapshotEventsLocked() const {
+  std::vector<TraceEvent> SnapshotEventsLocked() const DELEX_REQUIRES(mu_) {
     std::vector<TraceEvent> events;
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
     }
     std::sort(events.begin(), events.end(),
@@ -306,10 +310,10 @@ class TraceRecorder {
     return events;
   }
 
-  Status WriteLocked() {
+  Status WriteLocked() DELEX_REQUIRES(mu_) {
     int64_t dropped = 0;
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       if (buffer->count > buffer->ring.size()) {
         dropped += static_cast<int64_t>(buffer->count - buffer->ring.size());
       }
@@ -357,12 +361,12 @@ class TraceRecorder {
     return Status::OK();
   }
 
-  mutable std::mutex mu_;  // registry + start/stop + path
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_{"obs.trace.recorder"};  // registry + start/stop + path
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ DELEX_GUARDED_BY(mu_);
   std::atomic<int64_t> t0_ns_{0};
-  std::string path_;
-  bool started_ = false;
-  bool atexit_registered_ = false;
+  std::string path_ DELEX_GUARDED_BY(mu_);
+  bool started_ DELEX_GUARDED_BY(mu_) = false;
+  bool atexit_registered_ DELEX_GUARDED_BY(mu_) = false;
 };
 
 /// \brief RAII span: records one complete trace event from construction to
